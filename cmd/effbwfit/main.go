@@ -1,0 +1,80 @@
+// Command effbwfit regenerates the paper's effective-bandwidth model
+// (Sec. 3.4.3): it samples allocations on a topology, measures each
+// unique link mix with the ncclsim microbenchmark, fits the 14-term
+// Eq. 2 regression, and prints the learned coefficients (Table 2),
+// fit metrics, and the predicted-vs-actual points of Fig. 12.
+//
+// Usage:
+//
+//	effbwfit -topology dgx-v100
+//	effbwfit -topology torus-2d -sizes 2,3,4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mapa/internal/effbw"
+	"mapa/internal/topology"
+)
+
+func main() {
+	var (
+		name  = flag.String("topology", "dgx-v100", "topology: "+strings.Join(topology.Names(), ", "))
+		sizes = flag.String("sizes", "2,3,4,5", "comma-separated allocation sizes to sample")
+	)
+	flag.Parse()
+
+	if err := run(*name, *sizes); err != nil {
+		fmt.Fprintln(os.Stderr, "effbwfit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, sizesCSV string) error {
+	top, err := topology.ByName(name)
+	if err != nil {
+		return err
+	}
+	var sizes []int
+	for _, s := range strings.Split(sizesCSV, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad size %q: %w", s, err)
+		}
+		sizes = append(sizes, k)
+	}
+
+	model, samples, err := effbw.Train(top, sizes)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Topology %s: %d unique link mixes (paper: 31 on DGX-V)\n\n", top.Name, len(samples))
+	fmt.Println("Table 2 — learned Eq. 2 coefficients:")
+	labels := []string{
+		"x", "y", "z",
+		"1/(x+1)", "1/(y+1)", "1/(z+1)",
+		"xy", "yz", "zx",
+		"1/(xy+1)", "1/(yz+1)", "1/(zx+1)",
+		"xyz", "1/(xyz+1)",
+	}
+	paper := effbw.PaperModel().Theta
+	fmt.Printf("  %-4s %-10s %12s %12s\n", "θ", "term", "fitted", "paper")
+	for i, th := range model.Theta {
+		fmt.Printf("  θ%-3d %-10s %12.3f %12.3f\n", i+1, labels[i], th, paper[i])
+	}
+	fmt.Printf("\nFit metrics (paper: RelErr 0.0709): RelErr=%.4f RMSE=%.4f MAE=%.4f Pearson=%.4f\n\n",
+		model.Metrics.RelErr, model.Metrics.RMSE, model.Metrics.MAE, model.Metrics.Pearson)
+
+	fmt.Println("Fig. 12 — predicted vs actual effective bandwidth (GB/s):")
+	fmt.Printf("  %-14s %10s %10s\n", "(x,y,z)", "actual", "predicted")
+	for _, s := range samples {
+		fmt.Printf("  (%2d,%2d,%2d)     %10.2f %10.2f\n",
+			s.Counts.X, s.Counts.Y, s.Counts.Z, s.EffBW, model.Predict(s.Counts))
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunFitsDGXV(t *testing.T) {
+	if err := run("dgx-v100", "2,3,4,5"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("warpcore", "2,3"); err == nil {
+		t.Error("unknown topology should error")
+	}
+	if err := run("dgx-v100", "2,x"); err == nil {
+		t.Error("bad sizes should error")
+	}
+	if err := run("summit", "2"); err == nil {
+		t.Error("too few mixes should error")
+	}
+}

@@ -1,0 +1,62 @@
+// Command jobgen generates random multi-tenant job files matching the
+// paper's evaluation mix (Sec. 4): a uniform blend of the nine
+// workloads with uniformly distributed 1..max-gpus GPU requests.
+//
+// Usage:
+//
+//	jobgen -n 300 -seed 1 > jobs.txt
+//	jobgen -n 100 -max-gpus 5 -workloads vgg-16,alexnet -o mix.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mapa/internal/jobs"
+	"mapa/internal/workload"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 300, "number of jobs")
+		seed    = flag.Int64("seed", 1, "random seed")
+		maxGPUs = flag.Int("max-gpus", 5, "maximum GPUs per job")
+		names   = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		out     = flag.String("o", "", "output path (default: stdout)")
+	)
+	flag.Parse()
+
+	if err := run(*n, *seed, *maxGPUs, *names, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "jobgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, seed int64, maxGPUs int, names, out string) error {
+	cfg := jobs.GenerateConfig{N: n, MaxGPUs: maxGPUs, Seed: seed}
+	if names != "" {
+		for _, name := range strings.Split(names, ",") {
+			w, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			cfg.Workloads = append(cfg.Workloads, w)
+		}
+	}
+	jobList, err := jobs.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return jobs.Write(w, jobList)
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mapa/internal/jobs"
+)
+
+func TestRunGeneratesParsableFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.txt")
+	if err := run(25, 7, 4, "", path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	js, err := jobs.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(js) != 25 {
+		t.Fatalf("jobs = %d", len(js))
+	}
+	for _, j := range js {
+		if j.NumGPUs > 4 {
+			t.Fatalf("job %d exceeds max GPUs", j.ID)
+		}
+	}
+}
+
+func TestRunWorkloadSubset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.txt")
+	if err := run(10, 1, 3, "vgg-16, alexnet", path); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Open(path)
+	defer f.Close()
+	js, err := jobs.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range js {
+		if j.Workload != "vgg-16" && j.Workload != "alexnet" {
+			t.Fatalf("unexpected workload %s", j.Workload)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(10, 1, 3, "bert", ""); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if err := run(0, 1, 3, "", ""); err == nil {
+		t.Error("zero jobs should error")
+	}
+	if err := run(10, 1, 3, "", "/nonexistent-dir/x/y.txt"); err == nil {
+		t.Error("bad output path should error")
+	}
+}

@@ -1,0 +1,116 @@
+// Command mapasim runs a job file through the MAPA multi-tenant
+// scheduling simulator (Fig. 14 of the paper) on a chosen hardware
+// topology under a chosen allocation policy, then prints the job log
+// and summary statistics.
+//
+// Usage:
+//
+//	mapasim -topology dgx-v100 -policy preserve -jobs jobs.txt
+//	mapasim -topology torus-2d -policy all -n 300 -seed 1
+//
+// With -policy all, the paper's four policies run on the same job
+// stream and a Table 3-style comparison is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mapa/internal/jobs"
+	"mapa/internal/sched"
+	"mapa/internal/stats"
+	"mapa/internal/topology"
+)
+
+func main() {
+	var (
+		topoName   = flag.String("topology", "dgx-v100", "hardware topology: "+strings.Join(topology.Names(), ", "))
+		policyName = flag.String("policy", "preserve", "allocation policy, or 'all' for the paper's four")
+		jobFile    = flag.String("jobs", "", "job file path (empty generates a random mix)")
+		n          = flag.Int("n", 300, "generated job count when -jobs is empty")
+		seed       = flag.Int64("seed", 1, "generation seed when -jobs is empty")
+		maxGPUs    = flag.Int("max-gpus", 5, "max GPUs per generated job")
+		verbose    = flag.Bool("v", false, "print the per-job log")
+	)
+	flag.Parse()
+
+	if err := run(*topoName, *policyName, *jobFile, *n, *seed, *maxGPUs, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "mapasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoName, policyName, jobFile string, n int, seed int64, maxGPUs int, verbose bool) error {
+	top, err := topology.ByName(topoName)
+	if err != nil {
+		return err
+	}
+	var jobList []jobs.Job
+	if jobFile != "" {
+		f, err := os.Open(jobFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jobList, err = jobs.Parse(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		jobList, err = jobs.Generate(jobs.GenerateConfig{N: n, MaxGPUs: maxGPUs, Seed: seed})
+		if err != nil {
+			return err
+		}
+	}
+
+	policies := []string{policyName}
+	if policyName == "all" {
+		policies = sched.PaperPolicies()
+	}
+	results, err := sched.ComparePolicies(top, policies, jobList)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		res := results[name]
+		fmt.Printf("== %s on %s: %d jobs, makespan %.0f s, throughput %.3f jobs/ks\n",
+			name, top.Name, len(res.Records), res.Makespan, res.Throughput)
+		if verbose {
+			fmt.Println("  id  workload      gpus             start      end   effBW(pred)")
+			for _, r := range res.Records {
+				fmt.Printf("  %-3d %-12s %-16v %8.0f %8.0f %8.2f\n",
+					r.Job.ID, r.Job.Workload, r.GPUs, r.Start, r.End, r.PredictedEffBW)
+			}
+		}
+		for _, sensitive := range []bool{true, false} {
+			recs := sched.FilterMultiGPU(sched.FilterSensitive(res.Records, sensitive))
+			if len(recs) == 0 {
+				continue
+			}
+			fmt.Printf("  %s exec time:  %s\n", sched.SensitivityLabel(sensitive),
+				stats.Summarize(sched.ExecTimes(recs)))
+			fmt.Printf("  %s eff BW:     %s\n", sched.SensitivityLabel(sensitive),
+				stats.Summarize(sched.PredictedEffBWs(recs)))
+		}
+	}
+
+	if len(results) > 1 {
+		rows, err := sched.Table3(results, "baseline")
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nTable 3 — execution-time speedup over baseline (sensitive multi-GPU jobs):")
+		fmt.Print(sched.FormatTable3(rows))
+	}
+	return nil
+}

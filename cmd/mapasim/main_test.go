@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGeneratedMix(t *testing.T) {
+	if err := run("dgx-v100", "preserve", "", 20, 1, 5, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllPoliciesVerbose(t *testing.T) {
+	if err := run("summit", "all", "", 15, 2, 4, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJobFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.txt")
+	content := "1,vgg-16,2,Ring,true,100\n2,gmm,1,Star,false,100\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dgx-v100", "greedy", path, 0, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("warpcore", "preserve", "", 5, 1, 5, false); err == nil {
+		t.Error("unknown topology should error")
+	}
+	if err := run("dgx-v100", "warp-policy", "", 5, 1, 5, false); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if err := run("dgx-v100", "preserve", "/no/such/file", 5, 1, 5, false); err == nil {
+		t.Error("missing job file should error")
+	}
+	if err := run("dgx-v100", "preserve", "", 0, 1, 5, false); err == nil {
+		t.Error("zero jobs should error")
+	}
+}

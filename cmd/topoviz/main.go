@@ -1,0 +1,73 @@
+// Command topoviz inspects the built-in hardware topologies: it prints
+// the nvidia-smi-style link matrix, link inventories, socket layout,
+// and optionally Graphviz DOT for rendering.
+//
+// Usage:
+//
+//	topoviz -topology dgx-v100
+//	topoviz -topology cubemesh-16 -dot > cubemesh.dot
+//	topoviz -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mapa/internal/topology"
+)
+
+func main() {
+	var (
+		name = flag.String("topology", "dgx-v100", "topology: "+strings.Join(topology.Names(), ", "))
+		dot  = flag.Bool("dot", false, "emit Graphviz DOT of the physical links")
+		list = flag.Bool("list", false, "list available topologies")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *name, *dot, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "topoviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, name string, dot, list bool) error {
+	if list {
+		for _, n := range topology.Names() {
+			top, err := topology.ByName(n)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-12s %2d GPUs, %2d physical links\n", n, top.NumGPUs(), top.Physical.NumEdges())
+		}
+		return nil
+	}
+
+	top, err := topology.ByName(name)
+	if err != nil {
+		return err
+	}
+	if dot {
+		fmt.Fprint(w, top.Physical.DOT(top.Name))
+		return nil
+	}
+	fmt.Fprintf(w, "%s: %d GPUs\n\n", top.Name, top.NumGPUs())
+	fmt.Fprintln(w, top.Matrix())
+	fmt.Fprintln(w, "Physical link inventory:")
+	for _, lt := range topology.AllLinkTypes() {
+		if n := top.PhysicalLinkCounts()[lt]; n > 0 {
+			fmt.Fprintf(w, "  %-20s x%-3d @ %g GB/s\n", lt.Name(), n, lt.Bandwidth())
+		}
+	}
+	fmt.Fprintln(w, "\nSockets:")
+	for i, s := range top.SortedSockets() {
+		fmt.Fprintf(w, "  socket %d: %v\n", i, s)
+	}
+	fmt.Fprintln(w, "\nIdeal aggregate bandwidth per allocation size:")
+	for k := 2; k <= 5 && k <= top.NumGPUs(); k++ {
+		fmt.Fprintf(w, "  %d GPUs: %g GB/s\n", k, top.IdealAggregate(k))
+	}
+	return nil
+}

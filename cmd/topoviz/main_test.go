@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunMatrix(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "dgx-v100", false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"DGX-1-V100", "GPU7", "Double NVLink-v2", "socket 1", "125 GB/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "summit", true, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "graph \"Summit\"") {
+		t.Fatalf("DOT output wrong: %s", b.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "", false, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dgx-v100", "torus-2d", "cubemesh-16"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownTopology(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "warpcore", false, false); err == nil {
+		t.Fatal("unknown topology should error")
+	}
+}

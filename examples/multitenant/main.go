@@ -1,0 +1,84 @@
+// Multitenant reproduces the paper's DGX-V evaluation (Sec. 4,
+// Fig. 13 and Table 3): 300 randomly mixed training jobs scheduled
+// FIFO under the four allocation policies, reporting per-sensitivity
+// execution-time and effective-bandwidth distributions plus the
+// speedup summary table.
+//
+// Run with: go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"mapa"
+)
+
+func main() {
+	jobs := mapa.PaperJobMix(1)
+	fmt.Printf("Scheduling %d jobs (paper mix) on dgx-v100 under all policies...\n\n", len(jobs))
+
+	results, err := mapa.CompareAllPolicies("dgx-v100", jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	order := []string{"baseline", "topo-aware", "greedy", "preserve"}
+	fmt.Println("Fig. 13 — per-policy distributions over bandwidth-sensitive multi-GPU jobs:")
+	fmt.Printf("%-12s %10s %10s %10s %10s %12s\n", "policy", "ET q1", "ET med", "ET q3", "ET max", "EffBW med")
+	for _, name := range order {
+		res := results[name]
+		var times, bws []float64
+		for _, j := range res.Jobs {
+			if j.Sensitive && j.NumGPUs >= 2 {
+				times = append(times, j.ExecTime)
+				bws = append(bws, j.PredictedEffBW)
+			}
+		}
+		sort.Float64s(times)
+		sort.Float64s(bws)
+		fmt.Printf("%-12s %10.0f %10.0f %10.0f %10.0f %12.1f\n",
+			name, quantile(times, 0.25), quantile(times, 0.5), quantile(times, 0.75),
+			times[len(times)-1], quantile(bws, 0.5))
+	}
+
+	fmt.Println("\nTable 3 — speedup vs baseline (higher is better):")
+	base := results["baseline"]
+	baseTimes := sensitiveTimes(base)
+	fmt.Printf("%-12s %8s %8s %8s %8s %8s\n", "policy", "25th%", "50th%", "75th%", "MAX", "Tput")
+	for _, name := range order {
+		times := sensitiveTimes(results[name])
+		fmt.Printf("%-12s %8.3f %8.3f %8.3f %8.3f %8.3f\n", name,
+			quantile(baseTimes, 0.25)/quantile(times, 0.25),
+			quantile(baseTimes, 0.5)/quantile(times, 0.5),
+			quantile(baseTimes, 0.75)/quantile(times, 0.75),
+			baseTimes[len(baseTimes)-1]/times[len(times)-1],
+			results[name].Throughput/base.Throughput)
+	}
+}
+
+func sensitiveTimes(res mapa.SimulationResult) []float64 {
+	var times []float64
+	for _, j := range res.Jobs {
+		if j.Sensitive && j.NumGPUs >= 2 {
+			times = append(times, j.ExecTime)
+		}
+	}
+	sort.Float64s(times)
+	return times
+}
+
+// quantile interpolates the q-th quantile of sorted values.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

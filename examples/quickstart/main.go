@@ -1,0 +1,55 @@
+// Quickstart: allocate multi-GPU jobs on a DGX-1 V100 with MAPA's
+// Preserve policy and watch the hardware-graph state evolve.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mapa"
+)
+
+func main() {
+	// A MAPA System manages one machine: here the paper's DGX-1 V100
+	// (8 Volta GPUs in a hybrid cube mesh) under the Preserve policy.
+	sys, err := mapa.NewSystem("dgx-v100", "preserve")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Machine: %s (%d GPUs), policy: %s\n\n", sys.Topology(), sys.NumGPUs(), sys.Policy())
+	fmt.Println(sys.Matrix())
+
+	// A bandwidth-sensitive 3-GPU training job (e.g. VGG-16). Preserve
+	// gives it the match with the highest predicted effective
+	// bandwidth.
+	vgg, err := sys.Allocate(mapa.JobRequest{NumGPUs: 3, Shape: "Ring", Sensitive: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensitive 3-GPU job   -> GPUs %v  (predicted EffBW %.1f GB/s, AggBW %.0f GB/s)\n",
+		vgg.GPUs, vgg.EffBW, vgg.AggBW)
+
+	// A bandwidth-insensitive job (e.g. GoogleNet). Preserve places it
+	// to keep the most bandwidth free for future sensitive jobs.
+	goog, err := sys.Allocate(mapa.JobRequest{NumGPUs: 3, Shape: "Ring", Sensitive: false})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("insensitive 3-GPU job -> GPUs %v  (preserved BW %.0f GB/s)\n", goog.GPUs, goog.PreservedBW)
+	fmt.Printf("free GPUs now: %v\n", sys.FreeGPUs())
+
+	// When the sensitive job finishes, its GPUs return to the pool and
+	// the next job can reuse the freed links.
+	if err := sys.Release(vgg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after release: free GPUs %v\n", sys.FreeGPUs())
+
+	next, err := sys.Allocate(mapa.JobRequest{NumGPUs: 2, Sensitive: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("next sensitive 2-GPU job -> GPUs %v (predicted EffBW %.1f GB/s)\n", next.GPUs, next.EffBW)
+}

@@ -1,0 +1,65 @@
+// Traceextract demonstrates the paper's two application-topology
+// extraction paths (Sec. 3.1, Fig. 9): building the pattern graph from
+// a source-analysis call trace and from runtime link-traffic
+// profiling, then allocating each with MAPA.
+//
+// Run with: go run ./examples/traceextract
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mapa"
+)
+
+func main() {
+	sys, err := mapa.NewSystem("dgx-v100", "preserve")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Path 1: source-code analysis (Fig. 9a) -------------------
+	// A Caffe-style training loop: one big ncclAllReduce per layer
+	// over 4 devices, plus an explicit peer copy for a pipeline stage.
+	calls := []mapa.CollectiveCall{
+		{API: mapa.CallAllReduce, Devices: []int{0, 1, 2, 3}, Bytes: 32 << 20},
+		{API: mapa.CallMemcpyPeer, Devices: []int{0, 3}, Bytes: 4 << 20},
+	}
+	fromSource, err := mapa.PatternFromCalls(calls)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("source analysis: %d GPUs, %d communication pairs\n",
+		fromSource.NumGPUs(), fromSource.NumEdges())
+
+	lease1, err := sys.AllocatePattern(fromSource, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  -> allocated GPUs %v (predicted EffBW %.1f GB/s)\n\n", lease1.GPUs, lease1.EffBW)
+
+	// --- Path 2: runtime profiling (Fig. 9b) ----------------------
+	// nvidia-smi-style NVLink counters: heavy traffic between three
+	// GPU pairs, plus incidental noise that the threshold filters out.
+	profile := `# gpuA gpuB bytes
+0 1 9000000000
+1 2 8500000000
+2 0 9100000000
+0 3 4096
+`
+	fromProfile, err := mapa.PatternFromProfile(strings.NewReader(profile), 1e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("runtime profiling: %d GPUs, %d communication pairs (noise filtered)\n",
+		fromProfile.NumGPUs(), fromProfile.NumEdges())
+
+	lease2, err := sys.AllocatePattern(fromProfile, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  -> allocated GPUs %v (predicted EffBW %.1f GB/s)\n", lease2.GPUs, lease2.EffBW)
+	fmt.Printf("\nfree GPUs remaining: %v\n", sys.FreeGPUs())
+}

@@ -1,0 +1,155 @@
+package mapa
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mapa/internal/jobs"
+	"mapa/internal/policy"
+	"mapa/internal/sched"
+	"mapa/internal/topology"
+)
+
+// TestEveryTopologyPolicyDiscipline is the full cross-product smoke
+// test: a small job mix completes on every built-in machine under
+// every policy and queue discipline, and every record is internally
+// consistent.
+func TestEveryTopologyPolicyDiscipline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-product integration test")
+	}
+	jobList, err := jobs.Generate(jobs.GenerateConfig{N: 15, MaxGPUs: 4, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topoName := range topology.Names() {
+		top, err := topology.ByName(topoName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, policyName := range policy.Names() {
+			for _, d := range sched.Disciplines() {
+				t.Run(fmt.Sprintf("%s/%s/%s", topoName, policyName, d), func(t *testing.T) {
+					p, err := policy.ByName(policyName, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					e := sched.NewEngine(top, p)
+					e.Queue = d
+					res, err := e.Run(jobList)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(res.Records) != len(jobList) {
+						t.Fatalf("completed %d of %d", len(res.Records), len(jobList))
+					}
+					for _, r := range res.Records {
+						if len(r.GPUs) != r.Job.NumGPUs || r.ExecTime <= 0 {
+							t.Fatalf("bad record %+v", r)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSystemConcurrentAllocateRelease stresses the public System under
+// concurrent clients; run with -race.
+func TestSystemConcurrentAllocateRelease(t *testing.T) {
+	sys, err := NewSystem("dgx-v100", "preserve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				lease, err := sys.Allocate(JobRequest{
+					NumGPUs:   1 + r.Intn(3),
+					Sensitive: r.Intn(2) == 0,
+				})
+				if err != nil {
+					continue // machine momentarily full — expected
+				}
+				if err := sys.Release(lease); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(c))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := len(sys.FreeGPUs()); got != 8 {
+		t.Fatalf("free GPUs after stress = %d, want 8", got)
+	}
+}
+
+// TestSimulationDeterminism pins the public simulation to be fully
+// deterministic: identical inputs give identical outputs.
+func TestSimulationDeterminism(t *testing.T) {
+	mix := PaperJobMix(5)[:50]
+	a, err := Simulate("dgx-v100", "preserve", mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate("dgx-v100", "preserve", mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Throughput != b.Throughput {
+		t.Fatalf("nondeterministic: %g/%g vs %g/%g", a.Makespan, a.Throughput, b.Makespan, b.Throughput)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].ExecTime != b.Jobs[i].ExecTime {
+			t.Fatalf("job %d differs", i)
+		}
+		for j := range a.Jobs[i].GPUs {
+			if a.Jobs[i].GPUs[j] != b.Jobs[i].GPUs[j] {
+				t.Fatalf("job %d GPUs differ", i)
+			}
+		}
+	}
+}
+
+// TestMAPAPoliciesNeverWorseThanBaselineOnBandwidth asserts the core
+// paper claim at the aggregate level across several seeds: the mean
+// predicted effective bandwidth of sensitive multi-GPU jobs under
+// Preserve is at least Baseline's.
+func TestMAPAPoliciesNeverWorseThanBaselineOnBandwidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed evaluation")
+	}
+	top, err := topology.ByName("dgx-v100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		results, err := sched.ComparePolicies(top, []string{"baseline", "preserve"}, jobs.PaperMix(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := func(name string) float64 {
+			recs := sched.FilterMultiGPU(sched.FilterSensitive(results[name].Records, true))
+			var sum float64
+			for _, r := range recs {
+				sum += r.PredictedEffBW
+			}
+			return sum / float64(len(recs))
+		}
+		if mb, mp := mean("baseline"), mean("preserve"); mp < mb {
+			t.Errorf("seed %d: preserve mean EffBW %.2f below baseline %.2f", seed, mp, mb)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package appgraph builds application topology graphs: the small
+// pattern graphs MAPA mines for (Sec. 3.1, Fig. 8 of the paper).
+// Vertices 0..k-1 stand for the accelerators a job requests; edges mark
+// inter-accelerator communication. NCCL-backed workloads communicate
+// over rings or trees depending on transfer size; other workloads may
+// be all-to-all, star, or chain shaped.
+package appgraph
+
+import (
+	"fmt"
+	"strings"
+
+	"mapa/internal/graph"
+)
+
+// Shape names an application communication pattern.
+type Shape string
+
+const (
+	ShapeRing     Shape = "Ring"
+	ShapeTree     Shape = "Tree"
+	ShapeRingTree Shape = "RingTree" // union of ring and tree (Fig. 8 right)
+	ShapeAllToAll Shape = "AllToAll"
+	ShapeStar     Shape = "Star"
+	ShapeChain    Shape = "Chain"
+)
+
+// Shapes lists every supported pattern shape.
+func Shapes() []Shape {
+	return []Shape{ShapeRing, ShapeTree, ShapeRingTree, ShapeAllToAll, ShapeStar, ShapeChain}
+}
+
+// ParseShape parses a shape name case-insensitively.
+func ParseShape(s string) (Shape, error) {
+	for _, sh := range Shapes() {
+		if strings.EqualFold(string(sh), s) {
+			return sh, nil
+		}
+	}
+	return "", fmt.Errorf("appgraph: unknown shape %q", s)
+}
+
+// appEdge adds an unweighted application edge (weight 1, label 0).
+func appEdge(g *graph.Graph, u, v int) { g.MustAddEdge(u, v, 1, 0) }
+
+// Ring returns the k-GPU NCCL ring pattern (Fig. 8 left). k = 1 yields
+// a single vertex, k = 2 a single edge.
+func Ring(k int) *graph.Graph {
+	mustPositive(k)
+	g := graph.New()
+	if k == 1 {
+		g.AddVertex(0)
+		return g
+	}
+	if k == 2 {
+		appEdge(g, 0, 1)
+		return g
+	}
+	for v := 0; v < k; v++ {
+		appEdge(g, v, (v+1)%k)
+	}
+	return g
+}
+
+// Tree returns the k-GPU NCCL binary-tree pattern (Fig. 8 middle):
+// vertex 0 is the root and vertex v's parent is (v-1)/2.
+func Tree(k int) *graph.Graph {
+	mustPositive(k)
+	g := graph.New()
+	g.AddVertex(0)
+	for v := 1; v < k; v++ {
+		appEdge(g, (v-1)/2, v)
+	}
+	return g
+}
+
+// RingTree returns the union of the ring and tree patterns over the
+// same k vertices (Fig. 8 right): a workload that uses both collectives
+// communicates over both edge sets.
+func RingTree(k int) *graph.Graph {
+	mustPositive(k)
+	g := Ring(k)
+	for _, e := range Tree(k).Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			appEdge(g, e.U, e.V)
+		}
+	}
+	return g
+}
+
+// AllToAll returns the fully connected k-GPU pattern, the conservative
+// assumption for workloads with implicit communication (Sec. 3.1).
+func AllToAll(k int) *graph.Graph {
+	mustPositive(k)
+	g := graph.New()
+	g.AddVertex(0)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			appEdge(g, u, v)
+		}
+	}
+	return g
+}
+
+// Star returns the k-GPU parameter-server pattern: vertex 0 talks to
+// every other vertex.
+func Star(k int) *graph.Graph {
+	mustPositive(k)
+	g := graph.New()
+	g.AddVertex(0)
+	for v := 1; v < k; v++ {
+		appEdge(g, 0, v)
+	}
+	return g
+}
+
+// Chain returns the k-GPU pipeline-parallel pattern: 0-1-2-...-k-1.
+func Chain(k int) *graph.Graph {
+	mustPositive(k)
+	g := graph.New()
+	g.AddVertex(0)
+	for v := 1; v < k; v++ {
+		appEdge(g, v-1, v)
+	}
+	return g
+}
+
+// Build constructs the pattern of the given shape and size.
+func Build(s Shape, k int) (*graph.Graph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("appgraph: job must request at least 1 GPU, got %d", k)
+	}
+	switch s {
+	case ShapeRing:
+		return Ring(k), nil
+	case ShapeTree:
+		return Tree(k), nil
+	case ShapeRingTree:
+		return RingTree(k), nil
+	case ShapeAllToAll:
+		return AllToAll(k), nil
+	case ShapeStar:
+		return Star(k), nil
+	case ShapeChain:
+		return Chain(k), nil
+	}
+	return nil, fmt.Errorf("appgraph: unknown shape %q", s)
+}
+
+// ForCollective mirrors NCCL's protocol selection (Sec. 3.1): large
+// transfers all-reduce over rings, small transfers over trees.
+func ForCollective(k int, msgBytes float64) *graph.Graph {
+	const treeThreshold = 1 << 16 // NCCL switches to trees for small messages
+	if msgBytes < treeThreshold {
+		return Tree(k)
+	}
+	return Ring(k)
+}
+
+func mustPositive(k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("appgraph: pattern size must be positive, got %d", k))
+	}
+}

@@ -1,0 +1,194 @@
+package appgraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingStructure(t *testing.T) {
+	for _, k := range []int{3, 4, 5, 8} {
+		g := Ring(k)
+		if g.NumVertices() != k || g.NumEdges() != k {
+			t.Errorf("Ring(%d): V=%d E=%d", k, g.NumVertices(), g.NumEdges())
+		}
+		for _, v := range g.Vertices() {
+			if g.Degree(v) != 2 {
+				t.Errorf("Ring(%d): vertex %d degree %d", k, v, g.Degree(v))
+			}
+		}
+		if !g.Connected() {
+			t.Errorf("Ring(%d) disconnected", k)
+		}
+	}
+}
+
+func TestRingSmallSizes(t *testing.T) {
+	if g := Ring(1); g.NumVertices() != 1 || g.NumEdges() != 0 {
+		t.Error("Ring(1) should be a lone vertex")
+	}
+	if g := Ring(2); g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Error("Ring(2) should be a single edge")
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 7, 10} {
+		g := Tree(k)
+		if g.NumVertices() != k || g.NumEdges() != k-1 {
+			t.Errorf("Tree(%d): V=%d E=%d", k, g.NumVertices(), g.NumEdges())
+		}
+		if !g.Connected() {
+			t.Errorf("Tree(%d) disconnected", k)
+		}
+	}
+	// Binary: no vertex has more than 3 neighbors (parent + 2 kids).
+	g := Tree(15)
+	for _, v := range g.Vertices() {
+		if g.Degree(v) > 3 {
+			t.Errorf("Tree(15): vertex %d degree %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestRingTreeIsUnion(t *testing.T) {
+	k := 6
+	g := RingTree(k)
+	r, tr := Ring(k), Tree(k)
+	for _, e := range r.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Errorf("RingTree missing ring edge (%d,%d)", e.U, e.V)
+		}
+	}
+	for _, e := range tr.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Errorf("RingTree missing tree edge (%d,%d)", e.U, e.V)
+		}
+	}
+	for _, e := range g.Edges() {
+		if !r.HasEdge(e.U, e.V) && !tr.HasEdge(e.U, e.V) {
+			t.Errorf("RingTree has extra edge (%d,%d)", e.U, e.V)
+		}
+	}
+}
+
+func TestAllToAllStructure(t *testing.T) {
+	g := AllToAll(5)
+	if g.NumEdges() != 10 {
+		t.Errorf("AllToAll(5) edges = %d", g.NumEdges())
+	}
+	if g1 := AllToAll(1); g1.NumVertices() != 1 {
+		t.Error("AllToAll(1) should be a lone vertex")
+	}
+}
+
+func TestStarAndChain(t *testing.T) {
+	s := Star(5)
+	if s.Degree(0) != 4 || s.NumEdges() != 4 {
+		t.Errorf("Star(5): degree(0)=%d E=%d", s.Degree(0), s.NumEdges())
+	}
+	c := Chain(5)
+	if c.NumEdges() != 4 || c.Degree(0) != 1 || c.Degree(2) != 2 {
+		t.Errorf("Chain(5) malformed")
+	}
+	if g := Star(1); g.NumVertices() != 1 {
+		t.Error("Star(1) should be a lone vertex")
+	}
+	if g := Chain(1); g.NumVertices() != 1 {
+		t.Error("Chain(1) should be a lone vertex")
+	}
+}
+
+func TestBuildAllShapes(t *testing.T) {
+	for _, sh := range Shapes() {
+		g, err := Build(sh, 4)
+		if err != nil {
+			t.Errorf("Build(%s, 4): %v", sh, err)
+			continue
+		}
+		if g.NumVertices() != 4 {
+			t.Errorf("Build(%s, 4) has %d vertices", sh, g.NumVertices())
+		}
+		if !g.Connected() {
+			t.Errorf("Build(%s, 4) disconnected", sh)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(ShapeRing, 0); err == nil {
+		t.Error("Build with 0 GPUs should error")
+	}
+	if _, err := Build(Shape("bogus"), 3); err == nil {
+		t.Error("Build with unknown shape should error")
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	for _, sh := range Shapes() {
+		got, err := ParseShape(string(sh))
+		if err != nil || got != sh {
+			t.Errorf("ParseShape(%q) = %v, %v", sh, got, err)
+		}
+	}
+	if got, err := ParseShape("ring"); err != nil || got != ShapeRing {
+		t.Errorf("case-insensitive parse failed: %v, %v", got, err)
+	}
+	if _, err := ParseShape("mesh-of-trees"); err == nil {
+		t.Error("unknown shape should error")
+	}
+}
+
+func TestForCollective(t *testing.T) {
+	// Small messages → tree, large → ring (NCCL protocol selection).
+	small := ForCollective(5, 1<<10)
+	if small.NumEdges() != 4 {
+		t.Errorf("small-message pattern should be a tree, E=%d", small.NumEdges())
+	}
+	large := ForCollective(5, 1<<24)
+	if large.NumEdges() != 5 {
+		t.Errorf("large-message pattern should be a ring, E=%d", large.NumEdges())
+	}
+}
+
+func TestNonPositivePanics(t *testing.T) {
+	builders := []func(){
+		func() { Ring(0) }, func() { Tree(0) }, func() { RingTree(-1) },
+		func() { AllToAll(0) }, func() { Star(0) }, func() { Chain(0) },
+	}
+	for i, b := range builders {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("builder %d should panic on non-positive size", i)
+				}
+			}()
+			b()
+		}()
+	}
+}
+
+// Property: every shape at every size 1..8 yields a connected graph on
+// vertices 0..k-1.
+func TestShapesConnectedProperty(t *testing.T) {
+	f := func(shapeIdx, kRaw uint8) bool {
+		shapes := Shapes()
+		sh := shapes[int(shapeIdx)%len(shapes)]
+		k := int(kRaw%8) + 1
+		g, err := Build(sh, k)
+		if err != nil {
+			return false
+		}
+		if g.NumVertices() != k || !g.Connected() {
+			return false
+		}
+		for _, v := range g.Vertices() {
+			if v < 0 || v >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

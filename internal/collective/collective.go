@@ -1,0 +1,129 @@
+// Package collective models the cost of the NCCL collective operations
+// the paper's workloads use (Sec. 6 lists Reduce, AllReduce, Broadcast,
+// Gather, Scatter, and Scatter-Gather/AllGather). Costs follow the
+// standard ring-algorithm data-movement factors over the effective
+// bandwidth of the allocation as computed by the ncclsim substrate:
+//
+//	all-reduce       2(k-1)/k · S
+//	reduce-scatter    (k-1)/k · S
+//	all-gather        (k-1)/k · S
+//	broadcast/reduce        1 · S   (pipelined ring)
+//	gather/scatter    (k-1)/k · S   (root-bound)
+//
+// The all-reduce factor is what internal/workload already uses; this
+// package generalizes it so application graphs extracted from traces
+// with mixed collective calls can be costed uniformly.
+package collective
+
+import (
+	"fmt"
+
+	"mapa/internal/linkmodel"
+	"mapa/internal/ncclsim"
+	"mapa/internal/topology"
+)
+
+// Op is a collective operation.
+type Op int
+
+const (
+	AllReduce Op = iota
+	ReduceScatter
+	AllGather
+	Broadcast
+	Reduce
+	Gather
+	Scatter
+
+	numOps
+)
+
+// String names the op in NCCL's spelling.
+func (op Op) String() string {
+	switch op {
+	case AllReduce:
+		return "ncclAllReduce"
+	case ReduceScatter:
+		return "ncclReduceScatter"
+	case AllGather:
+		return "ncclAllGather"
+	case Broadcast:
+		return "ncclBroadcast"
+	case Reduce:
+		return "ncclReduce"
+	case Gather:
+		return "ncclGather"
+	case Scatter:
+		return "ncclScatter"
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+// Ops lists every supported collective.
+func Ops() []Op {
+	ops := make([]Op, numOps)
+	for i := range ops {
+		ops[i] = Op(i)
+	}
+	return ops
+}
+
+// Factor returns the ring-algorithm data-movement multiple for the op
+// on k participants: the number of payload traversals of the
+// bottleneck link per byte of payload.
+func (op Op) Factor(k int) float64 {
+	if k < 2 {
+		return 0
+	}
+	kf := float64(k)
+	switch op {
+	case AllReduce:
+		return 2 * (kf - 1) / kf
+	case ReduceScatter, AllGather, Gather, Scatter:
+		return (kf - 1) / kf
+	case Broadcast, Reduce:
+		return 1
+	}
+	panic(fmt.Sprintf("collective: unknown op %d", int(op)))
+}
+
+// Steps returns the number of pipeline steps (latency terms) the op
+// takes on k participants.
+func (op Op) Steps(k int) int {
+	if k < 2 {
+		return 0
+	}
+	switch op {
+	case AllReduce:
+		return 2 * (k - 1)
+	default:
+		return k - 1
+	}
+}
+
+// Time returns the seconds the op takes to move msgBytes over the
+// allocation on the topology. Allocations of fewer than two GPUs take
+// no time.
+func Time(top *topology.Topology, gpus []int, op Op, msgBytes float64) float64 {
+	k := len(gpus)
+	if k < 2 || msgBytes <= 0 {
+		return 0
+	}
+	bw := ncclsim.EffectiveBandwidth(top, gpus, msgBytes)
+	if bw <= 0 {
+		bw = 1
+	}
+	return op.Factor(k)*msgBytes/(bw*1e9) + float64(op.Steps(k))*linkmodel.StartupLatency
+}
+
+// BusBandwidth returns the op's achieved bus bandwidth in GB/s — the
+// metric nccl-tests reports: payload-equivalent bytes moved per second
+// of wall time.
+func BusBandwidth(top *topology.Topology, gpus []int, op Op, msgBytes float64) float64 {
+	t := Time(top, gpus, op, msgBytes)
+	if t <= 0 {
+		return 0
+	}
+	k := len(gpus)
+	return op.Factor(k) * msgBytes / t / 1e9
+}

@@ -1,0 +1,135 @@
+package collective
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mapa/internal/ncclsim"
+	"mapa/internal/topology"
+)
+
+func TestFactors(t *testing.T) {
+	cases := []struct {
+		op   Op
+		k    int
+		want float64
+	}{
+		{AllReduce, 2, 1},
+		{AllReduce, 4, 1.5},
+		{AllReduce, 8, 1.75},
+		{ReduceScatter, 4, 0.75},
+		{AllGather, 4, 0.75},
+		{Broadcast, 4, 1},
+		{Reduce, 8, 1},
+		{Gather, 2, 0.5},
+		{Scatter, 2, 0.5},
+	}
+	for _, tc := range cases {
+		if got := tc.op.Factor(tc.k); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s factor(k=%d) = %g, want %g", tc.op, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestFactorDegenerate(t *testing.T) {
+	for _, op := range Ops() {
+		if op.Factor(1) != 0 || op.Steps(1) != 0 {
+			t.Errorf("%s: single participant should cost nothing", op)
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	for _, op := range Ops() {
+		if !strings.HasPrefix(op.String(), "nccl") {
+			t.Errorf("op name %q not NCCL-style", op.String())
+		}
+	}
+	if !strings.Contains(Op(99).String(), "99") {
+		t.Error("unknown op String should include the value")
+	}
+}
+
+func TestTimeOrderingAcrossLinks(t *testing.T) {
+	top := topology.DGXV100()
+	for _, op := range Ops() {
+		fast := Time(top, []int{0, 4}, op, 1e8) // double NVLink
+		slow := Time(top, []int{0, 5}, op, 1e8) // PCIe
+		if fast <= 0 || slow <= 0 {
+			t.Fatalf("%s: non-positive times %g, %g", op, fast, slow)
+		}
+		if fast >= slow {
+			t.Errorf("%s: double NVLink (%g s) should beat PCIe (%g s)", op, fast, slow)
+		}
+	}
+}
+
+func TestTimeDegenerateInputs(t *testing.T) {
+	top := topology.DGXV100()
+	if Time(top, []int{0}, AllReduce, 1e6) != 0 {
+		t.Error("1-GPU collective should take no time")
+	}
+	if Time(top, []int{0, 4}, AllReduce, 0) != 0 {
+		t.Error("zero-byte collective should take no time")
+	}
+	if BusBandwidth(top, []int{0}, AllReduce, 1e6) != 0 {
+		t.Error("1-GPU bus bandwidth should be zero")
+	}
+}
+
+func TestAllReduceConsistentWithNCCLSim(t *testing.T) {
+	// collective.Time(AllReduce) must agree with the ncclsim all-reduce
+	// model used by the workload package.
+	top := topology.DGXV100()
+	for _, gpus := range [][]int{{0, 4}, {0, 2, 3}, {0, 1, 2, 3}} {
+		want := ncclsim.AllReduceTime(top, gpus, 1e7)
+		got := Time(top, gpus, AllReduce, 1e7)
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("gpus %v: collective %g vs ncclsim %g", gpus, got, want)
+		}
+	}
+}
+
+func TestBusBandwidthApproachesEffBW(t *testing.T) {
+	// For huge transfers, latency terms vanish and bus bandwidth
+	// approaches the allocation's effective bandwidth.
+	top := topology.DGXV100()
+	gpus := []int{0, 4}
+	bb := BusBandwidth(top, gpus, AllReduce, 1e10)
+	eff := ncclsim.EffectiveBandwidth(top, gpus, 1e10)
+	if math.Abs(bb-eff)/eff > 0.05 {
+		t.Errorf("bus bandwidth %g far from effective bandwidth %g", bb, eff)
+	}
+}
+
+func TestAllGatherCheaperThanAllReduce(t *testing.T) {
+	top := topology.DGXV100()
+	gpus := []int{0, 1, 2, 3}
+	if Time(top, gpus, AllGather, 1e8) >= Time(top, gpus, AllReduce, 1e8) {
+		t.Error("all-gather moves half the data of all-reduce and must be faster")
+	}
+}
+
+// Property: time is non-negative, monotone in message size, and bus
+// bandwidth never exceeds the link-capacity bound.
+func TestTimeMonotoneProperty(t *testing.T) {
+	top := topology.DGXV100()
+	gpus := []int{0, 2, 3}
+	f := func(aRaw, bRaw uint32, opRaw uint8) bool {
+		op := Op(int(opRaw) % int(numOps))
+		a, b := float64(aRaw), float64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		ta, tb := Time(top, gpus, op, a), Time(top, gpus, op, b)
+		if ta < 0 || tb < 0 || ta > tb+1e-12 {
+			return false
+		}
+		return BusBandwidth(top, gpus, op, b) <= 80+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package effbw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mapa/internal/regress"
+	"mapa/internal/topology"
+)
+
+func TestCountLinks(t *testing.T) {
+	top := topology.DGXV100()
+	// Paper's fragmentation example {1,2,5} (0-indexed {0,1,4}):
+	// 1 single + 1 double + 1 PCIe.
+	mix := CountLinks(top.Graph.InducedSubgraph([]int{0, 1, 4}).Edges())
+	if mix != (LinkCounts{X: 1, Y: 1, Z: 1}) {
+		t.Fatalf("mix = %+v", mix)
+	}
+	// Ideal allocation {1,3,4} (0-indexed {0,2,3}): 2 double + 1 single.
+	mix = CountLinks(top.Graph.InducedSubgraph([]int{0, 2, 3}).Edges())
+	if mix != (LinkCounts{X: 2, Y: 1, Z: 0}) {
+		t.Fatalf("ideal mix = %+v", mix)
+	}
+}
+
+func TestCountLinksNVLink1CountsAsSingle(t *testing.T) {
+	top := topology.DGXP100()
+	mix := CountLinks(top.Graph.InducedSubgraph([]int{0, 1, 2}).Edges())
+	if mix != (LinkCounts{X: 0, Y: 3, Z: 0}) {
+		t.Fatalf("P100 triangle mix = %+v", mix)
+	}
+}
+
+func TestFeaturesShapeAndValues(t *testing.T) {
+	f := Features(LinkCounts{X: 1, Y: 2, Z: 3})
+	if len(f) != NumFeatures {
+		t.Fatalf("len(features) = %d", len(f))
+	}
+	want := []float64{
+		1, 2, 3,
+		0.5, 1.0 / 3, 0.25,
+		2, 6, 3,
+		1.0 / 3, 1.0 / 7, 0.25,
+		6, 1.0 / 7,
+	}
+	for i := range want {
+		if diff := f[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("feature %d = %g, want %g", i, f[i], want[i])
+		}
+	}
+}
+
+func TestFeaturesZeroMix(t *testing.T) {
+	f := Features(LinkCounts{})
+	// All inverse terms are 1, all products 0.
+	want := []float64{0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1, 0, 1}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("feature %d = %g, want %g", i, f[i], want[i])
+		}
+	}
+}
+
+func TestPaperModelCoefficients(t *testing.T) {
+	m := PaperModel()
+	if len(m.Theta) != NumFeatures {
+		t.Fatalf("paper model has %d coefficients", len(m.Theta))
+	}
+	// Spot-check Table 2 values.
+	if m.Theta[0] != 16.396 || m.Theta[10] != 62.851 || m.Theta[13] != -46.973 {
+		t.Fatalf("Table 2 coefficients wrong: %v", m.Theta)
+	}
+}
+
+func TestPaperModelOrdersAllocations(t *testing.T) {
+	// The published model must prefer richer link mixes: an all-double
+	// allocation over a mixed one over PCIe-only.
+	m := PaperModel()
+	double2 := m.Predict(LinkCounts{X: 1})
+	single2 := m.Predict(LinkCounts{Y: 1})
+	pcie2 := m.Predict(LinkCounts{Z: 1})
+	if !(double2 > single2 && single2 > pcie2) {
+		t.Errorf("paper model 2-GPU ordering: double=%g single=%g pcie=%g", double2, single2, pcie2)
+	}
+}
+
+func TestPredictClampsAtZero(t *testing.T) {
+	m := &Model{Theta: make([]float64, NumFeatures)}
+	m.Theta[13] = -100 // strongly negative constant-ish term
+	if got := m.Predict(LinkCounts{}); got != 0 {
+		t.Fatalf("Predict = %g, want clamp at 0", got)
+	}
+}
+
+func TestCollectSamplesDGXV(t *testing.T) {
+	top := topology.DGXV100()
+	samples := CollectSamples(top, DefaultSizes())
+	// The paper reports 31 unique (x,y,z) mixes for 2..5 GPU
+	// allocations on the DGX-V. Our topology is the same machine, so
+	// the unique-mix count should be in that neighborhood.
+	if len(samples) < 20 {
+		t.Fatalf("unique mixes = %d, want >= 20", len(samples))
+	}
+	seen := make(map[LinkCounts]bool)
+	for _, s := range samples {
+		if seen[s.Counts] {
+			t.Fatalf("duplicate mix %+v", s.Counts)
+		}
+		seen[s.Counts] = true
+		if s.EffBW < 0 {
+			t.Fatalf("negative EffBW for %+v", s.Counts)
+		}
+		if len(s.GPUs) < 2 || len(s.GPUs) > 5 {
+			t.Fatalf("representative allocation size %d", len(s.GPUs))
+		}
+	}
+	t.Logf("DGX-V unique link mixes: %d", len(samples))
+}
+
+func TestCollectSamplesSkipsInvalidSizes(t *testing.T) {
+	top := topology.Summit()
+	samples := CollectSamples(top, []int{0, 1, 99, 2})
+	for _, s := range samples {
+		if len(s.GPUs) != 2 {
+			t.Fatalf("unexpected sample size %d", len(s.GPUs))
+		}
+	}
+	if len(samples) == 0 {
+		t.Fatal("size 2 should produce samples")
+	}
+}
+
+func TestTrainOnDGXV(t *testing.T) {
+	top := topology.DGXV100()
+	m, samples, err := Train(top, DefaultSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Theta) != NumFeatures {
+		t.Fatalf("theta size = %d", len(m.Theta))
+	}
+	// The paper reports relative error 0.0709; our substitute
+	// microbenchmark should fit at least roughly as well since EffBW
+	// is nearly a function of the mix by construction.
+	if m.Metrics.RelErr > 0.25 {
+		t.Errorf("relative error = %g, want < 0.25", m.Metrics.RelErr)
+	}
+	if m.Metrics.Pearson < 0.9 {
+		t.Errorf("Pearson = %g, want > 0.9", m.Metrics.Pearson)
+	}
+	// Prediction should track measurement on the training mixes.
+	var pred, actual []float64
+	for _, s := range samples {
+		pred = append(pred, m.Predict(s.Counts))
+		actual = append(actual, s.EffBW)
+	}
+	if r := regress.Pearson(pred, actual); r < 0.9 {
+		t.Errorf("train-set correlation = %g", r)
+	}
+	t.Logf("fit: relErr=%.4f RMSE=%.3f MAE=%.3f r=%.4f over %d samples",
+		m.Metrics.RelErr, m.Metrics.RMSE, m.Metrics.MAE, m.Metrics.Pearson, len(samples))
+}
+
+func TestTrainFailsOnTinyTopology(t *testing.T) {
+	// Summit with only 2-GPU allocations cannot produce 14 unique
+	// mixes.
+	if _, _, err := Train(topology.Summit(), []int{2}); err == nil {
+		t.Fatal("expected too-few-samples error")
+	}
+}
+
+func TestTrainedModelGeneralizesAcrossSizes(t *testing.T) {
+	// Train on 2-4 GPU allocations, predict 5-GPU mixes: correlation
+	// should survive (the paper's Fig. 12 point).
+	top := topology.DGXV100()
+	m, _, err := Train(top, []int{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdout := CollectSamples(top, []int{5})
+	var pred, actual []float64
+	for _, s := range holdout {
+		pred = append(pred, m.Predict(s.Counts))
+		actual = append(actual, s.EffBW)
+	}
+	if r := regress.Pearson(pred, actual); r < 0.6 {
+		t.Errorf("holdout correlation = %g, want > 0.6", r)
+	}
+}
+
+// Property: predictions are finite, non-negative, and monotone when a
+// PCIe link upgrades to a double NVLink (for the trained model on
+// in-range mixes).
+func TestTrainedModelSanityProperty(t *testing.T) {
+	top := topology.DGXV100()
+	m, _, err := Train(top, DefaultSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(xr, yr, zr uint8) bool {
+		c := LinkCounts{X: int(xr % 4), Y: int(yr % 4), Z: int(zr % 4)}
+		v := m.Predict(c)
+		return v >= 0 && v < 1000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package jobs defines job specifications, the textual job-file format
+// consumed by the simulator (Fig. 14 of the paper: "ID, NumGPUs,
+// Topology, BW Sensitive"), and the random job-mix generator used in
+// the evaluation (Sec. 4: 300 jobs, uniform workload mix, uniform 1-5
+// requested GPUs).
+package jobs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"mapa/internal/appgraph"
+	"mapa/internal/graph"
+	"mapa/internal/workload"
+)
+
+// Job is one scheduled unit of work.
+type Job struct {
+	ID        int
+	Workload  string
+	NumGPUs   int
+	Shape     appgraph.Shape
+	Sensitive bool
+	Iters     int
+}
+
+// Pattern builds the job's application graph.
+func (j Job) Pattern() (*graph.Graph, error) {
+	return appgraph.Build(j.Shape, j.NumGPUs)
+}
+
+// Validate checks the job's fields for consistency.
+func (j Job) Validate() error {
+	if j.NumGPUs < 1 {
+		return fmt.Errorf("jobs: job %d requests %d GPUs", j.ID, j.NumGPUs)
+	}
+	if j.Iters < 1 {
+		return fmt.Errorf("jobs: job %d has %d iterations", j.ID, j.Iters)
+	}
+	if _, err := workload.ByName(j.Workload); err != nil {
+		return fmt.Errorf("jobs: job %d: %w", j.ID, err)
+	}
+	if _, err := appgraph.ParseShape(string(j.Shape)); err != nil {
+		return fmt.Errorf("jobs: job %d: %w", j.ID, err)
+	}
+	return nil
+}
+
+// String serializes the job as one job-file line:
+// "id,workload,numGPUs,shape,sensitive,iters".
+func (j Job) String() string {
+	return fmt.Sprintf("%d,%s,%d,%s,%t,%d", j.ID, j.Workload, j.NumGPUs, j.Shape, j.Sensitive, j.Iters)
+}
+
+// Write serializes jobs to a job file with a header comment.
+func Write(w io.Writer, jobs []Job) error {
+	if _, err := fmt.Fprintln(w, "# id,workload,numGPUs,shape,sensitive,iters"); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, j.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parse reads a job file. Blank lines and '#' comments are skipped.
+func Parse(r io.Reader) ([]Job, error) {
+	var out []Job
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		j, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: line %d: %w", lineNo, err)
+		}
+		out = append(out, j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("jobs: reading job file: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("jobs: job file contained no jobs")
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Job, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) != 6 {
+		return Job{}, fmt.Errorf("want 6 comma-separated fields, got %d in %q", len(fields), line)
+	}
+	for i := range fields {
+		fields[i] = strings.TrimSpace(fields[i])
+	}
+	id, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return Job{}, fmt.Errorf("bad id %q", fields[0])
+	}
+	numGPUs, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return Job{}, fmt.Errorf("bad numGPUs %q", fields[2])
+	}
+	shape, err := appgraph.ParseShape(fields[3])
+	if err != nil {
+		return Job{}, err
+	}
+	sensitive, err := strconv.ParseBool(fields[4])
+	if err != nil {
+		return Job{}, fmt.Errorf("bad sensitive flag %q", fields[4])
+	}
+	iters, err := strconv.Atoi(fields[5])
+	if err != nil {
+		return Job{}, fmt.Errorf("bad iters %q", fields[5])
+	}
+	j := Job{
+		ID: id, Workload: fields[1], NumGPUs: numGPUs,
+		Shape: shape, Sensitive: sensitive, Iters: iters,
+	}
+	if err := j.Validate(); err != nil {
+		return Job{}, err
+	}
+	return j, nil
+}
+
+// GenerateConfig controls random job-mix generation.
+type GenerateConfig struct {
+	// N is the number of jobs (the paper uses 300; Fig. 4 uses 100).
+	N int
+	// MaxGPUs caps the uniform 1..MaxGPUs GPU request (paper: 5).
+	MaxGPUs int
+	// Workloads restricts the mix; empty means all nine evaluation
+	// workloads.
+	Workloads []workload.Workload
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Generate produces a random job mix per the paper's configuration:
+// uniform over the workload set and uniform over 1..MaxGPUs requested
+// GPUs. Shapes and sensitivity annotations come from the workload
+// catalog; iteration counts are the workload defaults.
+func Generate(cfg GenerateConfig) ([]Job, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("jobs: cannot generate %d jobs", cfg.N)
+	}
+	if cfg.MaxGPUs < 1 {
+		return nil, fmt.Errorf("jobs: MaxGPUs = %d", cfg.MaxGPUs)
+	}
+	ws := cfg.Workloads
+	if len(ws) == 0 {
+		ws = workload.All()
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]Job, cfg.N)
+	for i := range out {
+		w := ws[r.Intn(len(ws))]
+		out[i] = Job{
+			ID:        i + 1,
+			Workload:  w.Name,
+			NumGPUs:   1 + r.Intn(cfg.MaxGPUs),
+			Shape:     w.Shape,
+			Sensitive: w.Sensitive,
+			Iters:     w.DefaultIters,
+		}
+	}
+	return out, nil
+}
+
+// PaperMix returns the evaluation job mix of Sec. 4: 300 jobs,
+// uniform workloads, uniform 1-5 GPUs.
+func PaperMix(seed int64) []Job {
+	js, err := Generate(GenerateConfig{N: 300, MaxGPUs: 5, Seed: seed})
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	return js
+}

@@ -1,0 +1,207 @@
+package jobs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mapa/internal/appgraph"
+	"mapa/internal/workload"
+)
+
+func validJob() Job {
+	return Job{ID: 1, Workload: "vgg-16", NumGPUs: 3, Shape: appgraph.ShapeRing, Sensitive: true, Iters: 6500}
+}
+
+func TestJobValidate(t *testing.T) {
+	if err := validJob().Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Job)
+	}{
+		{"zero GPUs", func(j *Job) { j.NumGPUs = 0 }},
+		{"zero iters", func(j *Job) { j.Iters = 0 }},
+		{"unknown workload", func(j *Job) { j.Workload = "bert" }},
+		{"unknown shape", func(j *Job) { j.Shape = "Mesh" }},
+	}
+	for _, tc := range cases {
+		j := validJob()
+		tc.mutate(&j)
+		if err := j.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestJobPattern(t *testing.T) {
+	j := validJob()
+	g, err := j.Pattern()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("pattern: V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := []Job{
+		validJob(),
+		{ID: 2, Workload: "cusimann", NumGPUs: 1, Shape: appgraph.ShapeStar, Sensitive: false, Iters: 2000},
+		{ID: 3, Workload: "googlenet", NumGPUs: 5, Shape: appgraph.ShapeRing, Sensitive: false, Iters: 7000},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+func TestWriteRejectsInvalidJob(t *testing.T) {
+	bad := validJob()
+	bad.NumGPUs = 0
+	var buf bytes.Buffer
+	if err := Write(&buf, []Job{bad}); err == nil {
+		t.Fatal("Write should validate jobs")
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	in := `# header
+1,vgg-16,3,Ring,true,6500
+
+# trailing comment
+2,gmm,2,Star,false,2200
+`
+	js, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(js) != 2 || js[0].Workload != "vgg-16" || js[1].Workload != "gmm" {
+		t.Fatalf("parsed %+v", js)
+	}
+}
+
+func TestParseWhitespaceTolerant(t *testing.T) {
+	js, err := Parse(strings.NewReader("1, vgg-16 , 3 , Ring , true , 6500"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js[0].Workload != "vgg-16" || js[0].NumGPUs != 3 {
+		t.Fatalf("parsed %+v", js[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                           // no jobs
+		"1,vgg-16,3,Ring,true",       // missing field
+		"x,vgg-16,3,Ring,true,6500",  // bad id
+		"1,vgg-16,x,Ring,true,6500",  // bad numGPUs
+		"1,vgg-16,3,Blob,true,6500",  // bad shape
+		"1,vgg-16,3,Ring,maybe,6500", // bad bool
+		"1,vgg-16,3,Ring,true,x",     // bad iters
+		"1,unknown,3,Ring,true,6500", // unknown workload
+		"1,vgg-16,0,Ring,true,6500",  // invalid GPUs
+		"# only comments\n\n",        // still no jobs
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected parse error", in)
+		}
+	}
+}
+
+func TestGenerateUniformMix(t *testing.T) {
+	js, err := Generate(GenerateConfig{N: 3000, MaxGPUs: 5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(js) != 3000 {
+		t.Fatalf("generated %d jobs", len(js))
+	}
+	gpuCounts := make(map[int]int)
+	wlCounts := make(map[string]int)
+	for i, j := range js {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("job %d invalid: %v", i, err)
+		}
+		if j.ID != i+1 {
+			t.Fatalf("job %d has ID %d", i, j.ID)
+		}
+		gpuCounts[j.NumGPUs]++
+		wlCounts[j.Workload]++
+		// Sensitivity must match the catalog annotation.
+		w, _ := workload.ByName(j.Workload)
+		if j.Sensitive != w.Sensitive {
+			t.Fatalf("job %d sensitivity %v mismatches workload %s", i, j.Sensitive, j.Workload)
+		}
+	}
+	// Uniformity: every GPU count 1..5 within 3x of each other.
+	for k := 1; k <= 5; k++ {
+		if gpuCounts[k] < 3000/5/3 {
+			t.Errorf("GPU count %d appeared only %d times", k, gpuCounts[k])
+		}
+	}
+	if len(wlCounts) != len(workload.All()) {
+		t.Errorf("only %d workloads in mix", len(wlCounts))
+	}
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	a, _ := Generate(GenerateConfig{N: 50, MaxGPUs: 5, Seed: 7})
+	b, _ := Generate(GenerateConfig{N: 50, MaxGPUs: 5, Seed: 7})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give same jobs")
+	}
+	c, _ := Generate(GenerateConfig{N: 50, MaxGPUs: 5, Seed: 8})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateRestrictedWorkloads(t *testing.T) {
+	vgg, _ := workload.ByName("vgg-16")
+	js, err := Generate(GenerateConfig{N: 20, MaxGPUs: 3, Workloads: []workload.Workload{vgg}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range js {
+		if j.Workload != "vgg-16" {
+			t.Fatalf("unexpected workload %s", j.Workload)
+		}
+		if j.NumGPUs > 3 {
+			t.Fatalf("NumGPUs %d > MaxGPUs", j.NumGPUs)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenerateConfig{N: 0, MaxGPUs: 5}); err == nil {
+		t.Error("N=0 should error")
+	}
+	if _, err := Generate(GenerateConfig{N: 5, MaxGPUs: 0}); err == nil {
+		t.Error("MaxGPUs=0 should error")
+	}
+}
+
+func TestPaperMix(t *testing.T) {
+	js := PaperMix(1)
+	if len(js) != 300 {
+		t.Fatalf("paper mix has %d jobs", len(js))
+	}
+	for _, j := range js {
+		if j.NumGPUs < 1 || j.NumGPUs > 5 {
+			t.Fatalf("job %d requests %d GPUs", j.ID, j.NumGPUs)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package linkmodel models the achievable bandwidth of a single
+// inter-accelerator link as a function of transfer size, reproducing the
+// bandwidth-characterization curves of Fig. 2a of the MAPA paper: every
+// link ramps from near-zero at small transfers to its Table 1 peak at
+// large transfers, and the links keep their relative ordering at every
+// size (double NVLink fastest).
+//
+// The model is the standard latency/bandwidth pipe: a transfer of S
+// bytes takes t = t0 + S/peak, so the achieved bandwidth is
+//
+//	bw(S) = S/t = peak * S / (S + peak*t0).
+//
+// The half-saturation size peak*t0 grows with the peak, which matches
+// the observation in the paper (Sec. 2.3) that transfers must exceed
+// roughly 1e5 bytes before fast links pay off.
+package linkmodel
+
+import "mapa/internal/topology"
+
+// StartupLatency is the per-transfer fixed cost t0 in seconds. With the
+// Table 1 peaks this puts the half-saturation point of a double NVLink
+// at 50 GB/s * 10 us = 500 KB, squarely in the 1e5-1e6 byte region the
+// paper identifies.
+const StartupLatency = 10e-6
+
+// HalfSaturation returns the transfer size (bytes) at which the link
+// achieves half its peak bandwidth.
+func HalfSaturation(l topology.LinkType) float64 {
+	return l.Bandwidth() * 1e9 * StartupLatency
+}
+
+// Achieved returns the bandwidth in GB/s achieved by a transfer of
+// size bytes over the given link type. It is 0 for non-positive sizes
+// and approaches the Table 1 peak as size grows.
+func Achieved(l topology.LinkType, size float64) float64 {
+	if size <= 0 {
+		return 0
+	}
+	peak := l.Bandwidth()
+	return peak * size / (size + HalfSaturation(l))
+}
+
+// Ramp returns the saturation fraction in [0,1) for a transfer of the
+// given size on the link: Achieved = peak * Ramp.
+func Ramp(l topology.LinkType, size float64) float64 {
+	if size <= 0 {
+		return 0
+	}
+	return size / (size + HalfSaturation(l))
+}
+
+// TransferTime returns the seconds needed to move size bytes across the
+// link, including the startup latency. Zero-size transfers still pay
+// the startup cost.
+func TransferTime(l topology.LinkType, size float64) float64 {
+	if size < 0 {
+		size = 0
+	}
+	return StartupLatency + size/(l.Bandwidth()*1e9)
+}

@@ -1,0 +1,119 @@
+package linkmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mapa/internal/topology"
+)
+
+func TestAchievedApproachesPeak(t *testing.T) {
+	for _, l := range topology.AllLinkTypes() {
+		bw := Achieved(l, 1e9)
+		if bw >= l.Bandwidth() {
+			t.Errorf("%s: achieved %g must stay below peak %g", l, bw, l.Bandwidth())
+		}
+		if bw < 0.9*l.Bandwidth() {
+			t.Errorf("%s: achieved %g at 1 GB should be >90%% of peak %g", l, bw, l.Bandwidth())
+		}
+	}
+}
+
+func TestAchievedSmallTransfersSlow(t *testing.T) {
+	// Fig. 2a: below ~1e5 bytes no link achieves much of its peak.
+	for _, l := range []topology.LinkType{topology.LinkPCIe, topology.LinkNVLink2, topology.LinkNVLink2x2} {
+		if frac := Achieved(l, 1e4) / l.Bandwidth(); frac > 0.1 {
+			t.Errorf("%s: 10 KB transfer achieves %.0f%% of peak, want <10%%", l, frac*100)
+		}
+	}
+}
+
+func TestLinkOrderingPreservedAtAllSizes(t *testing.T) {
+	// Fig. 2a: the relative performance of link types holds across
+	// transfer sizes (double > single > PCIe).
+	for _, size := range []float64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9} {
+		d := Achieved(topology.LinkNVLink2x2, size)
+		s := Achieved(topology.LinkNVLink2, size)
+		p := Achieved(topology.LinkPCIe, size)
+		if !(d > s && s > p) {
+			t.Errorf("size %g: ordering violated: double %g single %g pcie %g", size, d, s, p)
+		}
+	}
+}
+
+func TestHalfSaturation(t *testing.T) {
+	for _, l := range topology.AllLinkTypes() {
+		half := HalfSaturation(l)
+		got := Achieved(l, half)
+		if math.Abs(got-l.Bandwidth()/2) > 1e-9 {
+			t.Errorf("%s: bw at half-saturation = %g, want %g", l, got, l.Bandwidth()/2)
+		}
+	}
+	// Doubles saturate later than PCIe: bigger transfers needed.
+	if HalfSaturation(topology.LinkNVLink2x2) <= HalfSaturation(topology.LinkPCIe) {
+		t.Error("faster links should require larger transfers to saturate")
+	}
+}
+
+func TestZeroAndNegativeSizes(t *testing.T) {
+	if Achieved(topology.LinkPCIe, 0) != 0 || Achieved(topology.LinkPCIe, -5) != 0 {
+		t.Error("non-positive sizes should achieve zero bandwidth")
+	}
+	if Ramp(topology.LinkPCIe, 0) != 0 {
+		t.Error("ramp at 0 should be 0")
+	}
+	if got := TransferTime(topology.LinkPCIe, -1); got != StartupLatency {
+		t.Errorf("negative size transfer time = %g, want startup latency", got)
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	prev := 0.0
+	for _, size := range []float64{0, 1e3, 1e6, 1e9} {
+		tt := TransferTime(topology.LinkNVLink2, size)
+		if tt <= prev && size > 0 {
+			t.Errorf("transfer time not increasing at size %g", size)
+		}
+		prev = tt
+	}
+}
+
+// Property: Achieved = peak * Ramp, and Ramp is within [0,1).
+func TestAchievedRampConsistency(t *testing.T) {
+	f := func(sizeRaw uint32) bool {
+		size := float64(sizeRaw)
+		for _, l := range topology.AllLinkTypes() {
+			r := Ramp(l, size)
+			if r < 0 || r >= 1 {
+				return false
+			}
+			if math.Abs(Achieved(l, size)-l.Bandwidth()*r) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: achieved bandwidth is monotonically non-decreasing in size.
+func TestAchievedMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		lo, hi := float64(a), float64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for _, l := range topology.AllLinkTypes() {
+			if Achieved(l, lo) > Achieved(l, hi)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

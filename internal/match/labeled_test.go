@@ -1,0 +1,97 @@
+package match
+
+import (
+	"testing"
+
+	"mapa/internal/topology"
+)
+
+func TestEnumerateLabeledNilPredicate(t *testing.T) {
+	data := complete(5)
+	p := ring(3)
+	raw := CountEmbeddings(p, data)
+	n := 0
+	EnumerateLabeled(p, data, nil, func(Match) bool {
+		n++
+		return true
+	})
+	if n != raw {
+		t.Fatalf("nil predicate: %d vs %d", n, raw)
+	}
+}
+
+func TestEnumerateLabeledFiltersVertices(t *testing.T) {
+	data := complete(5)
+	p := chain(2)
+	// Only even data vertices may host anything.
+	even := func(_, d int) bool { return d%2 == 0 }
+	var got [][]int
+	EnumerateLabeled(p, data, even, func(m Match) bool {
+		got = append(got, m.DataVertices())
+		return true
+	})
+	// Even vertices of K5: {0, 2, 4}; ordered pairs: 3*2 = 6.
+	if len(got) != 6 {
+		t.Fatalf("matches = %d, want 6", len(got))
+	}
+	for _, vs := range got {
+		for _, v := range vs {
+			if v%2 != 0 {
+				t.Fatalf("odd vertex %d matched", v)
+			}
+		}
+	}
+}
+
+func TestEnumerateLabeledPerVertexConstraint(t *testing.T) {
+	// Pattern vertex 0 is "the root" and may only map to data vertex 3.
+	data := complete(4)
+	p := chain(3) // vertices 0-1-2
+	rootOnly3 := func(pv, dv int) bool {
+		if pv == 0 {
+			return dv == 3
+		}
+		return true
+	}
+	EnumerateLabeled(p, data, rootOnly3, func(m Match) bool {
+		if d, _ := m.MappingOf(0); d != 3 {
+			t.Fatalf("pattern 0 mapped to %d", d)
+		}
+		return true
+	})
+}
+
+func TestFindAllLabeledDeduped(t *testing.T) {
+	top := topology.DGXV100()
+	p := ring(3)
+	// Restrict to socket 0 GPUs {0..3}: triangles C(4,3) = 4 on the
+	// complete hardware graph.
+	socket0 := func(_, d int) bool { return d < 4 }
+	ms := FindAllLabeledDeduped(p, top.Graph, socket0)
+	if len(ms) != 4 {
+		t.Fatalf("deduped socket-0 triangles = %d, want 4", len(ms))
+	}
+	for _, m := range ms {
+		for _, v := range m.DataVertices() {
+			if v >= 4 {
+				t.Fatalf("match escaped socket 0: %v", m.DataVertices())
+			}
+		}
+	}
+}
+
+func TestHasLabeledMatch(t *testing.T) {
+	data := complete(4)
+	p := ring(3)
+	if !HasLabeledMatch(p, data, nil) {
+		t.Fatal("unrestricted match should exist")
+	}
+	none := func(_, _ int) bool { return false }
+	if HasLabeledMatch(p, data, none) {
+		t.Fatal("all-false predicate should block every match")
+	}
+	onlyTwo := func(_, d int) bool { return d < 2 }
+	if HasLabeledMatch(p, data, onlyTwo) {
+		t.Fatal("two compatible vertices cannot host a triangle")
+	}
+}

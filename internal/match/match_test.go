@@ -1,0 +1,360 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mapa/internal/graph"
+	"mapa/internal/topology"
+)
+
+func ring(k int) *graph.Graph {
+	g := graph.New()
+	for v := 0; v < k; v++ {
+		g.MustAddEdge(v, (v+1)%k, 1, 0)
+	}
+	return g
+}
+
+func chain(k int) *graph.Graph {
+	g := graph.New()
+	if k == 1 {
+		g.AddVertex(0)
+		return g
+	}
+	for v := 0; v+1 < k; v++ {
+		g.MustAddEdge(v, v+1, 1, 0)
+	}
+	return g
+}
+
+func complete(n int) *graph.Graph {
+	g := graph.New()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v, 1, 0)
+		}
+	}
+	return g
+}
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+func TestFindAllCountsOnCompleteGraph(t *testing.T) {
+	// On K_n, the number of raw embeddings of any k-vertex pattern is
+	// n!/(n-k)! (every injection works).
+	for _, tc := range []struct{ k, n int }{{2, 4}, {3, 5}, {4, 6}} {
+		p := ring(tc.k)
+		if tc.k == 2 {
+			p = chain(2)
+		}
+		got := CountEmbeddings(p, complete(tc.n))
+		want := factorial(tc.n) / factorial(tc.n-tc.k)
+		if got != want {
+			t.Errorf("k=%d n=%d: embeddings = %d, want %d", tc.k, tc.n, got, want)
+		}
+	}
+}
+
+func TestAutomorphismCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *graph.Graph
+		want int
+	}{
+		{"ring3", ring(3), 6},   // dihedral group D3
+		{"ring4", ring(4), 8},   // D4
+		{"ring5", ring(5), 10},  // D5
+		{"chain2", chain(2), 2}, // swap
+		{"chain3", chain(3), 2}, // reflection
+		{"chain4", chain(4), 2},
+		{"K4", complete(4), 24}, // S4
+	}
+	for _, tc := range cases {
+		if got := Automorphisms(tc.p); got != tc.want {
+			t.Errorf("%s: Aut = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestStar(t *testing.T) {
+	star := graph.New()
+	for leaf := 1; leaf <= 3; leaf++ {
+		star.MustAddEdge(0, leaf, 1, 0)
+	}
+	if got := Automorphisms(star); got != 6 { // 3! leaf permutations
+		t.Errorf("star Aut = %d, want 6", got)
+	}
+	// A star cannot embed into a ring (no vertex of degree 3).
+	if HasMatch(star, ring(6)) {
+		t.Error("star should not match a ring")
+	}
+	if !HasMatch(star, complete(4)) {
+		t.Error("star should match K4")
+	}
+}
+
+func TestDedupedCountsOnCompleteGraph(t *testing.T) {
+	// On K_n each equivalence class has exactly |Aut(P)| raw
+	// embeddings, so deduped = raw / |Aut|.
+	for _, k := range []int{3, 4, 5} {
+		p := ring(k)
+		data := complete(6)
+		raw := CountEmbeddings(p, data)
+		ded := len(FindAllDeduped(p, data))
+		if aut := Automorphisms(p); ded*aut != raw {
+			t.Errorf("ring%d on K6: deduped %d * aut %d != raw %d", k, ded, aut, raw)
+		}
+	}
+}
+
+func TestDedupedRing3OnDGXV(t *testing.T) {
+	// The DGX-V hardware graph is complete on 8 vertices, so a 3-ring
+	// has C(8,3) = 56 distinct matches (triangle edge set is determined
+	// by the vertex set).
+	top := topology.DGXV100()
+	got := len(FindAllDeduped(ring(3), top.Graph))
+	if got != 56 {
+		t.Errorf("deduped 3-ring matches on DGX-V = %d, want 56", got)
+	}
+}
+
+func TestDedupedRing4OnDGXV(t *testing.T) {
+	// For a 4-ring on a complete graph, each 4-subset supports
+	// 4!/|D4| = 3 distinct edge sets, so C(8,4)*3 = 210.
+	top := topology.DGXV100()
+	got := len(FindAllDeduped(ring(4), top.Graph))
+	if got != 210 {
+		t.Errorf("deduped 4-ring matches on DGX-V = %d, want 210", got)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	n := 0
+	Enumerate(ring(3), complete(5), func(Match) bool {
+		n++
+		return n < 4
+	})
+	if n != 4 {
+		t.Errorf("early stop saw %d matches, want 4", n)
+	}
+}
+
+func TestPatternLargerThanDataHasNoMatch(t *testing.T) {
+	if HasMatch(ring(5), complete(4)) {
+		t.Error("5-ring cannot embed into K4")
+	}
+	if got := FindAll(ring(5), complete(4)); got != nil {
+		t.Errorf("FindAll should be empty, got %d", len(got))
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	if HasMatch(graph.New(), complete(3)) {
+		t.Error("empty pattern should produce no matches")
+	}
+}
+
+func TestSingleVertexPattern(t *testing.T) {
+	p := graph.New()
+	p.AddVertex(7)
+	ms := FindAll(p, complete(3))
+	if len(ms) != 3 {
+		t.Fatalf("single-vertex pattern matches = %d, want 3", len(ms))
+	}
+	for _, m := range ms {
+		if !IsEmbedding(p, complete(3), m) {
+			t.Errorf("invalid embedding %+v", m)
+		}
+	}
+}
+
+func TestRingDoesNotMatchSparseGraph(t *testing.T) {
+	// A 4-ring cannot embed into a 4-chain.
+	if HasMatch(ring(4), chain(4)) {
+		t.Error("4-ring should not match 4-chain")
+	}
+	// But a 3-chain embeds into a 4-ring.
+	if !HasMatch(chain(3), ring(4)) {
+		t.Error("3-chain should match 4-ring")
+	}
+}
+
+func TestMatchAccessors(t *testing.T) {
+	p := chain(2)
+	data := complete(3)
+	ms := FindAll(p, data)
+	if len(ms) != 6 {
+		t.Fatalf("matches = %d, want 6", len(ms))
+	}
+	m := ms[0]
+	if vs := m.DataVertices(); len(vs) != 2 || vs[0] > vs[1] {
+		t.Errorf("DataVertices not sorted: %v", vs)
+	}
+	if _, ok := m.MappingOf(0); !ok {
+		t.Error("MappingOf(0) missing")
+	}
+	if _, ok := m.MappingOf(42); ok {
+		t.Error("MappingOf(42) should be absent")
+	}
+	if es := m.UsedEdges(p, data); len(es) != 1 {
+		t.Errorf("UsedEdges = %v, want one edge", es)
+	}
+}
+
+func TestIsEmbeddingRejectsBadMappings(t *testing.T) {
+	p := chain(2)
+	data := complete(3)
+	bad := []Match{
+		{Pattern: []int{0, 1}, Data: []int{0, 0}},    // not injective
+		{Pattern: []int{0, 1}, Data: []int{0, 99}},   // unknown data vertex
+		{Pattern: []int{0, 0}, Data: []int{0, 1}},    // duplicate pattern vertex
+		{Pattern: []int{0}, Data: []int{0}},          // wrong arity
+		{Pattern: []int{0, 1}, Data: []int{0, 1, 2}}, // mismatched lengths
+	}
+	for i, m := range bad {
+		if IsEmbedding(p, data, m) {
+			t.Errorf("case %d: IsEmbedding accepted invalid mapping %+v", i, m)
+		}
+	}
+}
+
+func TestIsEmbeddingRejectsMissingEdge(t *testing.T) {
+	p := ring(3)
+	data := chain(3) // has only 2 edges
+	m := Match{Pattern: []int{0, 1, 2}, Data: []int{0, 1, 2}}
+	if IsEmbedding(p, data, m) {
+		t.Error("embedding with missing data edge accepted")
+	}
+}
+
+func TestUsedEdgesPanicsOnInvalidEmbedding(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UsedEdges on invalid embedding should panic")
+		}
+	}()
+	m := Match{Pattern: []int{0, 1, 2}, Data: []int{0, 1, 2}}
+	m.UsedEdges(ring(3), chain(3))
+}
+
+func TestKeyStableAcrossAutomorphicMatches(t *testing.T) {
+	p := ring(3)
+	data := complete(3)
+	ms := FindAll(p, data)
+	if len(ms) != 6 {
+		t.Fatalf("matches = %d", len(ms))
+	}
+	key := ms[0].Key(p, data)
+	for _, m := range ms[1:] {
+		if m.Key(p, data) != key {
+			t.Errorf("automorphic match has different key: %q vs %q", m.Key(p, data), key)
+		}
+	}
+}
+
+func TestMatchOrderConnected(t *testing.T) {
+	p := ring(5)
+	order := matchOrder(p)
+	if len(order) != 5 {
+		t.Fatalf("order = %v", order)
+	}
+	seen := map[int]bool{order[0]: true}
+	for _, v := range order[1:] {
+		connected := false
+		for _, u := range p.Neighbors(v) {
+			if seen[u] {
+				connected = true
+			}
+		}
+		if !connected {
+			t.Errorf("order %v disconnects at %d", order, v)
+		}
+		seen[v] = true
+	}
+}
+
+// Property: every match returned by FindAll is a valid embedding, and
+// deduped matches have pairwise-distinct keys.
+func TestAllMatchesValidProperty(t *testing.T) {
+	top := topology.DGXV100()
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%4) + 2
+		r := rand.New(rand.NewSource(seed))
+		var p *graph.Graph
+		if r.Intn(2) == 0 {
+			p = ring(k)
+		} else {
+			p = chain(k)
+		}
+		ms := FindAllDeduped(p, top.Graph)
+		keys := make(map[string]bool)
+		for _, m := range ms {
+			if !IsEmbedding(p, top.Graph, m) {
+				return false
+			}
+			key := m.Key(p, top.Graph)
+			if keys[key] {
+				return false
+			}
+			keys[key] = true
+		}
+		return len(ms) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: raw count equals deduped count times |Aut| on complete data
+// graphs.
+func TestOrbitSizeProperty(t *testing.T) {
+	f := func(kRaw, nRaw uint8) bool {
+		k := int(kRaw%3) + 3 // 3..5
+		n := int(nRaw%2) + 6 // 6..7
+		p := ring(k)
+		data := complete(n)
+		return CountEmbeddings(p, data) == len(FindAllDeduped(p, data))*Automorphisms(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindAllMatchesAgainstBruteForce(t *testing.T) {
+	// Verify the VF2-style search against exhaustive permutation
+	// checking on a sparse data graph where pruning actually matters.
+	data := graph.New()
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}, {3, 4}}
+	for _, e := range edges {
+		data.MustAddEdge(e[0], e[1], 1, 0)
+	}
+	p := ring(3)
+	got := CountEmbeddings(p, data)
+
+	// Brute force: try all ordered triples.
+	want := 0
+	vs := data.Vertices()
+	for _, a := range vs {
+		for _, b := range vs {
+			for _, c := range vs {
+				if a == b || b == c || a == c {
+					continue
+				}
+				if data.HasEdge(a, b) && data.HasEdge(b, c) && data.HasEdge(c, a) {
+					want++
+				}
+			}
+		}
+	}
+	if got != want {
+		t.Errorf("embeddings = %d, brute force = %d", got, want)
+	}
+}

@@ -1,0 +1,230 @@
+// Package mig implements the virtualized-accelerator extension the
+// paper sketches (Sec. 3.2/3.3): NVIDIA Multi-Instance GPU partitions
+// one physical GPU into up to seven isolated instances, so jobs map
+// many-to-one onto hardware. Following the paper's proposal, virtual
+// GPUs become separate vertices of the hardware graph, vertices are
+// labeled with the fraction of physical resources they carry, and
+// allocation uses label-aware pattern matching (a job may demand a
+// minimum compute fraction per accelerator).
+//
+// Link model for a split GPU (conservative, interference-aware per the
+// paper's note): sibling instances communicate over the on-die path
+// (LinkIntraGPU); the physical GPU's NVLink ports remain attached to
+// its first instance; the remaining instances reach other devices over
+// the PCIe/host path.
+package mig
+
+import (
+	"fmt"
+	"sort"
+
+	"mapa/internal/effbw"
+	"mapa/internal/graph"
+	"mapa/internal/match"
+	"mapa/internal/score"
+	"mapa/internal/topology"
+)
+
+// MaxInstances is the MIG hardware limit per physical GPU.
+const MaxInstances = 7
+
+// VirtualTopology is a machine whose physical GPUs may be split into
+// MIG instances.
+type VirtualTopology struct {
+	// Topology is the virtual machine: one vertex per instance.
+	*topology.Topology
+	// PhysicalOf maps virtual GPU ID to its physical GPU ID.
+	PhysicalOf map[int]int
+	// Fraction maps virtual GPU ID to its share of the physical
+	// device's compute resources (1.0 for unsplit GPUs).
+	Fraction map[int]float64
+}
+
+// Split partitions the given physical GPUs into MIG instances.
+// slices maps physical GPU ID to instance count (1..MaxInstances);
+// GPUs not listed remain whole. Virtual IDs are assigned contiguously
+// in ascending physical-GPU order, so an unsplit machine keeps its
+// numbering.
+func Split(top *topology.Topology, slices map[int]int) (*VirtualTopology, error) {
+	for g, n := range slices {
+		if !top.Graph.HasVertex(g) {
+			return nil, fmt.Errorf("mig: physical GPU %d not in topology %s", g, top.Name)
+		}
+		if n < 1 || n > MaxInstances {
+			return nil, fmt.Errorf("mig: GPU %d split into %d instances; MIG supports 1..%d", g, n, MaxInstances)
+		}
+	}
+
+	physical := top.GPUs()
+	physOf := make(map[int]int)
+	fraction := make(map[int]float64)
+	firstInstance := make(map[int]int) // physical -> virtual id of instance 0
+	instances := make(map[int][]int)   // physical -> all virtual ids
+	next := 0
+	for _, g := range physical {
+		n := slices[g]
+		if n == 0 {
+			n = 1
+		}
+		firstInstance[g] = next
+		for i := 0; i < n; i++ {
+			physOf[next] = g
+			fraction[next] = 1 / float64(n)
+			instances[g] = append(instances[g], next)
+			next++
+		}
+	}
+
+	phys := graph.New()
+	for v := 0; v < next; v++ {
+		phys.AddVertex(v)
+	}
+	// Sibling instances: on-die path.
+	for _, vs := range instances {
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				phys.MustAddEdge(vs[i], vs[j], topology.LinkIntraGPU.Bandwidth(), int(topology.LinkIntraGPU))
+			}
+		}
+	}
+	// Physical NVLink ports stay with instance 0 of each device.
+	for _, e := range top.Physical.Edges() {
+		phys.MustAddEdge(firstInstance[e.U], firstInstance[e.V], e.Weight, e.Label)
+	}
+	// Complete the hardware graph with the PCIe/host fallback.
+	full := phys.Clone()
+	for u := 0; u < next; u++ {
+		for v := u + 1; v < next; v++ {
+			if !full.HasEdge(u, v) {
+				full.MustAddEdge(u, v, topology.LinkPCIe.Bandwidth(), int(topology.LinkPCIe))
+			}
+		}
+	}
+
+	// Sockets: instances inherit their physical GPU's socket.
+	var sockets [][]int
+	for _, s := range top.SortedSockets() {
+		var vs []int
+		for _, g := range s {
+			vs = append(vs, instances[g]...)
+		}
+		sort.Ints(vs)
+		sockets = append(sockets, vs)
+	}
+
+	vt := &VirtualTopology{
+		Topology: &topology.Topology{
+			Name:     top.Name + "+MIG",
+			Graph:    full,
+			Physical: phys,
+			Sockets:  sockets,
+		},
+		PhysicalOf: physOf,
+		Fraction:   fraction,
+	}
+	if err := vt.Validate(); err != nil {
+		return nil, err
+	}
+	return vt, nil
+}
+
+// Instances returns the virtual IDs hosted by the physical GPU, in
+// ascending order.
+func (vt *VirtualTopology) Instances(physical int) []int {
+	var out []int
+	for v, p := range vt.PhysicalOf {
+		if p == physical {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Compatible returns the label-aware matching predicate for a job that
+// needs at least minFraction of a physical GPU per requested
+// accelerator.
+func (vt *VirtualTopology) Compatible(minFraction float64) match.Compatible {
+	return func(_, dataVertex int) bool {
+		return vt.Fraction[dataVertex] >= minFraction-1e-12
+	}
+}
+
+// Request is a MIG-aware allocation request.
+type Request struct {
+	// Pattern is the application communication graph.
+	Pattern *graph.Graph
+	// Sensitive is the bandwidth-sensitivity annotation.
+	Sensitive bool
+	// MinFraction is the minimum compute fraction each accelerator
+	// must provide (0 accepts any slice; 1 demands whole GPUs).
+	MinFraction float64
+}
+
+// Allocation is a MIG-aware decision.
+type Allocation struct {
+	// GPUs are virtual IDs.
+	GPUs []int
+	// Physical are the distinct physical devices touched.
+	Physical []int
+	Scores   score.Scores
+}
+
+// Allocate runs the Preserve selection (Algorithm 1) over
+// label-compatible matches on the available virtual graph: sensitive
+// jobs maximize predicted effective bandwidth, insensitive jobs
+// maximize preserved bandwidth. avail must be an induced subgraph of
+// the virtual hardware graph. A nil scorer trains/defaults as
+// score.NewScorer does.
+func (vt *VirtualTopology) Allocate(avail *graph.Graph, s *score.Scorer, req Request) (Allocation, error) {
+	if req.Pattern == nil || req.Pattern.NumVertices() < 1 {
+		return Allocation{}, fmt.Errorf("mig: empty request")
+	}
+	if req.Pattern.NumVertices() > avail.NumVertices() {
+		return Allocation{}, fmt.Errorf("mig: %d accelerators requested, %d available", req.Pattern.NumVertices(), avail.NumVertices())
+	}
+	if s == nil {
+		s = score.NewScorer(effbw.PaperModel())
+	}
+	seen := make(map[string]bool)
+	var best Allocation
+	found := false
+	better := func(a, b score.Scores) bool {
+		if req.Sensitive {
+			if b.EffBW != a.EffBW {
+				return b.EffBW > a.EffBW
+			}
+			return b.PreservedBW > a.PreservedBW
+		}
+		if b.PreservedBW != a.PreservedBW {
+			return b.PreservedBW > a.PreservedBW
+		}
+		return b.EffBW > a.EffBW
+	}
+	match.EnumerateLabeled(req.Pattern, avail, vt.Compatible(req.MinFraction), func(m match.Match) bool {
+		key := m.Key(req.Pattern, avail)
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		sc := s.Score(vt.Topology, req.Pattern, avail, m)
+		if !found || better(best.Scores, sc) {
+			physSet := make(map[int]bool)
+			for _, v := range m.DataVertices() {
+				physSet[vt.PhysicalOf[v]] = true
+			}
+			phys := make([]int, 0, len(physSet))
+			for p := range physSet {
+				phys = append(phys, p)
+			}
+			sort.Ints(phys)
+			best = Allocation{GPUs: m.DataVertices(), Physical: phys, Scores: sc}
+			found = true
+		}
+		return true
+	})
+	if !found {
+		return Allocation{}, fmt.Errorf("mig: no allocation satisfies min fraction %.2f", req.MinFraction)
+	}
+	return best, nil
+}

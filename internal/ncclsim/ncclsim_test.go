@@ -1,0 +1,302 @@
+package ncclsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mapa/internal/topology"
+)
+
+func TestTwoGPUEffBWMatchesLinkClass(t *testing.T) {
+	top := topology.DGXV100()
+	cases := []struct {
+		gpus []int
+		want float64
+	}{
+		{[]int{0, 4}, 50}, // double NVLink pair (paper's GPUs 1 and 5)
+		{[]int{0, 1}, 25}, // single NVLink pair (GPUs 1 and 2)
+		{[]int{0, 5}, 12}, // PCIe-only pair (GPUs 1 and 6)
+	}
+	for _, tc := range cases {
+		if got := PeakEffectiveBandwidth(top, tc.gpus); got != tc.want {
+			t.Errorf("PeakEffBW(%v) = %g, want %g", tc.gpus, got, tc.want)
+		}
+	}
+}
+
+func TestPCIeRingIsMarked(t *testing.T) {
+	top := topology.DGXV100()
+	res := Decompose(top, []int{0, 5})
+	if len(res.Rings) != 1 || !res.Rings[0].UsesPCIe {
+		t.Fatalf("PCIe pair decomposition = %+v", res)
+	}
+	if res.Rings[0].BottleneckLink != topology.LinkPCIe {
+		t.Errorf("bottleneck link = %s", res.Rings[0].BottleneckLink)
+	}
+}
+
+func TestFullDGXVDoubleAndSingleRings(t *testing.T) {
+	// DGX-1V is designed so the 8 double links form one Hamiltonian
+	// ring and the 8 single links another; an 8-GPU allocation should
+	// find both: 50 + 25 = 75 GB/s.
+	top := topology.DGXV100()
+	res := Decompose(top, top.GPUs())
+	if res.PeakEffBW != 75 {
+		t.Fatalf("8-GPU PeakEffBW = %g, want 75 (rings: %+v)", res.PeakEffBW, res.Rings)
+	}
+	if len(res.Rings) != 2 {
+		t.Fatalf("ring count = %d, want 2", len(res.Rings))
+	}
+	if res.Rings[0].Bottleneck != 50 || res.Rings[1].Bottleneck != 25 {
+		t.Errorf("ring bottlenecks = %g, %g", res.Rings[0].Bottleneck, res.Rings[1].Bottleneck)
+	}
+	for _, r := range res.Rings {
+		if r.UsesPCIe {
+			t.Error("full-machine rings should be NVLink-only")
+		}
+	}
+}
+
+func TestTriangleBottleneck(t *testing.T) {
+	// The paper's ideal 3-GPU allocation {0,2,3} is one single plus two
+	// double links; the NVLink triangle bottlenecks at the single: 25.
+	top := topology.DGXV100()
+	if got := PeakEffectiveBandwidth(top, []int{0, 2, 3}); got != 25 {
+		t.Errorf("PeakEffBW({0,2,3}) = %g, want 25", got)
+	}
+}
+
+func TestFragmentedAllocationFallsBackToPCIe(t *testing.T) {
+	// {0,1,4}: 0-1 single, 0-4 double, but 1-4 has no NVLink, so no
+	// NVLink-only triangle exists; one host-path ring is built and the
+	// bottleneck is PCIe class.
+	top := topology.DGXV100()
+	res := Decompose(top, []int{0, 1, 4})
+	if len(res.Rings) != 1 || !res.Rings[0].UsesPCIe {
+		t.Fatalf("fragmented decomposition = %+v", res)
+	}
+	if res.PeakEffBW != 12 {
+		t.Errorf("PeakEffBW = %g, want 12", res.PeakEffBW)
+	}
+}
+
+func TestBetterAllocationsGetMoreBandwidth(t *testing.T) {
+	// The core premise of the paper: allocation choice changes
+	// effective bandwidth.
+	top := topology.DGXV100()
+	good := PeakEffectiveBandwidth(top, []int{0, 2, 3})  // NVLink triangle
+	bad := PeakEffectiveBandwidth(top, []int{0, 1, 4})   // fragmented
+	worse := PeakEffectiveBandwidth(top, []int{0, 5, 7}) // no NVLink at all
+	if !(good > bad && bad >= worse) {
+		t.Errorf("ordering violated: good=%g bad=%g worse=%g", good, bad, worse)
+	}
+}
+
+func TestFourGPUQuad(t *testing.T) {
+	// Quad {0,1,2,3}: NVLink-complete. Greedy ring layering achieves
+	// two 25 GB/s rings (the 4-cycles must traverse at least one
+	// single link or split doubles).
+	top := topology.DGXV100()
+	got := PeakEffectiveBandwidth(top, []int{0, 1, 2, 3})
+	if got < 50 {
+		t.Errorf("PeakEffBW(quad) = %g, want >= 50", got)
+	}
+}
+
+func TestSingleAndEmptyAllocations(t *testing.T) {
+	top := topology.DGXV100()
+	if got := PeakEffectiveBandwidth(top, []int{3}); got != 0 {
+		t.Errorf("1-GPU EffBW = %g, want 0", got)
+	}
+	if got := PeakEffectiveBandwidth(top, nil); got != 0 {
+		t.Errorf("0-GPU EffBW = %g, want 0", got)
+	}
+	if got := AllReduceTime(top, []int{3}, 1e6); got != 0 {
+		t.Errorf("1-GPU AllReduceTime = %g, want 0", got)
+	}
+}
+
+func TestUnknownGPUPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown GPU should panic")
+		}
+	}()
+	PeakEffectiveBandwidth(topology.DGXV100(), []int{0, 42})
+}
+
+func TestEffectiveBandwidthRampsWithSize(t *testing.T) {
+	// Fig. 2a behaviour at the allocation level.
+	top := topology.DGXV100()
+	gpus := []int{0, 4}
+	small := EffectiveBandwidth(top, gpus, 1e4)
+	mid := EffectiveBandwidth(top, gpus, 1e6)
+	big := EffectiveBandwidth(top, gpus, 1e9)
+	if !(small < mid && mid < big) {
+		t.Errorf("ramp violated: %g, %g, %g", small, mid, big)
+	}
+	if big > PeakEffectiveBandwidth(top, gpus) {
+		t.Errorf("sized EffBW %g exceeds peak", big)
+	}
+	if small > 0.1*big {
+		t.Errorf("10 KB messages should be far from peak: %g vs %g", small, big)
+	}
+}
+
+func TestAllReduceTimeScalesWithBytesAndLinks(t *testing.T) {
+	top := topology.DGXV100()
+	fast := AllReduceTime(top, []int{0, 4}, 1e8) // double NVLink
+	slow := AllReduceTime(top, []int{0, 5}, 1e8) // PCIe
+	if fast >= slow {
+		t.Errorf("double NVLink all-reduce (%g s) should beat PCIe (%g s)", fast, slow)
+	}
+	small := AllReduceTime(top, []int{0, 4}, 1e4)
+	if small >= fast {
+		t.Errorf("smaller message should be faster: %g vs %g", small, fast)
+	}
+	if AllReduceTime(top, []int{0, 4}, 0) != 0 {
+		t.Error("zero bytes should take zero time")
+	}
+}
+
+func TestSummitSocketAllocation(t *testing.T) {
+	top := topology.Summit()
+	// In-socket triple: double-NVLink triangle, bottleneck 50. The
+	// decomposition should find the 50 ring (and nothing more, since
+	// the triangle is exhausted after one layer).
+	if got := PeakEffectiveBandwidth(top, []int{0, 1, 2}); got != 50 {
+		t.Errorf("Summit socket EffBW = %g, want 50", got)
+	}
+	// Cross-socket pair only has the X-bus.
+	if got := PeakEffectiveBandwidth(top, []int{0, 3}); got != 12 {
+		t.Errorf("Summit cross-socket EffBW = %g, want 12", got)
+	}
+}
+
+func TestTorusRowRing(t *testing.T) {
+	top := topology.Torus2D()
+	// A full row {0,1,2,3} is a double-NVLink ring: 50, then exhausted.
+	if got := PeakEffectiveBandwidth(top, []int{0, 1, 2, 3}); got != 50 {
+		t.Errorf("torus row EffBW = %g, want 50", got)
+	}
+	// A column is a single-NVLink ring: 25.
+	if got := PeakEffectiveBandwidth(top, []int{0, 4, 8, 12}); got != 25 {
+		t.Errorf("torus column EffBW = %g, want 25", got)
+	}
+}
+
+func TestEdgeCapacities(t *testing.T) {
+	top := topology.DGXV100()
+	caps := EdgeCapacities(top, []int{0, 2, 3})
+	if len(caps) != 3 {
+		t.Fatalf("capacities = %v", caps)
+	}
+	if caps[[2]int{0, 2}] != 25 || caps[[2]int{0, 3}] != 50 || caps[[2]int{2, 3}] != 50 {
+		t.Errorf("capacities = %v", caps)
+	}
+}
+
+func TestUsedLinksAccounting(t *testing.T) {
+	top := topology.DGXV100()
+	res := Decompose(top, top.GPUs())
+	used := UsedLinks(top, res)
+	if used[topology.LinkNVLink2x2] != 8 || used[topology.LinkNVLink2] != 8 {
+		t.Errorf("used links = %v", used)
+	}
+}
+
+// Property: peak effective bandwidth is non-negative, bounded by the
+// total allocated NVLink capacity plus the PCIe pool, and rings are
+// valid Hamiltonian cycles over the allocation.
+func TestDecomposeInvariants(t *testing.T) {
+	tops := []*topology.Topology{
+		topology.DGXV100(), topology.DGXP100(), topology.Summit(),
+		topology.Torus2D(), topology.CubeMesh16(),
+	}
+	f := func(seed int64, topIdx, kRaw uint8) bool {
+		top := tops[int(topIdx)%len(tops)]
+		k := int(kRaw%5) + 2
+		if k > top.NumGPUs() {
+			k = top.NumGPUs()
+		}
+		r := rand.New(rand.NewSource(seed))
+		gpus := r.Perm(top.NumGPUs())[:k]
+		res := Decompose(top, gpus)
+		if res.PeakEffBW < 0 {
+			return false
+		}
+		var capTotal float64
+		for _, c := range EdgeCapacities(top, gpus) {
+			capTotal += c
+		}
+		capTotal += topology.LinkPCIe.Bandwidth() * float64(k) // generous PCIe bound
+		if res.PeakEffBW > capTotal+1e-9 {
+			return false
+		}
+		for _, ring := range res.Rings {
+			if len(ring.Order) != k {
+				return false
+			}
+			seen := make(map[int]bool)
+			for _, v := range ring.Order {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+			for _, g := range gpus {
+				if !seen[g] {
+					return false
+				}
+			}
+			if ring.Bottleneck < minBottleneck {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: effective bandwidth at any size never exceeds peak and is
+// monotone in message size.
+func TestEffBWRampProperty(t *testing.T) {
+	top := topology.DGXV100()
+	f := func(seed int64, kRaw uint8, aRaw, bRaw uint32) bool {
+		k := int(kRaw%4) + 2
+		r := rand.New(rand.NewSource(seed))
+		gpus := r.Perm(top.NumGPUs())[:k]
+		a, b := float64(aRaw), float64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		peak := PeakEffectiveBandwidth(top, gpus)
+		ea, eb := EffectiveBandwidth(top, gpus, a), EffectiveBandwidth(top, gpus, b)
+		return ea <= eb+1e-9 && eb <= peak+1e-9 && ea >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceFactorApproachesTwo(t *testing.T) {
+	// The ring all-reduce moves 2(k-1)/k of the data per GPU; check the
+	// time formula uses it by comparing 2-GPU and 8-GPU transfers over
+	// equivalent bandwidth.
+	top := topology.FullyConnected(8, topology.LinkNVLink2x2)
+	t2 := AllReduceTime(top, []int{0, 1}, 1e9)
+	t8 := AllReduceTime(top, top.GPUs(), 1e9)
+	// t ~ 2(k-1)/k / effBW; with layered rings the 8-GPU case has much
+	// more bandwidth, but per unit bandwidth the factor ratio is
+	// (2*7/8)/(2*1/2) = 1.75. Just check both are sane and positive.
+	if t2 <= 0 || t8 <= 0 {
+		t.Fatalf("times must be positive: %g, %g", t2, t8)
+	}
+	if math.IsInf(t8, 0) || math.IsNaN(t8) {
+		t.Fatal("invalid time")
+	}
+}

@@ -1,0 +1,125 @@
+package policy
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mapa/internal/graph"
+	"mapa/internal/match"
+	"mapa/internal/topology"
+)
+
+// SetParallelism configures a MAPA policy (greedy, preserve, and the
+// ablations) to score candidate matches with n worker goroutines.
+// The paper notes the scoring stage "is a data parallel problem"
+// (Sec. 5.4) whose parallelization reins in the overhead of Fig. 19;
+// this is that optimization. n < 2 restores single-threaded scoring.
+// Baseline and Topo-aware do not score candidate sets and ignore the
+// setting.
+//
+// The selected allocation is identical to the sequential one whenever
+// the candidate cap is not reached (the comparator is a strict total
+// order over the full deduplicated candidate set); under the cap, the
+// scanned subset may differ run to run.
+func SetParallelism(a Allocator, n int) {
+	if mp, ok := a.(*mapaPolicy); ok {
+		mp.workers = n
+	}
+}
+
+// DefaultParallelism is a reasonable worker count for parallel
+// scoring.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// beats reports whether candidate b strictly precedes candidate a in
+// the policy's total order: primary metric first, lexicographic GPU
+// set as the final tie-break.
+func (p *mapaPolicy) beats(req Request, a, b Allocation) bool {
+	if p.better(req, a.Scores, b.Scores) {
+		return true
+	}
+	if p.better(req, b.Scores, a.Scores) {
+		return false
+	}
+	return lexLess(b.GPUs, a.GPUs)
+}
+
+// allocateParallel is the worker-pool variant of Allocate: one
+// goroutine enumerates raw embeddings; w workers deduplicate (via a
+// shared concurrent set), score, and track local bests; a
+// deterministic reduction picks the winner. Deduplication and scoring
+// — the expensive stages — run in the workers.
+func (p *mapaPolicy) allocateParallel(avail *graph.Graph, top *topology.Topology, req Request, w int) (Allocation, error) {
+	const batchSize = 256
+	work := make(chan []match.Match, 4*w)
+	var stop atomic.Bool
+	go func() {
+		defer close(work)
+		batch := make([]match.Match, 0, batchSize)
+		match.Enumerate(req.Pattern, avail, func(m match.Match) bool {
+			if stop.Load() {
+				return false
+			}
+			batch = append(batch, m.Clone())
+			if len(batch) == batchSize {
+				work <- batch
+				batch = make([]match.Match, 0, batchSize)
+			}
+			return true
+		})
+		if len(batch) > 0 {
+			work <- batch
+		}
+	}()
+
+	var (
+		seen       sync.Map
+		candidates atomic.Int64
+	)
+	locals := make([]Allocation, w)
+	found := make([]bool, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for batch := range work {
+				if stop.Load() {
+					continue // drain so the producer can exit
+				}
+				for _, m := range batch {
+					key := m.Key(req.Pattern, avail)
+					if _, dup := seen.LoadOrStore(key, struct{}{}); dup {
+						continue
+					}
+					cand := scoreAllocation(p.scorer, avail, top, req, m)
+					if !found[slot] || p.beats(req, locals[slot], cand) {
+						locals[slot] = cand
+						found[slot] = true
+					}
+					if p.maxCandidates > 0 && candidates.Add(1) >= int64(p.maxCandidates) {
+						stop.Store(true)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var best Allocation
+	haveBest := false
+	for i := 0; i < w; i++ {
+		if !found[i] {
+			continue
+		}
+		if !haveBest || p.beats(req, best, locals[i]) {
+			best = locals[i]
+			haveBest = true
+		}
+	}
+	if !haveBest {
+		return Allocation{}, ErrNoAllocation
+	}
+	return best, nil
+}

@@ -1,0 +1,364 @@
+// Package policy implements the four allocation policies the paper
+// evaluates (Sec. 4) plus ablation variants:
+//
+//   - Baseline: lowest available GPU IDs, as nvidia-docker assigns.
+//   - TopoAware: recursive bi-partitioning (Amaral et al.), packing
+//     jobs under one PCIe tree / CPU socket where possible.
+//   - Greedy: MAPA pattern matching, selecting the match with maximum
+//     Aggregated Bandwidth (Eq. 1).
+//   - Preserve: MAPA's Algorithm 1 — bandwidth-sensitive jobs get the
+//     match with the highest Predicted Effective Bandwidth (Eq. 2);
+//     insensitive jobs get the match preserving the most remaining
+//     bandwidth (Eq. 3) for future sensitive jobs.
+//
+// Policies operate on the *available* hardware graph: the induced
+// subgraph of the machine's complete hardware graph over currently
+// free GPUs. They return the chosen GPU IDs together with the match
+// and scores that justified the choice.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mapa/internal/graph"
+	"mapa/internal/match"
+	"mapa/internal/score"
+	"mapa/internal/topology"
+)
+
+// ErrNoAllocation is returned when the request cannot be satisfied on
+// the available hardware (not enough free GPUs, or no embedding).
+var ErrNoAllocation = errors.New("policy: no feasible allocation")
+
+// Request describes one job's allocation needs.
+type Request struct {
+	// Pattern is the application communication graph; its vertex count
+	// is the number of GPUs requested.
+	Pattern *graph.Graph
+	// Sensitive is the job's bandwidth-sensitivity annotation
+	// (Algorithm 1 input).
+	Sensitive bool
+}
+
+// NumGPUs returns the GPU count the request asks for.
+func (r Request) NumGPUs() int { return r.Pattern.NumVertices() }
+
+// Allocation is a policy decision.
+type Allocation struct {
+	// GPUs are the chosen device IDs, ascending.
+	GPUs []int
+	// Match is the pattern embedding behind the choice. Policies that
+	// do not pattern-match (Baseline, TopoAware) synthesize an
+	// identity-order embedding for reporting.
+	Match match.Match
+	// Scores are the MAPA metrics of the chosen match.
+	Scores score.Scores
+}
+
+// Allocator is an allocation policy.
+type Allocator interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Allocate chooses GPUs for the request on the available graph.
+	// avail must be an induced subgraph of top.Graph over free GPUs.
+	Allocate(avail *graph.Graph, top *topology.Topology, req Request) (Allocation, error)
+}
+
+// DefaultMaxCandidates bounds how many deduplicated matches a MAPA
+// policy scores per decision, protecting against combinatorial blow-up
+// on large machines with large jobs (the regime Fig. 19 quantifies).
+// Zero means unlimited.
+const DefaultMaxCandidates = 250000
+
+func validate(avail *graph.Graph, req Request) error {
+	k := req.NumGPUs()
+	if k < 1 {
+		return fmt.Errorf("policy: request for %d GPUs: %w", k, ErrNoAllocation)
+	}
+	if k > avail.NumVertices() {
+		return ErrNoAllocation
+	}
+	return nil
+}
+
+// identityMatch embeds the pattern onto the chosen GPUs in sorted-ID
+// order, the way rank-ordered frameworks map devices when no matcher
+// is involved.
+func identityMatch(req Request, gpus []int) match.Match {
+	pv := req.Pattern.Vertices()
+	data := append([]int(nil), gpus...)
+	sort.Ints(data)
+	return match.Match{Pattern: pv, Data: data}
+}
+
+// scoreAllocation evaluates the MAPA metrics for a chosen embedding.
+func scoreAllocation(s *score.Scorer, avail *graph.Graph, top *topology.Topology, req Request, m match.Match) Allocation {
+	return Allocation{
+		GPUs:   m.DataVertices(),
+		Match:  m,
+		Scores: s.Score(top, req.Pattern, avail, m),
+	}
+}
+
+// Baseline allocates the lowest free GPU IDs, mirroring default GPU
+// assignment in container runtimes.
+type Baseline struct {
+	scorer *score.Scorer
+}
+
+// NewBaseline returns the baseline policy. scorer may be nil (paper
+// model) and is used only for reporting scores.
+func NewBaseline(s *score.Scorer) *Baseline {
+	return &Baseline{scorer: orDefault(s)}
+}
+
+func (b *Baseline) Name() string { return "baseline" }
+
+func (b *Baseline) Allocate(avail *graph.Graph, top *topology.Topology, req Request) (Allocation, error) {
+	if err := validate(avail, req); err != nil {
+		return Allocation{}, err
+	}
+	gpus := avail.Vertices()[:req.NumGPUs()]
+	return scoreAllocation(b.scorer, avail, top, req, identityMatch(req, gpus)), nil
+}
+
+// TopoAware implements the recursive bi-partitioning scheduler of
+// Amaral et al.: the machine is split into a partition tree (machine →
+// sockets → halves → ...); the job goes to the smallest partition that
+// still has enough free GPUs, which keeps allocations under one PCIe
+// tree when possible.
+type TopoAware struct {
+	scorer *score.Scorer
+}
+
+// NewTopoAware returns the topology-aware baseline policy.
+func NewTopoAware(s *score.Scorer) *TopoAware {
+	return &TopoAware{scorer: orDefault(s)}
+}
+
+func (t *TopoAware) Name() string { return "topo-aware" }
+
+// partitions returns the partition tree of the topology as a list of
+// GPU sets, smallest first: recursive halves of each socket, sockets,
+// then the whole machine.
+func partitions(top *topology.Topology) [][]int {
+	var out [][]int
+	var split func(set []int)
+	split = func(set []int) {
+		if len(set) == 0 {
+			return
+		}
+		out = append(out, set)
+		if len(set) <= 2 {
+			return
+		}
+		mid := len(set) / 2
+		split(set[:mid])
+		split(set[mid:])
+	}
+	sockets := top.SortedSockets()
+	if len(sockets) == 0 {
+		sockets = [][]int{top.GPUs()}
+	}
+	for _, s := range sockets {
+		split(s)
+	}
+	out = append(out, top.GPUs())
+	sort.Slice(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	return out
+}
+
+func (t *TopoAware) Allocate(avail *graph.Graph, top *topology.Topology, req Request) (Allocation, error) {
+	if err := validate(avail, req); err != nil {
+		return Allocation{}, err
+	}
+	k := req.NumGPUs()
+	for _, part := range partitions(top) {
+		var free []int
+		for _, g := range part {
+			if avail.HasVertex(g) {
+				free = append(free, g)
+			}
+		}
+		if len(free) >= k {
+			sort.Ints(free)
+			return scoreAllocation(t.scorer, avail, top, req, identityMatch(req, free[:k])), nil
+		}
+	}
+	// Partition tree always ends with the whole machine, so reaching
+	// here means not enough free GPUs anywhere.
+	return Allocation{}, ErrNoAllocation
+}
+
+// mapaPolicy is the shared pattern-match-then-select skeleton of the
+// MAPA policies (Fig. 7). better decides whether candidate b beats
+// current best a for the given request.
+type mapaPolicy struct {
+	name          string
+	scorer        *score.Scorer
+	maxCandidates int
+	workers       int
+	better        func(req Request, a, b score.Scores) bool
+}
+
+func (p *mapaPolicy) Name() string { return p.name }
+
+func (p *mapaPolicy) Allocate(avail *graph.Graph, top *topology.Topology, req Request) (Allocation, error) {
+	if err := validate(avail, req); err != nil {
+		return Allocation{}, err
+	}
+	if p.workers > 1 {
+		return p.allocateParallel(avail, top, req, p.workers)
+	}
+	seen := make(map[string]bool)
+	var best Allocation
+	found := false
+	candidates := 0
+	match.Enumerate(req.Pattern, avail, func(m match.Match) bool {
+		key := m.Key(req.Pattern, avail)
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		cand := scoreAllocation(p.scorer, avail, top, req, m.Clone())
+		if !found || p.beats(req, best, cand) {
+			best = cand
+			found = true
+		}
+		candidates++
+		return p.maxCandidates == 0 || candidates < p.maxCandidates
+	})
+	if !found {
+		return Allocation{}, ErrNoAllocation
+	}
+	return best, nil
+}
+
+// lexLess orders GPU sets for deterministic tie-breaking.
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// NewGreedy returns MAPA with the Greedy selection policy: maximum
+// Aggregated Bandwidth (Eq. 1), ignoring sensitivity.
+func NewGreedy(s *score.Scorer) Allocator {
+	sc := orDefault(s)
+	return &mapaPolicy{
+		name:          "greedy",
+		scorer:        sc,
+		maxCandidates: DefaultMaxCandidates,
+		better: func(_ Request, a, b score.Scores) bool {
+			if b.AggBW != a.AggBW {
+				return b.AggBW > a.AggBW
+			}
+			return b.EffBW > a.EffBW
+		},
+	}
+}
+
+// NewPreserve returns MAPA with the Preserve selection policy
+// (Algorithm 1): sensitive jobs maximize Predicted Effective
+// Bandwidth; insensitive jobs maximize Preserved Bandwidth.
+func NewPreserve(s *score.Scorer) Allocator {
+	sc := orDefault(s)
+	return &mapaPolicy{
+		name:          "preserve",
+		scorer:        sc,
+		maxCandidates: DefaultMaxCandidates,
+		better: func(req Request, a, b score.Scores) bool {
+			if req.Sensitive {
+				if b.EffBW != a.EffBW {
+					return b.EffBW > a.EffBW
+				}
+				return b.PreservedBW > a.PreservedBW
+			}
+			if b.PreservedBW != a.PreservedBW {
+				return b.PreservedBW > a.PreservedBW
+			}
+			return b.EffBW > a.EffBW
+		},
+	}
+}
+
+// NewEffBWOnly returns an ablation policy that maximizes Predicted
+// Effective Bandwidth for every job regardless of sensitivity —
+// isolating the contribution of the preservation rule.
+func NewEffBWOnly(s *score.Scorer) Allocator {
+	sc := orDefault(s)
+	return &mapaPolicy{
+		name:          "effbw-only",
+		scorer:        sc,
+		maxCandidates: DefaultMaxCandidates,
+		better: func(_ Request, a, b score.Scores) bool {
+			if b.EffBW != a.EffBW {
+				return b.EffBW > a.EffBW
+			}
+			return b.PreservedBW > a.PreservedBW
+		},
+	}
+}
+
+// NewPreserveAggBW returns an ablation of Preserve that scores
+// sensitive jobs with Aggregated instead of Effective Bandwidth —
+// quantifying how much the Eq. 2 model matters (the paper's Fig. 11
+// argument).
+func NewPreserveAggBW(s *score.Scorer) Allocator {
+	sc := orDefault(s)
+	return &mapaPolicy{
+		name:          "preserve-aggbw",
+		scorer:        sc,
+		maxCandidates: DefaultMaxCandidates,
+		better: func(req Request, a, b score.Scores) bool {
+			if req.Sensitive {
+				if b.AggBW != a.AggBW {
+					return b.AggBW > a.AggBW
+				}
+				return b.PreservedBW > a.PreservedBW
+			}
+			if b.PreservedBW != a.PreservedBW {
+				return b.PreservedBW > a.PreservedBW
+			}
+			return b.AggBW > a.AggBW
+		},
+	}
+}
+
+func orDefault(s *score.Scorer) *score.Scorer {
+	if s == nil {
+		return score.NewScorer(nil)
+	}
+	return s
+}
+
+// ByName constructs a policy by its report name. A nil scorer uses the
+// paper's Table 2 model.
+func ByName(name string, s *score.Scorer) (Allocator, error) {
+	switch name {
+	case "baseline":
+		return NewBaseline(s), nil
+	case "topo-aware":
+		return NewTopoAware(s), nil
+	case "greedy":
+		return NewGreedy(s), nil
+	case "preserve":
+		return NewPreserve(s), nil
+	case "effbw-only":
+		return NewEffBWOnly(s), nil
+	case "preserve-aggbw":
+		return NewPreserveAggBW(s), nil
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q", name)
+}
+
+// Names lists the policies accepted by ByName; the first four are the
+// paper's evaluation set.
+func Names() []string {
+	return []string{"baseline", "topo-aware", "greedy", "preserve", "effbw-only", "preserve-aggbw"}
+}

@@ -1,0 +1,376 @@
+package policy
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mapa/internal/appgraph"
+	"mapa/internal/graph"
+	"mapa/internal/match"
+	"mapa/internal/score"
+	"mapa/internal/topology"
+)
+
+func ringReq(k int, sensitive bool) Request {
+	return Request{Pattern: appgraph.Ring(k), Sensitive: sensitive}
+}
+
+func allPolicies() []Allocator {
+	var out []Allocator
+	for _, name := range Names() {
+		p, err := ByName(name, nil)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name, nil)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != name {
+			t.Errorf("policy %q reports name %q", name, p.Name())
+		}
+	}
+	if _, err := ByName("random", nil); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestBaselinePicksLowestIDs(t *testing.T) {
+	top := topology.DGXV100()
+	b := NewBaseline(nil)
+	alloc, err := b.Allocate(top.Graph, top, ringReq(3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(alloc.GPUs, []int{0, 1, 2}) {
+		t.Fatalf("baseline chose %v, want lowest IDs", alloc.GPUs)
+	}
+	// With 0 and 1 gone, it picks the next lowest.
+	avail := top.Graph.Without([]int{0, 1})
+	alloc, err = b.Allocate(avail, top, ringReq(3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(alloc.GPUs, []int{2, 3, 4}) {
+		t.Fatalf("baseline chose %v, want {2,3,4}", alloc.GPUs)
+	}
+}
+
+func TestTopoAwareStaysInSocket(t *testing.T) {
+	top := topology.DGXV100()
+	ta := NewTopoAware(nil)
+	// With GPUs 0..2 busy, a 4-GPU job fits entirely in socket 1
+	// {4..7}; baseline would fragment across {3,4,5,6}.
+	avail := top.Graph.Without([]int{0, 1, 2})
+	alloc, err := ta.Allocate(avail, top, ringReq(4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(alloc.GPUs, []int{4, 5, 6, 7}) {
+		t.Fatalf("topo-aware chose %v, want socket {4,5,6,7}", alloc.GPUs)
+	}
+}
+
+func TestTopoAwarePrefersSmallestFittingPartition(t *testing.T) {
+	top := topology.DGXV100()
+	ta := NewTopoAware(nil)
+	// A 2-GPU job on an idle machine should go to a half-socket
+	// {0,1}, not spread out.
+	alloc, err := ta.Allocate(top.Graph, top, ringReq(2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(alloc.GPUs, []int{0, 1}) {
+		t.Fatalf("topo-aware chose %v, want {0,1}", alloc.GPUs)
+	}
+}
+
+func TestTopoAwareSpansWhenNeeded(t *testing.T) {
+	top := topology.DGXV100()
+	ta := NewTopoAware(nil)
+	// 3 free in socket 0, 2 free in socket 1; a 5-GPU job must span.
+	avail := top.Graph.Without([]int{3, 6, 7})
+	alloc, err := ta.Allocate(avail, top, ringReq(5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(alloc.GPUs, []int{0, 1, 2, 4, 5}) {
+		t.Fatalf("topo-aware chose %v", alloc.GPUs)
+	}
+}
+
+func TestGreedyMaximizesAggBW(t *testing.T) {
+	top := topology.DGXV100()
+	g := NewGreedy(nil)
+	alloc, err := g.Allocate(top.Graph, top, ringReq(3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ideal 3-GPU triangle on an idle DGX-V aggregates 125 GB/s
+	// (paper Sec. 2.2); greedy must find one of the equally-best sets.
+	if alloc.Scores.AggBW != 125 {
+		t.Fatalf("greedy AggBW = %g, want 125 (chose %v)", alloc.Scores.AggBW, alloc.GPUs)
+	}
+}
+
+func TestPreserveSensitiveMaximizesEffBW(t *testing.T) {
+	top := topology.DGXV100()
+	p := NewPreserve(nil)
+	alloc, err := p.Allocate(top.Graph, top, ringReq(3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify no other deduped match predicts higher EffBW.
+	s := score.NewScorer(nil)
+	req := ringReq(3, true)
+	for _, m := range match.FindAllDeduped(req.Pattern, top.Graph) {
+		if got := s.EffectiveBandwidth(top, req.Pattern, top.Graph, m); got > alloc.Scores.EffBW+1e-9 {
+			t.Fatalf("match %v has EffBW %g > chosen %g", m.DataVertices(), got, alloc.Scores.EffBW)
+		}
+	}
+}
+
+func TestPreserveInsensitiveMaximizesPreserved(t *testing.T) {
+	top := topology.DGXV100()
+	p := NewPreserve(nil)
+	alloc, err := p.Allocate(top.Graph, top, ringReq(3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := score.NewScorer(nil)
+	req := ringReq(3, false)
+	for _, m := range match.FindAllDeduped(req.Pattern, top.Graph) {
+		if got := score.PreservedBandwidth(top.Graph, m.DataVertices()); got > alloc.Scores.PreservedBW+1e-9 {
+			t.Fatalf("match %v preserves %g > chosen %g", m.DataVertices(), got, alloc.Scores.PreservedBW)
+		}
+	}
+	_ = s
+}
+
+func TestPreserveLeavesRoomForSensitiveJobs(t *testing.T) {
+	// The paper's headline mechanism: after an insensitive job,
+	// Preserve leaves a better allocation for a following sensitive
+	// job than Greedy does.
+	top := topology.DGXV100()
+	preserve := NewPreserve(nil)
+	greedy := NewGreedy(nil)
+
+	insens := ringReq(3, false)
+	sens := ringReq(3, true)
+
+	availP := top.Graph.Clone()
+	a1, err := preserve.Allocate(availP, top, insens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	availP = availP.Without(a1.GPUs)
+	p2, err := preserve.Allocate(availP, top, sens)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	availG := top.Graph.Clone()
+	g1, err := greedy.Allocate(availG, top, insens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	availG = availG.Without(g1.GPUs)
+	g2, err := greedy.Allocate(availG, top, sens)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if p2.Scores.EffBW < g2.Scores.EffBW {
+		t.Errorf("preserve left sensitive job EffBW %g < greedy's %g",
+			p2.Scores.EffBW, g2.Scores.EffBW)
+	}
+}
+
+func TestAllPoliciesRejectInfeasible(t *testing.T) {
+	top := topology.DGXV100()
+	for _, p := range allPolicies() {
+		// More GPUs than the machine has.
+		if _, err := p.Allocate(top.Graph, top, ringReq(9, true)); !errors.Is(err, ErrNoAllocation) {
+			t.Errorf("%s: 9-GPU request on 8-GPU machine: err = %v", p.Name(), err)
+		}
+		// Not enough free GPUs.
+		avail := top.Graph.Without([]int{0, 1, 2, 3, 4, 5})
+		if _, err := p.Allocate(avail, top, ringReq(3, true)); !errors.Is(err, ErrNoAllocation) {
+			t.Errorf("%s: 3-GPU request with 2 free: err = %v", p.Name(), err)
+		}
+		// Degenerate request.
+		empty := Request{Pattern: graph.New()}
+		if _, err := p.Allocate(top.Graph, top, empty); !errors.Is(err, ErrNoAllocation) {
+			t.Errorf("%s: empty request: err = %v", p.Name(), err)
+		}
+	}
+}
+
+func TestAllPoliciesSatisfyBasicContract(t *testing.T) {
+	top := topology.DGXV100()
+	for _, p := range allPolicies() {
+		for k := 1; k <= 5; k++ {
+			for _, sensitive := range []bool{true, false} {
+				req := ringReq(k, sensitive)
+				alloc, err := p.Allocate(top.Graph, top, req)
+				if err != nil {
+					t.Errorf("%s k=%d: %v", p.Name(), k, err)
+					continue
+				}
+				if len(alloc.GPUs) != k {
+					t.Errorf("%s k=%d: returned %d GPUs", p.Name(), k, len(alloc.GPUs))
+				}
+				seen := make(map[int]bool)
+				for _, g := range alloc.GPUs {
+					if seen[g] || !top.Graph.HasVertex(g) {
+						t.Errorf("%s k=%d: invalid GPU set %v", p.Name(), k, alloc.GPUs)
+					}
+					seen[g] = true
+				}
+				if !match.IsEmbedding(req.Pattern, top.Graph, alloc.Match) {
+					t.Errorf("%s k=%d: reported match is not an embedding", p.Name(), k)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleGPURequests(t *testing.T) {
+	top := topology.DGXV100()
+	for _, p := range allPolicies() {
+		alloc, err := p.Allocate(top.Graph, top, ringReq(1, false))
+		if err != nil {
+			t.Errorf("%s: 1-GPU request failed: %v", p.Name(), err)
+			continue
+		}
+		if len(alloc.GPUs) != 1 {
+			t.Errorf("%s: got %v", p.Name(), alloc.GPUs)
+		}
+	}
+}
+
+func TestMAPAPoliciesHonorNonRingPatterns(t *testing.T) {
+	top := topology.DGXV100()
+	p := NewPreserve(nil)
+	for _, shape := range appgraph.Shapes() {
+		g, err := appgraph.Build(shape, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alloc, err := p.Allocate(top.Graph, top, Request{Pattern: g, Sensitive: true})
+		if err != nil {
+			t.Errorf("shape %s: %v", shape, err)
+			continue
+		}
+		if !match.IsEmbedding(g, top.Graph, alloc.Match) {
+			t.Errorf("shape %s: invalid embedding", shape)
+		}
+	}
+}
+
+func TestGreedyBeatsBaselineOnFragmentedMachine(t *testing.T) {
+	// Make low IDs a bad choice: free set {0, 1, 4, 6, 7} — baseline
+	// takes {0,1,4} (AggBW 87), greedy should find something better or
+	// equal among free triangles.
+	top := topology.DGXV100()
+	avail := top.Graph.Without([]int{2, 3, 5})
+	b, err := NewBaseline(nil).Allocate(avail, top, ringReq(3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGreedy(nil).Allocate(avail, top, ringReq(3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Scores.AggBW < b.Scores.AggBW {
+		t.Errorf("greedy AggBW %g < baseline %g", g.Scores.AggBW, b.Scores.AggBW)
+	}
+	if g.Scores.AggBW <= 87 {
+		t.Errorf("greedy should beat the fragmented 87 GB/s, got %g (%v)", g.Scores.AggBW, g.GPUs)
+	}
+}
+
+// Property: on a random available subgraph, every policy returns
+// either ErrNoAllocation or a valid allocation drawn from free GPUs.
+func TestPolicyContractProperty(t *testing.T) {
+	top := topology.DGXV100()
+	policies := allPolicies()
+	f := func(seed int64, kRaw, polRaw uint8, sensitive bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		busyCount := r.Intn(6)
+		busy := r.Perm(8)[:busyCount]
+		avail := top.Graph.Without(busy)
+		k := int(kRaw%5) + 1
+		p := policies[int(polRaw)%len(policies)]
+		alloc, err := p.Allocate(avail, top, ringReq(k, sensitive))
+		if err != nil {
+			return errors.Is(err, ErrNoAllocation) && k > avail.NumVertices() || errors.Is(err, ErrNoAllocation)
+		}
+		if len(alloc.GPUs) != k {
+			return false
+		}
+		for _, g := range alloc.GPUs {
+			if !avail.HasVertex(g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionsCoverMachine(t *testing.T) {
+	for _, name := range topology.Names() {
+		top, err := topology.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := partitions(top)
+		if len(parts) == 0 {
+			t.Fatalf("%s: no partitions", name)
+		}
+		last := parts[len(parts)-1]
+		if len(last) != top.NumGPUs() {
+			t.Errorf("%s: largest partition has %d GPUs, want %d", name, len(last), top.NumGPUs())
+		}
+		for i := 1; i < len(parts); i++ {
+			if len(parts[i-1]) > len(parts[i]) {
+				t.Errorf("%s: partitions not sorted by size", name)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Same inputs must give the same allocation (deterministic
+	// tie-breaking).
+	top := topology.DGXV100()
+	for _, p := range allPolicies() {
+		first, err := p.Allocate(top.Graph, top, ringReq(4, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			again, err := p.Allocate(top.Graph, top, ringReq(4, true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first.GPUs, again.GPUs) {
+				t.Errorf("%s: nondeterministic: %v vs %v", p.Name(), first.GPUs, again.GPUs)
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package regress implements ordinary least squares over arbitrary
+// feature bases, plus the fit-quality metrics the MAPA paper reports
+// for its effective-bandwidth model (relative error, RMSE, MAE) and
+// Pearson correlation used in the validation figures.
+//
+// The paper's Eq. 2 is nonlinear in the link counts (x, y, z) but
+// linear in its 14 coefficients, so fitting it is a linear least
+// squares problem: solve (XᵀX)θ = Xᵀy by Gaussian elimination with
+// partial pivoting.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the normal equations are singular
+// (degenerate design matrix, e.g. fewer samples than features or
+// perfectly collinear features).
+var ErrSingular = errors.New("regress: singular normal equations")
+
+// OLS fits y ≈ X·θ in the least-squares sense and returns θ.
+// X is row-major: X[i] is the feature vector of sample i.
+func OLS(x [][]float64, y []float64) ([]float64, error) {
+	return Ridge(x, y, 0)
+}
+
+// Ridge fits y ≈ X·θ with an L2 penalty λ‖θ‖²: it solves
+// (XᵀX + λI)θ = Xᵀy. λ = 0 reduces to OLS; a small positive λ
+// regularizes nearly-collinear feature bases such as the paper's
+// 14-term Eq. 2 evaluated on few samples.
+func Ridge(x [][]float64, y []float64, lambda float64) ([]float64, error) {
+	if lambda < 0 {
+		return nil, fmt.Errorf("regress: negative ridge penalty %g", lambda)
+	}
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("regress: %d samples vs %d targets", n, len(y))
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("regress: empty feature vectors")
+	}
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("regress: sample %d has %d features, want %d", i, len(row), p)
+		}
+	}
+	// Normal equations A = XᵀX (p×p), b = Xᵀy (p).
+	a := make([][]float64, p)
+	for i := range a {
+		a[i] = make([]float64, p)
+	}
+	b := make([]float64, p)
+	for s := 0; s < n; s++ {
+		row := x[s]
+		for i := 0; i < p; i++ {
+			b[i] += row[i] * y[s]
+			for j := i; j < p; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+	}
+	for i := 0; i < p; i++ {
+		a[i][i] += lambda
+	}
+	theta, err := solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return theta, nil
+}
+
+// solve performs in-place Gaussian elimination with partial pivoting on
+// the augmented system a·x = b.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	p := len(a)
+	for col := 0; col < p; col++ {
+		// Pivot: largest absolute value in this column.
+		pivot := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < p; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < p; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, p)
+	for i := p - 1; i >= 0; i-- {
+		sum := b[i]
+		for j := i + 1; j < p; j++ {
+			sum -= a[i][j] * x[j]
+		}
+		x[i] = sum / a[i][i]
+	}
+	return x, nil
+}
+
+// Predict evaluates the linear model θ on one feature vector.
+func Predict(theta, features []float64) float64 {
+	if len(theta) != len(features) {
+		panic(fmt.Sprintf("regress: %d coefficients vs %d features", len(theta), len(features)))
+	}
+	var v float64
+	for i, f := range features {
+		v += theta[i] * f
+	}
+	return v
+}
+
+// Metrics summarizes prediction quality the way the paper does
+// (Sec. 3.4.3): relative error, RMSE, and MAE, plus Pearson r for the
+// correlation plots.
+type Metrics struct {
+	RelErr  float64 // mean |pred-actual| / mean |actual|
+	RMSE    float64
+	MAE     float64
+	Pearson float64
+}
+
+// Evaluate computes fit metrics for predicted vs actual values.
+func Evaluate(pred, actual []float64) (Metrics, error) {
+	if len(pred) != len(actual) || len(pred) == 0 {
+		return Metrics{}, fmt.Errorf("regress: %d predictions vs %d actuals", len(pred), len(actual))
+	}
+	var sumSq, sumAbs, sumActualAbs float64
+	for i := range pred {
+		d := pred[i] - actual[i]
+		sumSq += d * d
+		sumAbs += math.Abs(d)
+		sumActualAbs += math.Abs(actual[i])
+	}
+	n := float64(len(pred))
+	m := Metrics{
+		RMSE: math.Sqrt(sumSq / n),
+		MAE:  sumAbs / n,
+	}
+	if sumActualAbs > 0 {
+		m.RelErr = sumAbs / sumActualAbs
+	}
+	m.Pearson = Pearson(pred, actual)
+	return m, nil
+}
+
+// Pearson returns the Pearson correlation coefficient of two series,
+// or 0 when either series has zero variance.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

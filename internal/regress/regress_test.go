@@ -1,0 +1,218 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestOLSExactLine(t *testing.T) {
+	// y = 3 + 2x fits exactly.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 10; i++ {
+		xi := float64(i)
+		x = append(x, []float64{1, xi})
+		y = append(y, 3+2*xi)
+	}
+	theta, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(theta[0], 3, 1e-9) || !almostEqual(theta[1], 2, 1e-9) {
+		t.Fatalf("theta = %v, want [3 2]", theta)
+	}
+}
+
+func TestOLSQuadraticBasis(t *testing.T) {
+	// y = 1 - x + 0.5x² with a quadratic basis.
+	var x [][]float64
+	var y []float64
+	for i := -5; i <= 5; i++ {
+		xi := float64(i)
+		x = append(x, []float64{1, xi, xi * xi})
+		y = append(y, 1-xi+0.5*xi*xi)
+	}
+	theta, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -1, 0.5}
+	for i := range want {
+		if !almostEqual(theta[i], want[i], 1e-9) {
+			t.Fatalf("theta = %v, want %v", theta, want)
+		}
+	}
+}
+
+func TestOLSOverdeterminedNoise(t *testing.T) {
+	// Noisy y = 5x; the slope estimate must land near 5.
+	r := rand.New(rand.NewSource(7))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		xi := r.Float64() * 10
+		x = append(x, []float64{xi})
+		y = append(y, 5*xi+r.NormFloat64()*0.1)
+	}
+	theta, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(theta[0], 5, 0.05) {
+		t.Fatalf("slope = %g, want ~5", theta[0])
+	}
+}
+
+func TestOLSSingular(t *testing.T) {
+	// Two identical columns are collinear.
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	y := []float64{1, 2, 3}
+	if _, err := OLS(x, y); err == nil {
+		t.Fatal("collinear design should be singular")
+	}
+}
+
+func TestOLSInputValidation(t *testing.T) {
+	if _, err := OLS(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := OLS([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := OLS([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("empty features should error")
+	}
+	if _, err := OLS([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged features should error")
+	}
+}
+
+func TestPredict(t *testing.T) {
+	if got := Predict([]float64{2, -1}, []float64{3, 4}); got != 2 {
+		t.Fatalf("Predict = %g, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths should panic")
+		}
+	}()
+	Predict([]float64{1}, []float64{1, 2})
+}
+
+func TestEvaluatePerfectFit(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	m, err := Evaluate(pred, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RMSE != 0 || m.MAE != 0 || m.RelErr != 0 {
+		t.Fatalf("perfect fit metrics = %+v", m)
+	}
+	if !almostEqual(m.Pearson, 1, 1e-12) {
+		t.Fatalf("Pearson = %g, want 1", m.Pearson)
+	}
+}
+
+func TestEvaluateKnownError(t *testing.T) {
+	pred := []float64{2, 2, 2, 2}
+	actual := []float64{1, 3, 1, 3}
+	m, err := Evaluate(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.MAE, 1, 1e-12) || !almostEqual(m.RMSE, 1, 1e-12) {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if !almostEqual(m.RelErr, 4.0/8.0, 1e-12) {
+		t.Fatalf("RelErr = %g", m.RelErr)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Evaluate(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestPearsonKnownValues(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	up := []float64{2, 4, 6, 8}
+	down := []float64{8, 6, 4, 2}
+	if got := Pearson(a, up); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Pearson up = %g", got)
+	}
+	if got := Pearson(a, down); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("Pearson down = %g", got)
+	}
+	if got := Pearson(a, []float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("Pearson vs constant = %g, want 0", got)
+	}
+	if got := Pearson(a, []float64{1, 2}); got != 0 {
+		t.Errorf("Pearson mismatched lengths = %g, want 0", got)
+	}
+}
+
+// Property: OLS on exactly generated data recovers the model well
+// enough to predict unseen points.
+func TestOLSRecoveryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := []float64{r.Float64()*10 - 5, r.Float64()*10 - 5, r.Float64()*10 - 5}
+		var x [][]float64
+		var y []float64
+		for i := 0; i < 40; i++ {
+			f1, f2 := r.Float64()*4, r.Float64()*4
+			row := []float64{1, f1, f2}
+			x = append(x, row)
+			y = append(y, Predict(w, row))
+		}
+		theta, err := OLS(x, y)
+		if err != nil {
+			return false
+		}
+		test := []float64{1, r.Float64() * 4, r.Float64() * 4}
+		return almostEqual(Predict(theta, test), Predict(w, test), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: residuals of the OLS fit are orthogonal to every feature
+// column (the normal-equation optimality condition).
+func TestOLSResidualOrthogonality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var x [][]float64
+		var y []float64
+		for i := 0; i < 30; i++ {
+			row := []float64{1, r.Float64() * 3, r.Float64() * 3}
+			x = append(x, row)
+			y = append(y, r.Float64()*10)
+		}
+		theta, err := OLS(x, y)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < 3; j++ {
+			var dot float64
+			for i := range x {
+				dot += x[i][j] * (y[i] - Predict(theta, x[i]))
+			}
+			if math.Abs(dot) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"fmt"
+
+	"mapa/internal/jobs"
+	"mapa/internal/workload"
+)
+
+// Discipline selects the job-queue ordering. The paper evaluates FIFO
+// ("we use First-in First-out for scheduling jobs from the queue") but
+// notes MAPA is agnostic to scheduling policy and can employ
+// reordering; the extra disciplines quantify that claim.
+type Discipline int
+
+const (
+	// FIFO admits strictly in submission order; the head blocks the
+	// queue (no backfill). This is the paper's configuration.
+	FIFO Discipline = iota
+	// SJF picks the queued job with the shortest estimated duration
+	// whenever GPUs free up.
+	SJF
+	// Backfill is FIFO with EASY-style backfilling: when the head
+	// cannot be placed, later jobs that fit the currently free GPUs
+	// may run, keeping the machine busy without starving the head
+	// indefinitely (smaller jobs drain quickly on a single node).
+	Backfill
+)
+
+// String names the discipline for reports.
+func (d Discipline) String() string {
+	switch d {
+	case FIFO:
+		return "fifo"
+	case SJF:
+		return "sjf"
+	case Backfill:
+		return "backfill"
+	}
+	return fmt.Sprintf("Discipline(%d)", int(d))
+}
+
+// ParseDiscipline parses a discipline name.
+func ParseDiscipline(s string) (Discipline, error) {
+	switch s {
+	case "fifo":
+		return FIFO, nil
+	case "sjf":
+		return SJF, nil
+	case "backfill":
+		return Backfill, nil
+	}
+	return 0, fmt.Errorf("sched: unknown queue discipline %q", s)
+}
+
+// Disciplines lists the supported queue orderings.
+func Disciplines() []Discipline { return []Discipline{FIFO, SJF, Backfill} }
+
+// estimateDuration returns the queue's duration estimate for ordering
+// purposes: the workload model at the reference bandwidth. Estimation
+// never sees the eventual allocation (that would be clairvoyant).
+func estimateDuration(j jobs.Job) (float64, error) {
+	w, err := workload.ByName(j.Workload)
+	if err != nil {
+		return 0, err
+	}
+	return w.ExecTimeAtBandwidth(FixedReferenceBW, j.NumGPUs, j.Iters), nil
+}
+
+// queue holds pending jobs under one discipline.
+type queue struct {
+	discipline Discipline
+	jobs       []jobs.Job
+	estimates  []float64
+}
+
+func newQueue(d Discipline, jobList []jobs.Job) (*queue, error) {
+	q := &queue{discipline: d}
+	for _, j := range jobList {
+		est, err := estimateDuration(j)
+		if err != nil {
+			return nil, err
+		}
+		q.jobs = append(q.jobs, j)
+		q.estimates = append(q.estimates, est)
+	}
+	return q, nil
+}
+
+func (q *queue) empty() bool { return len(q.jobs) == 0 }
+func (q *queue) len() int    { return len(q.jobs) }
+
+// candidates returns the indices the engine may try to place next, in
+// priority order. FIFO exposes only the head; SJF exposes only the
+// shortest job; Backfill exposes the head first and then every later
+// job as a backfill candidate.
+func (q *queue) candidates() []int {
+	if q.empty() {
+		return nil
+	}
+	switch q.discipline {
+	case FIFO:
+		return []int{0}
+	case SJF:
+		best := 0
+		for i := 1; i < len(q.jobs); i++ {
+			if q.estimates[i] < q.estimates[best] {
+				best = i
+			}
+		}
+		return []int{best}
+	case Backfill:
+		idx := make([]int, len(q.jobs))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	return []int{0}
+}
+
+// remove pops the job at index i, preserving submission order.
+func (q *queue) remove(i int) jobs.Job {
+	j := q.jobs[i]
+	q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+	q.estimates = append(q.estimates[:i], q.estimates[i+1:]...)
+	return j
+}

@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"testing"
+
+	"mapa/internal/appgraph"
+	"mapa/internal/jobs"
+	"mapa/internal/policy"
+	"mapa/internal/topology"
+)
+
+func TestDisciplineNamesRoundTrip(t *testing.T) {
+	for _, d := range Disciplines() {
+		got, err := ParseDiscipline(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDiscipline(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseDiscipline("lifo"); err == nil {
+		t.Error("unknown discipline should error")
+	}
+	if Discipline(42).String() == "" {
+		t.Error("unknown discipline String should not be empty")
+	}
+}
+
+func TestQueueCandidatesFIFO(t *testing.T) {
+	q, err := newQueue(FIFO, smallMix(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.candidates(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("FIFO candidates = %v", got)
+	}
+	first := q.jobs[0].ID
+	if got := q.remove(0); got.ID != first {
+		t.Fatalf("remove(0) returned job %d", got.ID)
+	}
+	if q.len() != 4 {
+		t.Fatalf("len = %d", q.len())
+	}
+}
+
+func TestQueueCandidatesSJF(t *testing.T) {
+	// Craft a queue where job 2 is clearly shortest (fewest iters).
+	jl := []jobs.Job{
+		{ID: 1, Workload: "vgg-16", NumGPUs: 2, Shape: appgraph.ShapeRing, Sensitive: true, Iters: 6500},
+		{ID: 2, Workload: "vgg-16", NumGPUs: 2, Shape: appgraph.ShapeRing, Sensitive: true, Iters: 10},
+		{ID: 3, Workload: "vgg-16", NumGPUs: 2, Shape: appgraph.ShapeRing, Sensitive: true, Iters: 6500},
+	}
+	q, err := newQueue(SJF, jl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.candidates(); len(got) != 1 || q.jobs[got[0]].ID != 2 {
+		t.Fatalf("SJF should pick job 2, got %v", got)
+	}
+}
+
+func TestQueueCandidatesBackfill(t *testing.T) {
+	q, err := newQueue(Backfill, smallMix(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := q.candidates()
+	if len(got) != 4 || got[0] != 0 {
+		t.Fatalf("backfill candidates = %v", got)
+	}
+}
+
+func TestQueueEmpty(t *testing.T) {
+	q, err := newQueue(FIFO, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.empty() || q.candidates() != nil {
+		t.Fatal("empty queue misbehaves")
+	}
+}
+
+func TestBackfillKeepsMachineBusier(t *testing.T) {
+	// A 5-GPU head job blocking FIFO while 2-GPU jobs wait: backfill
+	// should finish the stream no later than FIFO.
+	big := jobs.Job{ID: 1, Workload: "inception-v3", NumGPUs: 5, Shape: appgraph.ShapeRing, Sensitive: true, Iters: 3500}
+	jl := []jobs.Job{big, big} // two 5-GPU jobs cannot co-run on 8 GPUs
+	for i := 0; i < 6; i++ {
+		jl = append(jl, jobs.Job{ID: 3 + i, Workload: "alexnet", NumGPUs: 2, Shape: appgraph.ShapeRing, Sensitive: true, Iters: 9000})
+	}
+	top := topology.DGXV100()
+
+	run := func(d Discipline) RunResult {
+		e := NewEngine(top, policy.NewPreserve(nil))
+		e.Queue = d
+		res, err := e.Run(jl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fifo := run(FIFO)
+	bf := run(Backfill)
+	if len(fifo.Records) != len(jl) || len(bf.Records) != len(jl) {
+		t.Fatalf("incomplete runs: %d, %d", len(fifo.Records), len(bf.Records))
+	}
+	if bf.Makespan > fifo.Makespan+1e-6 {
+		t.Errorf("backfill makespan %.0f should not exceed FIFO %.0f", bf.Makespan, fifo.Makespan)
+	}
+	// While the second 5-GPU job waits under FIFO, 3 free GPUs idle;
+	// backfill should start at least one 2-GPU job during that window.
+	if bf.Throughput < fifo.Throughput {
+		t.Errorf("backfill throughput %.3f below FIFO %.3f", bf.Throughput, fifo.Throughput)
+	}
+}
+
+func TestSJFCompletesAllJobs(t *testing.T) {
+	top := topology.DGXV100()
+	e := NewEngine(top, policy.NewGreedy(nil))
+	e.Queue = SJF
+	res, err := e.Run(smallMix(40, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 40 {
+		t.Fatalf("SJF completed %d of 40", len(res.Records))
+	}
+}
+
+func TestDisciplinesNeverLoseJobs(t *testing.T) {
+	top := topology.Summit()
+	jl := smallMix(25, 13)
+	for _, d := range Disciplines() {
+		e := NewEngine(top, policy.NewPreserve(nil))
+		e.Queue = d
+		res, err := e.Run(jl)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if len(res.Records) != len(jl) {
+			t.Fatalf("%s: completed %d of %d", d, len(res.Records), len(jl))
+		}
+		seen := make(map[int]bool)
+		for _, r := range res.Records {
+			if seen[r.Job.ID] {
+				t.Fatalf("%s: job %d ran twice", d, r.Job.ID)
+			}
+			seen[r.Job.ID] = true
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package sched implements the MAPA simulation execution framework of
+// Fig. 14: a Dispatcher feeds a FIFO Job Queue; when GPUs are
+// available the allocator (MAPA or a baseline policy) is invoked for
+// the head job; the execution engine models hardware occupancy over
+// time; completions free GPUs, update the allocator's hardware state,
+// and are recorded in a log with the allocation, its predicted
+// effective bandwidth, and execution time.
+//
+// The engine is discrete-event rather than literally cycle-stepped —
+// an equivalent but exact formulation: time advances to the next job
+// completion instead of ticking through idle cycles. FIFO semantics
+// match the paper's real-run setup: the head job blocks the queue
+// until it can be placed (no backfilling).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"mapa/internal/effbw"
+	"mapa/internal/graph"
+	"mapa/internal/jobs"
+	"mapa/internal/ncclsim"
+	"mapa/internal/policy"
+	"mapa/internal/topology"
+	"mapa/internal/workload"
+)
+
+// Record is one job's log entry (the Log File of Fig. 14).
+type Record struct {
+	Job  jobs.Job
+	GPUs []int
+	// Start and End are seconds since simulation start.
+	Start, End float64
+	// ExecTime = End - Start.
+	ExecTime float64
+	// PredictedEffBW is the Eq. 2 prediction for the allocation, the
+	// quantity Figs. 13c/d and 18 report.
+	PredictedEffBW float64
+	// MeasuredEffBW is the ncclsim microbenchmark value for the
+	// allocation (the "real run" measurement used in Fig. 15).
+	MeasuredEffBW float64
+	// AggBW and PreservedBW are the other MAPA scores at allocation
+	// time.
+	AggBW, PreservedBW float64
+}
+
+// RunResult is a full simulation outcome.
+type RunResult struct {
+	Policy  string
+	Records []Record
+	// Makespan is the completion time of the last job.
+	Makespan float64
+	// Throughput is jobs completed per 1000 seconds.
+	Throughput float64
+}
+
+// Engine simulates one machine under one allocation policy.
+type Engine struct {
+	Top   *topology.Topology
+	Alloc policy.Allocator
+	// Model predicts effective bandwidth for logging; nil uses the
+	// paper's Table 2 model.
+	Model *effbw.Model
+	// Mode selects the execution-time source (see Mode constants).
+	Mode Mode
+	// Queue selects the job-queue discipline; the zero value is the
+	// paper's FIFO.
+	Queue Discipline
+}
+
+// Mode selects how the engine derives job durations.
+type Mode int
+
+const (
+	// ModeRealRun runs the full workload model against the chosen
+	// allocation — the paper's real-machine evaluation (Sec. 4).
+	ModeRealRun Mode = iota
+	// ModeProxy derives duration from the predicted effective
+	// bandwidth of the allocation.
+	ModeProxy
+	// ModeFixed gives every job its baseline duration regardless of
+	// allocation, exactly like the paper's exploration simulator
+	// (Sec. 5.1): the job file carries measured baseline execution
+	// times, and effective bandwidth — not runtime — is the output
+	// metric. Fixed durations make the admission schedule identical
+	// across policies, isolating allocation quality.
+	ModeFixed
+)
+
+// FixedReferenceBW is the effective bandwidth (GB/s) at which
+// ModeFixed evaluates baseline durations.
+const FixedReferenceBW = 25
+
+// NewEngine returns an engine in real-run mode with an Eq. 2 model
+// trained for the topology.
+func NewEngine(top *topology.Topology, alloc policy.Allocator) *Engine {
+	return &Engine{Top: top, Alloc: alloc, Model: effbw.TrainedFor(top), Mode: ModeRealRun}
+}
+
+// event is a scheduled job completion.
+type event struct {
+	at   float64
+	job  int // index into running bookkeeping
+	gpus []int
+}
+
+// Run simulates the job list to completion and returns the log. Under
+// the default FIFO discipline, jobs are admitted strictly in
+// submission order: if the head job cannot be allocated, the queue
+// waits for a completion even when later jobs would fit (the paper's
+// configuration). SJF and Backfill reorder as documented on
+// Discipline.
+func (e *Engine) Run(jobList []jobs.Job) (RunResult, error) {
+	if e.Top == nil || e.Alloc == nil {
+		return RunResult{}, fmt.Errorf("sched: engine needs a topology and a policy")
+	}
+	model := e.Model
+	if model == nil {
+		model = effbw.PaperModel()
+	}
+	for _, j := range jobList {
+		if err := j.Validate(); err != nil {
+			return RunResult{}, err
+		}
+		if j.NumGPUs > e.Top.NumGPUs() {
+			return RunResult{}, fmt.Errorf("sched: job %d needs %d GPUs but %s has %d",
+				j.ID, j.NumGPUs, e.Top.Name, e.Top.NumGPUs())
+		}
+	}
+
+	avail := e.Top.Graph.Clone()
+	var pending []event // running jobs, kept sorted by completion time
+	records := make([]Record, 0, len(jobList))
+	now := 0.0
+	q, err := newQueue(e.Queue, jobList)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	popNext := func() event {
+		ev := pending[0]
+		pending = pending[1:]
+		return ev
+	}
+	push := func(ev event) {
+		pending = append(pending, ev)
+		sort.Slice(pending, func(i, j int) bool { return pending[i].at < pending[j].at })
+	}
+
+	// place tries to allocate and start job j now; it reports whether
+	// placement succeeded, or a hard error.
+	place := func(j jobs.Job) (bool, error) {
+		pat, err := j.Pattern()
+		if err != nil {
+			return false, err
+		}
+		alloc, err := e.Alloc.Allocate(avail, e.Top, policy.Request{Pattern: pat, Sensitive: j.Sensitive})
+		if err != nil {
+			return false, nil // no room right now
+		}
+		w, err := workload.ByName(j.Workload)
+		if err != nil {
+			return false, err
+		}
+		res := ncclsim.Decompose(e.Top, alloc.GPUs)
+		measured := res.PeakEffBW
+		predicted := model.Predict(effbw.MixFromDecomposition(e.Top, res))
+		var exec float64
+		switch e.Mode {
+		case ModeRealRun:
+			exec = w.ExecTime(e.Top, alloc.GPUs, j.Iters)
+		case ModeProxy:
+			exec = w.ExecTimeAtBandwidth(predicted, len(alloc.GPUs), j.Iters)
+		case ModeFixed:
+			exec = w.ExecTimeAtBandwidth(FixedReferenceBW, len(alloc.GPUs), j.Iters)
+		default:
+			return false, fmt.Errorf("sched: unknown engine mode %d", e.Mode)
+		}
+		records = append(records, Record{
+			Job:            j,
+			GPUs:           alloc.GPUs,
+			Start:          now,
+			End:            now + exec,
+			ExecTime:       exec,
+			PredictedEffBW: predicted,
+			MeasuredEffBW:  measured,
+			AggBW:          alloc.Scores.AggBW,
+			PreservedBW:    alloc.Scores.PreservedBW,
+		})
+		avail = avail.Without(alloc.GPUs)
+		push(event{at: now + exec, job: j.ID, gpus: alloc.GPUs})
+		return true, nil
+	}
+
+	for !q.empty() || len(pending) > 0 {
+		// Admit queued jobs in discipline order until nothing fits.
+		for placed := true; placed && !q.empty(); {
+			placed = false
+			for _, idx := range q.candidates() {
+				ok, err := place(q.jobs[idx])
+				if err != nil {
+					return RunResult{}, err
+				}
+				if ok {
+					q.remove(idx)
+					placed = true
+					break
+				}
+			}
+		}
+		if len(pending) == 0 {
+			if !q.empty() {
+				j := q.jobs[q.candidates()[0]]
+				return RunResult{}, fmt.Errorf("sched: job %d (%d GPUs) cannot be placed on an idle %s",
+					j.ID, j.NumGPUs, e.Top.Name)
+			}
+			break
+		}
+		// Advance to the next completion and free its GPUs — the
+		// deallocation state update of Sec. 3.6.
+		ev := popNext()
+		now = ev.at
+		for _, g := range ev.gpus {
+			restore(avail, e.Top, g)
+		}
+	}
+
+	result := RunResult{Policy: e.Alloc.Name(), Records: records}
+	for _, r := range records {
+		if r.End > result.Makespan {
+			result.Makespan = r.End
+		}
+	}
+	if result.Makespan > 0 {
+		result.Throughput = float64(len(records)) / result.Makespan * 1000
+	}
+	return result, nil
+}
+
+// restore re-adds GPU g to the available graph along with its links to
+// every currently-free GPU, undoing the removal done at allocation.
+func restore(avail *graph.Graph, top *topology.Topology, g int) {
+	avail.AddVertex(g)
+	for _, v := range avail.Vertices() {
+		if v == g {
+			continue
+		}
+		e, ok := top.Graph.EdgeBetween(g, v)
+		if !ok {
+			panic(fmt.Sprintf("sched: topology %s missing edge (%d,%d)", top.Name, g, v))
+		}
+		avail.MustAddEdge(g, v, e.Weight, e.Label)
+	}
+}

@@ -1,0 +1,136 @@
+// Package score implements MAPA's pattern-scoring metrics (Sec. 3.4 and
+// 3.5.1 of the paper):
+//
+//   - Aggregated Bandwidth (Eq. 1): total bandwidth of the hardware
+//     links the application pattern actually uses in a match.
+//   - Predicted Effective Bandwidth (Eq. 2, via internal/effbw): the
+//     learned estimate of the bandwidth the allocation will achieve.
+//   - Preserved Bandwidth (Eq. 3): the aggregate bandwidth remaining in
+//     the hardware graph if the match is allocated, i.e. the bandwidth
+//     left for future jobs.
+//
+// The (x, y, z) link mix fed to the Eq. 2 predictor is derived from the
+// ring channels NCCL would construct over the allocation — a
+// deterministic topology analysis (ncclsim.Decompose), not a
+// benchmark run. This matches how the collective library actually uses
+// links and makes the predictor's inputs consistent with its training
+// distribution; scoring by the raw pattern-edge mix is available as
+// UsedLinkMix for the paper-literal ablation.
+package score
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"mapa/internal/effbw"
+	"mapa/internal/graph"
+	"mapa/internal/match"
+	"mapa/internal/ncclsim"
+	"mapa/internal/topology"
+)
+
+// AggregatedBandwidth computes Eq. 1: the sum of the weights of the
+// data-graph edges that are images of pattern edges, Σ w(e) for
+// e ∈ E(P) ∩ E(M).
+func AggregatedBandwidth(pattern, hw *graph.Graph, m match.Match) float64 {
+	var sum float64
+	for _, e := range m.UsedEdges(pattern, hw) {
+		sum += e.Weight
+	}
+	return sum
+}
+
+// UsedLinkMix returns the (x, y, z) link mix of the hardware links the
+// match's pattern edges map onto — the literal E(P) ∩ E(M) reading of
+// the paper's Eq. 2 input.
+func UsedLinkMix(pattern, hw *graph.Graph, m match.Match) effbw.LinkCounts {
+	return effbw.CountLinks(m.UsedEdges(pattern, hw))
+}
+
+// PreservedBandwidth computes Eq. 3: the total weight of the subgraph
+// of hw induced by the vertices not in the allocation. allocated may
+// be any vertex set; vertices absent from hw are ignored.
+func PreservedBandwidth(hw *graph.Graph, allocated []int) float64 {
+	return hw.Without(allocated).TotalWeight()
+}
+
+// Scorer evaluates all three MAPA metrics for candidate matches
+// against one effective-bandwidth model. It memoizes the per-subset
+// ring-channel analysis, which depends only on (topology, GPU set).
+// Scorer is safe for concurrent use.
+type Scorer struct {
+	Model *effbw.Model
+
+	mu       sync.Mutex
+	mixCache map[string]effbw.LinkCounts
+}
+
+// NewScorer returns a Scorer using the given Eq. 2 model. A nil model
+// defaults to the paper's published Table 2 coefficients.
+func NewScorer(m *effbw.Model) *Scorer {
+	if m == nil {
+		m = effbw.PaperModel()
+	}
+	return &Scorer{Model: m, mixCache: make(map[string]effbw.LinkCounts)}
+}
+
+// Scores bundles every metric MAPA considers for one match.
+type Scores struct {
+	AggBW       float64
+	EffBW       float64
+	PreservedBW float64
+	Mix         effbw.LinkCounts
+}
+
+// AllocationMix returns the (x, y, z) mix of the links the collective
+// library's ring channels would traverse on the given allocation,
+// memoized per GPU set.
+func (s *Scorer) AllocationMix(top *topology.Topology, gpus []int) effbw.LinkCounts {
+	key := mixKey(top.Name, gpus)
+	s.mu.Lock()
+	if mix, ok := s.mixCache[key]; ok {
+		s.mu.Unlock()
+		return mix
+	}
+	s.mu.Unlock()
+	mix := effbw.MixFromDecomposition(top, ncclsim.Decompose(top, gpus))
+	s.mu.Lock()
+	s.mixCache[key] = mix
+	s.mu.Unlock()
+	return mix
+}
+
+func mixKey(name string, gpus []int) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, g := range gpus {
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(g))
+	}
+	return b.String()
+}
+
+// Score evaluates the match of pattern into hw on the given machine.
+// top supplies the physical link structure for the ring-channel
+// analysis; if nil, the EffBW prediction falls back to the literal
+// pattern-edge mix.
+func (s *Scorer) Score(top *topology.Topology, pattern, hw *graph.Graph, m match.Match) Scores {
+	var mix effbw.LinkCounts
+	if top != nil {
+		mix = s.AllocationMix(top, m.DataVertices())
+	} else {
+		mix = UsedLinkMix(pattern, hw, m)
+	}
+	return Scores{
+		AggBW:       AggregatedBandwidth(pattern, hw, m),
+		EffBW:       s.Model.Predict(mix),
+		PreservedBW: PreservedBandwidth(hw, m.DataVertices()),
+		Mix:         mix,
+	}
+}
+
+// EffectiveBandwidth returns only the Eq. 2 prediction for the match.
+func (s *Scorer) EffectiveBandwidth(top *topology.Topology, pattern, hw *graph.Graph, m match.Match) float64 {
+	return s.Score(top, pattern, hw, m).EffBW
+}

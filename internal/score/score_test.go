@@ -1,0 +1,199 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mapa/internal/effbw"
+	"mapa/internal/graph"
+	"mapa/internal/match"
+	"mapa/internal/topology"
+)
+
+func ringPattern(k int) *graph.Graph {
+	g := graph.New()
+	for v := 0; v < k; v++ {
+		g.MustAddEdge(v, (v+1)%k, 1, 0)
+	}
+	return g
+}
+
+func mustMatch(t *testing.T, pattern, hw *graph.Graph, data []int) match.Match {
+	t.Helper()
+	m := match.Match{Pattern: pattern.Vertices(), Data: data}
+	if !match.IsEmbedding(pattern, hw, m) {
+		t.Fatalf("test setup: %v is not an embedding", data)
+	}
+	return m
+}
+
+func TestAggregatedBandwidthPaperExample(t *testing.T) {
+	// Fig. 10 / Sec. 2.2: the 3-GPU allocation {1,2,5} (0-indexed
+	// {0,1,4}) of a triangle pattern aggregates 87 GB/s; the ideal
+	// {1,3,4} ({0,2,3}) aggregates 125 GB/s.
+	top := topology.DGXV100()
+	tri := ringPattern(3)
+	m := mustMatch(t, tri, top.Graph, []int{0, 1, 4})
+	if got := AggregatedBandwidth(tri, top.Graph, m); got != 87 {
+		t.Errorf("AggBW({0,1,4}) = %g, want 87", got)
+	}
+	m = mustMatch(t, tri, top.Graph, []int{0, 2, 3})
+	if got := AggregatedBandwidth(tri, top.Graph, m); got != 125 {
+		t.Errorf("AggBW({0,2,3}) = %g, want 125", got)
+	}
+}
+
+func TestAggregatedBandwidthUsesOnlyPatternEdges(t *testing.T) {
+	// A chain pattern over 3 GPUs uses 2 links, not the full triangle.
+	top := topology.DGXV100()
+	chain := graph.New()
+	chain.MustAddEdge(0, 1, 1, 0)
+	chain.MustAddEdge(1, 2, 1, 0)
+	m := mustMatch(t, chain, top.Graph, []int{0, 2, 3})
+	// Mapping is positional: pattern 0->0, 1->2, 2->3.
+	// Links used: (0,2) single 25 + (2,3) double 50 = 75.
+	if got := AggregatedBandwidth(chain, top.Graph, m); got != 75 {
+		t.Errorf("chain AggBW = %g, want 75", got)
+	}
+}
+
+func TestPreservedBandwidthPaperFigure(t *testing.T) {
+	// Fig. 10 (right): allocating {1,2,4} (0-indexed {0,1,3}) preserves
+	// the aggregate bandwidth of the remaining 5 GPUs.
+	top := topology.DGXV100()
+	preserved := PreservedBandwidth(top.Graph, []int{0, 1, 3})
+	want := top.Graph.InducedSubgraph([]int{2, 4, 5, 6, 7}).TotalWeight()
+	if preserved != want {
+		t.Errorf("PreservedBW = %g, want %g", preserved, want)
+	}
+	// Sanity: preserving after allocating nothing = whole graph.
+	if got := PreservedBandwidth(top.Graph, nil); got != top.Graph.TotalWeight() {
+		t.Errorf("PreservedBW(nil) = %g", got)
+	}
+	// Allocating everything preserves nothing.
+	if got := PreservedBandwidth(top.Graph, top.GPUs()); got != 0 {
+		t.Errorf("PreservedBW(all) = %g", got)
+	}
+}
+
+func TestUsedLinkMix(t *testing.T) {
+	top := topology.DGXV100()
+	tri := ringPattern(3)
+	m := mustMatch(t, tri, top.Graph, []int{0, 1, 4})
+	mix := UsedLinkMix(tri, top.Graph, m)
+	if mix != (effbw.LinkCounts{X: 1, Y: 1, Z: 1}) {
+		t.Errorf("mix = %+v", mix)
+	}
+}
+
+func TestScorerDefaultsToPaperModel(t *testing.T) {
+	s := NewScorer(nil)
+	if s.Model == nil || len(s.Model.Theta) != effbw.NumFeatures {
+		t.Fatal("nil model should default to the paper model")
+	}
+	if s.Model.Theta[0] != 16.396 {
+		t.Fatal("default model is not Table 2")
+	}
+}
+
+func TestScoreBundlesAllMetrics(t *testing.T) {
+	top := topology.DGXV100()
+	tri := ringPattern(3)
+	s := NewScorer(nil)
+	m := mustMatch(t, tri, top.Graph, []int{0, 2, 3})
+	sc := s.Score(nil, tri, top.Graph, m)
+	if sc.AggBW != 125 {
+		t.Errorf("AggBW = %g", sc.AggBW)
+	}
+	if sc.Mix != (effbw.LinkCounts{X: 2, Y: 1, Z: 0}) {
+		t.Errorf("Mix = %+v", sc.Mix)
+	}
+	if sc.EffBW != s.Model.Predict(sc.Mix) {
+		t.Errorf("EffBW = %g", sc.EffBW)
+	}
+	if sc.PreservedBW != PreservedBandwidth(top.Graph, []int{0, 2, 3}) {
+		t.Errorf("PreservedBW = %g", sc.PreservedBW)
+	}
+	if sc.EffBW != s.EffectiveBandwidth(nil, tri, top.Graph, m) {
+		t.Error("EffectiveBandwidth disagrees with Score")
+	}
+}
+
+func TestBetterMixScoresHigherEffBW(t *testing.T) {
+	// The core of MAPA: the ideal allocation must out-score the
+	// fragmented one under the learned model too.
+	top := topology.DGXV100()
+	tri := ringPattern(3)
+	model, _, err := effbw.Train(top, effbw.DefaultSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScorer(model)
+	frag := s.Score(top, tri, top.Graph, mustMatch(t, tri, top.Graph, []int{0, 1, 4}))
+	ideal := s.Score(top, tri, top.Graph, mustMatch(t, tri, top.Graph, []int{0, 2, 3}))
+	if ideal.EffBW <= frag.EffBW {
+		t.Errorf("ideal EffBW %g should beat fragmented %g", ideal.EffBW, frag.EffBW)
+	}
+	if ideal.AggBW <= frag.AggBW {
+		t.Errorf("ideal AggBW %g should beat fragmented %g", ideal.AggBW, frag.AggBW)
+	}
+}
+
+// Property: for every deduped match of a ring pattern, AggBW is at
+// most the total weight of the induced subgraph, and PreservedBW +
+// allocated induced weight + cut weight = total graph weight.
+func TestScoreConservationProperty(t *testing.T) {
+	top := topology.DGXV100()
+	total := top.Graph.TotalWeight()
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%4) + 2
+		r := rand.New(rand.NewSource(seed))
+		p := ringPattern(k)
+		ms := match.FindAllDeduped(p, top.Graph)
+		if len(ms) == 0 {
+			return false
+		}
+		m := ms[r.Intn(len(ms))]
+		vs := m.DataVertices()
+		induced := top.Graph.InducedSubgraph(vs).TotalWeight()
+		agg := AggregatedBandwidth(p, top.Graph, m)
+		if agg > induced+1e-9 {
+			return false
+		}
+		preserved := PreservedBandwidth(top.Graph, vs)
+		// Cut edges: one endpoint in, one out.
+		var cut float64
+		in := make(map[int]bool)
+		for _, v := range vs {
+			in[v] = true
+		}
+		for _, e := range top.Graph.Edges() {
+			if in[e.U] != in[e.V] {
+				cut += e.Weight
+			}
+		}
+		return math.Abs(preserved+induced+cut-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PreservedBandwidth is antitone — allocating more vertices
+// never preserves more bandwidth.
+func TestPreservedAntitoneProperty(t *testing.T) {
+	top := topology.DGXV100()
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%6) + 1
+		r := rand.New(rand.NewSource(seed))
+		perm := r.Perm(top.NumGPUs())
+		small := perm[:k]
+		big := perm[:k+1]
+		return PreservedBandwidth(top.Graph, big) <= PreservedBandwidth(top.Graph, small)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

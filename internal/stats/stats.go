@@ -1,0 +1,129 @@
+// Package stats provides the descriptive statistics the paper's
+// evaluation reports: quartile summaries for box plots (Figs. 4, 13,
+// 18), CDFs (Fig. 5a), and correlation plots (Figs. 11, 12, 15).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary is a five-number summary plus mean, matching the box plots
+// in the paper.
+type Summary struct {
+	N               int
+	Min, Q1, Median float64
+	Q3, Max, Mean   float64
+}
+
+// Summarize computes the five-number summary of the values. It panics
+// on an empty slice — callers summarize experiment outputs that must
+// be non-empty.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		panic("stats: cannot summarize empty data")
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Q1:     Percentile(s, 25),
+		Median: Percentile(s, 50),
+		Q3:     Percentile(s, 75),
+		Max:    s[len(s)-1],
+		Mean:   sum / float64(len(s)),
+	}
+}
+
+// Percentile returns the p-th percentile (0..100) of sorted values
+// using linear interpolation between closest ranks. The input must be
+// sorted ascending and non-empty.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: percentile of empty data")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// PercentileOf sorts a copy of values and returns the p-th percentile.
+func PercentileOf(values []float64, p float64) float64 {
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	return Percentile(s, p)
+}
+
+// String renders the summary in one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f mean=%.3f",
+		s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean)
+}
+
+// CDF returns the empirical cumulative distribution of values at the
+// given probe points: fraction of values ≤ probe.
+func CDF(values, probes []float64) []float64 {
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	out := make([]float64, len(probes))
+	for i, p := range probes {
+		out[i] = float64(sort.SearchFloat64s(s, math.Nextafter(p, math.Inf(1)))) / float64(len(s))
+	}
+	return out
+}
+
+// Histogram buckets values into n equal-width bins over [min, max] and
+// returns the counts. Values outside the range clamp to the end bins.
+func Histogram(values []float64, min, max float64, n int) []int {
+	if n <= 0 || max <= min {
+		panic(fmt.Sprintf("stats: invalid histogram spec [%g,%g) x %d", min, max, n))
+	}
+	counts := make([]int, n)
+	width := (max - min) / float64(n)
+	for _, v := range values {
+		b := int((v - min) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// BoxPlotRow renders a labeled summary as a fixed-width table row, the
+// textual stand-in for the paper's box plots.
+func BoxPlotRow(label string, s Summary) string {
+	return fmt.Sprintf("%-14s min=%8.2f q1=%8.2f med=%8.2f q3=%8.2f max=%8.2f",
+		label, s.Min, s.Q1, s.Median, s.Q3, s.Max)
+}
+
+// Table renders aligned rows of label → summary for experiment output.
+func Table(rows []string) string {
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(r)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("quartiles = %g, %g", s.Q1, s.Q3)
+	}
+}
+
+func TestSummarizeSingleValue(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Q1 != 7 || s.Median != 7 || s.Q3 != 7 || s.Max != 7 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeUnsortedInputUnchanged(t *testing.T) {
+	in := []float64{5, 1, 3}
+	_ = Summarize(in)
+	if in[0] != 5 || in[1] != 1 || in[2] != 3 {
+		t.Fatal("Summarize must not mutate its input")
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty input should panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {75, 32.5},
+		{-5, 10}, {150, 40},
+	}
+	for _, tc := range cases {
+		if got := Percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("P%g = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestPercentileOfUnsorted(t *testing.T) {
+	if got := PercentileOf([]float64{40, 10, 30, 20}, 50); got != 25 {
+		t.Fatalf("PercentileOf = %g", got)
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty input should panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestCDF(t *testing.T) {
+	values := []float64{1, 2, 2, 3}
+	got := CDF(values, []float64{0, 1, 2, 3, 4})
+	want := []float64{0, 0.25, 0.75, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CDF = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	values := []float64{0.1, 0.2, 0.55, 0.9, -1, 2}
+	counts := Histogram(values, 0, 1, 2)
+	// -1 clamps into bin 0; 2 clamps into bin 1.
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Fatalf("histogram = %v", counts)
+	}
+}
+
+func TestHistogramInvalidSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid spec should panic")
+		}
+	}()
+	Histogram([]float64{1}, 1, 1, 3)
+}
+
+func TestStringAndRows(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if !strings.Contains(s.String(), "med=2.000") {
+		t.Fatalf("String = %q", s.String())
+	}
+	row := BoxPlotRow("vgg-16", s)
+	if !strings.Contains(row, "vgg-16") || !strings.Contains(row, "med=") {
+		t.Fatalf("row = %q", row)
+	}
+	tbl := Table([]string{"a", "b"})
+	if tbl != "a\nb\n" {
+		t.Fatalf("table = %q", tbl)
+	}
+}
+
+// Property: min ≤ q1 ≤ median ≤ q3 ≤ max and mean within [min, max].
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		r := rand.New(rand.NewSource(seed))
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = r.NormFloat64() * 100
+		}
+		s := Summarize(vs)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 &&
+			s.Q3 <= s.Max && s.Mean >= s.Min && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF is monotone non-decreasing and hits 1 above the max.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		r := rand.New(rand.NewSource(seed))
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = r.Float64() * 50
+		}
+		probes := []float64{-1, 10, 20, 30, 40, 51}
+		cdf := CDF(vs, probes)
+		if !sort.Float64sAreSorted(cdf) {
+			return false
+		}
+		return cdf[len(cdf)-1] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile matches direct definition at data points.
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(seed int64, nRaw, pRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		p := float64(pRaw % 101)
+		r := rand.New(rand.NewSource(seed))
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = r.Float64() * 100
+		}
+		sort.Float64s(vs)
+		v := Percentile(vs, p)
+		return v >= vs[0] && v <= vs[n-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+// Package topology models multi-accelerator server hardware as weighted
+// graphs. It provides the link-type taxonomy of Table 1 of the MAPA paper
+// and builders for every hardware topology the paper evaluates: the
+// DGX-1 P100 and DGX-1 V100 hybrid cube meshes (Fig. 1b/1c), a Summit
+// node (Fig. 1a), and the 16-GPU Torus-2d and Cube-mesh exploration
+// topologies (Fig. 17), plus generic generators.
+//
+// As in the paper (Sec. 3.2), the hardware graph handed to the pattern
+// matcher is fully connected: every GPU pair without a direct NVLink is
+// joined by a PCIe edge, because a host-routed path always exists. Each
+// edge is labeled with the *highest* available link between the pair.
+package topology
+
+import "fmt"
+
+// LinkType enumerates the inter-accelerator link classes of Table 1.
+type LinkType int
+
+const (
+	// LinkPCIe is a 16-lane PCIe Gen3 path (possibly traversing the
+	// host and QPI), 12 GB/s.
+	LinkPCIe LinkType = iota
+	// LinkNVLink1 is a single NVLink-v1 brick, 20 GB/s (P100).
+	LinkNVLink1
+	// LinkNVLink2 is a single NVLink-v2 brick, 25 GB/s (V100).
+	LinkNVLink2
+	// LinkNVLink2x2 is a double NVLink-v2 connection, 50 GB/s.
+	LinkNVLink2x2
+	// LinkNVSwitch is an NVSwitch-routed path (DGX-2 class). The paper
+	// mentions but does not evaluate NVSwitch systems; it is included
+	// as an extension topology.
+	LinkNVSwitch
+	// LinkIntraGPU is the on-die path between MIG slices of the same
+	// physical GPU — the virtualized-accelerator extension the paper
+	// sketches in Sec. 3.2/3.3.
+	LinkIntraGPU
+
+	numLinkTypes
+)
+
+// Bandwidth returns the peak bandwidth of the link type in GB/s
+// (Table 1 of the paper).
+func (l LinkType) Bandwidth() float64 {
+	switch l {
+	case LinkPCIe:
+		return 12
+	case LinkNVLink1:
+		return 20
+	case LinkNVLink2:
+		return 25
+	case LinkNVLink2x2:
+		return 50
+	case LinkNVSwitch:
+		return 150
+	case LinkIntraGPU:
+		return 200
+	}
+	panic(fmt.Sprintf("topology: unknown link type %d", int(l)))
+}
+
+// String returns the nvidia-smi-style abbreviation for the link type.
+func (l LinkType) String() string {
+	switch l {
+	case LinkPCIe:
+		return "SYS"
+	case LinkNVLink1:
+		return "NV1"
+	case LinkNVLink2:
+		return "NV1x" // one NVLink-v2 brick
+	case LinkNVLink2x2:
+		return "NV2x" // two NVLink-v2 bricks
+	case LinkNVSwitch:
+		return "NVS"
+	case LinkIntraGPU:
+		return "MIG"
+	}
+	return fmt.Sprintf("LinkType(%d)", int(l))
+}
+
+// Name returns the human-readable link name used in the paper's Table 1.
+func (l LinkType) Name() string {
+	switch l {
+	case LinkPCIe:
+		return "16-lanes PCIe Gen 3"
+	case LinkNVLink1:
+		return "Single NVLink-v1"
+	case LinkNVLink2:
+		return "Single NVLink-v2"
+	case LinkNVLink2x2:
+		return "Double NVLink-v2"
+	case LinkNVSwitch:
+		return "NVSwitch"
+	case LinkIntraGPU:
+		return "MIG on-die"
+	}
+	return l.String()
+}
+
+// AllLinkTypes returns every defined link type, in ascending bandwidth
+// order of the paper's evaluated links followed by the NVSwitch
+// extension.
+func AllLinkTypes() []LinkType {
+	return []LinkType{LinkPCIe, LinkNVLink1, LinkNVLink2, LinkNVLink2x2, LinkNVSwitch, LinkIntraGPU}
+}
+
+// ParseLinkType parses both String and Name spellings of a link type.
+func ParseLinkType(s string) (LinkType, error) {
+	for _, l := range AllLinkTypes() {
+		if s == l.String() || s == l.Name() {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown link type %q", s)
+}

@@ -1,0 +1,115 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseMatrix parses an nvidia-smi-style link matrix — the format
+// Matrix renders and the format `nvidia-smi topo -m` reports — into a
+// Topology. The first line is a header of GPU names; each following
+// line is "GPU<i>" followed by one cell per GPU: "X" on the diagonal
+// and a link abbreviation elsewhere (SYS, NV1, NV1x, NV2x, NVS, MIG).
+// The matrix must be symmetric. Sockets default to the low/high halves
+// of the ID space, matching the dual-root-complex layout of the
+// machines the paper studies; callers may override Sockets afterwards.
+func ParseMatrix(r io.Reader) (*Topology, error) {
+	sc := bufio.NewScanner(r)
+	var header []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		header = strings.Fields(line)
+		break
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: reading matrix: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("topology: empty matrix")
+	}
+	ids := make([]int, len(header))
+	for i, name := range header {
+		id, err := parseGPUName(name)
+		if err != nil {
+			return nil, fmt.Errorf("topology: header column %d: %w", i, err)
+		}
+		ids[i] = id
+	}
+
+	n := len(ids)
+	links := make([][]string, 0, n)
+	rowIDs := make([]int, 0, n)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != n+1 {
+			return nil, fmt.Errorf("topology: row %d has %d cells, want %d", len(links)+1, len(fields)-1, n)
+		}
+		id, err := parseGPUName(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("topology: row %d: %w", len(links)+1, err)
+		}
+		rowIDs = append(rowIDs, id)
+		links = append(links, fields[1:])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: reading matrix: %w", err)
+	}
+	if len(links) != n {
+		return nil, fmt.Errorf("topology: %d rows for %d columns", len(links), n)
+	}
+	for i, id := range rowIDs {
+		if id != ids[i] {
+			return nil, fmt.Errorf("topology: row %d is GPU%d but column %d is GPU%d", i, id, i, ids[i])
+		}
+	}
+
+	b := newBuilder("parsed", n)
+	// Map external IDs to dense 0..n-1 in header order.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			cell := links[i][j]
+			if i == j {
+				if cell != "X" {
+					return nil, fmt.Errorf("topology: diagonal (%d,%d) is %q, want X", i, j, cell)
+				}
+				continue
+			}
+			if cell != links[j][i] {
+				return nil, fmt.Errorf("topology: asymmetric matrix at (%d,%d): %q vs %q", i, j, cell, links[j][i])
+			}
+			if j < i {
+				continue
+			}
+			lt, err := ParseLinkType(cell)
+			if err != nil {
+				return nil, fmt.Errorf("topology: cell (%d,%d): %w", i, j, err)
+			}
+			if lt != LinkPCIe { // the builder adds PCIe fallback itself
+				b.link(i, j, lt)
+			}
+		}
+	}
+	b.sockets = [][]int{intRange(0, n/2), intRange(n/2, n)}
+	return b.build(), nil
+}
+
+func parseGPUName(s string) (int, error) {
+	if !strings.HasPrefix(s, "GPU") {
+		return 0, fmt.Errorf("bad GPU name %q", s)
+	}
+	id, err := strconv.Atoi(strings.TrimPrefix(s, "GPU"))
+	if err != nil || id < 0 {
+		return 0, fmt.Errorf("bad GPU name %q", s)
+	}
+	return id, nil
+}

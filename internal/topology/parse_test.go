@@ -1,0 +1,84 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMatrixRoundTrip(t *testing.T) {
+	// Render every built-in topology and parse it back; link structure
+	// must survive (except NumGPUs=6 Summit sockets, which default to
+	// halves — same as Summit's real layout).
+	for _, name := range Names() {
+		orig, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParseMatrix(strings.NewReader(orig.Matrix()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if parsed.NumGPUs() != orig.NumGPUs() {
+			t.Fatalf("%s: %d GPUs, want %d", name, parsed.NumGPUs(), orig.NumGPUs())
+		}
+		for _, u := range orig.GPUs() {
+			for _, v := range orig.GPUs() {
+				if u == v {
+					continue
+				}
+				if parsed.Link(u, v) != orig.Link(u, v) {
+					t.Fatalf("%s: link(%d,%d) = %s, want %s", name, u, v, parsed.Link(u, v), orig.Link(u, v))
+				}
+			}
+		}
+		if err := parsed.Validate(); err != nil {
+			t.Fatalf("%s: parsed topology invalid: %v", name, err)
+		}
+	}
+}
+
+func TestParseMatrixSkipsCommentsAndBlanks(t *testing.T) {
+	in := `# nvidia-smi topo -m
+      GPU0  GPU1
+
+GPU0  X     NV2x
+GPU1  NV2x  X
+`
+	top, err := ParseMatrix(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumGPUs() != 2 || top.Link(0, 1) != LinkNVLink2x2 {
+		t.Fatalf("parsed: %d GPUs, link %s", top.NumGPUs(), top.Link(0, 1))
+	}
+}
+
+func TestParseMatrixErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad header", "FOO0 FOO1\nGPU0 X SYS\nGPU1 SYS X"},
+		{"row count", "GPU0 GPU1\nGPU0 X SYS"},
+		{"cell count", "GPU0 GPU1\nGPU0 X\nGPU1 SYS X"},
+		{"bad row name", "GPU0 GPU1\nCPU0 X SYS\nGPU1 SYS X"},
+		{"row order", "GPU0 GPU1\nGPU1 X SYS\nGPU0 SYS X"},
+		{"diagonal", "GPU0 GPU1\nGPU0 SYS SYS\nGPU1 SYS X"},
+		{"asymmetric", "GPU0 GPU1\nGPU0 X NV2x\nGPU1 SYS X"},
+		{"unknown link", "GPU0 GPU1\nGPU0 X WARP\nGPU1 WARP X"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseMatrix(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected parse error", tc.name)
+		}
+	}
+}
+
+func TestParseGPUName(t *testing.T) {
+	if id, err := parseGPUName("GPU12"); err != nil || id != 12 {
+		t.Fatalf("parseGPUName(GPU12) = %d, %v", id, err)
+	}
+	for _, bad := range []string{"gpu0", "GPU-1", "GPUx", "12"} {
+		if _, err := parseGPUName(bad); err == nil {
+			t.Errorf("%q should not parse", bad)
+		}
+	}
+}

@@ -1,0 +1,437 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mapa/internal/graph"
+)
+
+// Topology is a multi-accelerator server model. Graph is the fully
+// connected hardware graph the pattern matcher mines (PCIe fallback
+// edges included); Physical holds only the direct point-to-point links
+// (no PCIe fallback), which is what NCCL-style ring construction uses;
+// Sockets groups GPU IDs by CPU socket / PCIe tree, which the
+// Topo-aware baseline policy partitions on.
+type Topology struct {
+	Name     string
+	Graph    *graph.Graph
+	Physical *graph.Graph
+	Sockets  [][]int
+}
+
+// NumGPUs returns the accelerator count.
+func (t *Topology) NumGPUs() int { return t.Graph.NumVertices() }
+
+// GPUs returns all GPU IDs in ascending order.
+func (t *Topology) GPUs() []int { return t.Graph.Vertices() }
+
+// Link returns the best link type between two GPUs.
+func (t *Topology) Link(u, v int) LinkType {
+	e, ok := t.Graph.EdgeBetween(u, v)
+	if !ok {
+		panic(fmt.Sprintf("topology %s: no edge between %d and %d (graph must be complete)", t.Name, u, v))
+	}
+	return LinkType(e.Label)
+}
+
+// SocketOf returns the socket index of GPU v, or -1 if unknown.
+func (t *Topology) SocketOf(v int) int {
+	for i, s := range t.Sockets {
+		for _, g := range s {
+			if g == v {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Validate checks the structural invariants every Topology must satisfy:
+// a complete hardware graph, physical links being a subgraph of the
+// hardware graph with matching labels on non-PCIe pairs, and sockets
+// partitioning the GPU set.
+func (t *Topology) Validate() error {
+	n := t.Graph.NumVertices()
+	if n == 0 {
+		return fmt.Errorf("topology %s: empty", t.Name)
+	}
+	if want := n * (n - 1) / 2; t.Graph.NumEdges() != want {
+		return fmt.Errorf("topology %s: hardware graph not complete: %d edges, want %d", t.Name, t.Graph.NumEdges(), want)
+	}
+	for _, e := range t.Graph.Edges() {
+		if LinkType(e.Label).Bandwidth() != e.Weight {
+			return fmt.Errorf("topology %s: edge (%d,%d) weight %g mismatches label %s", t.Name, e.U, e.V, e.Weight, LinkType(e.Label))
+		}
+	}
+	for _, e := range t.Physical.Edges() {
+		ge, ok := t.Graph.EdgeBetween(e.U, e.V)
+		if !ok {
+			return fmt.Errorf("topology %s: physical edge (%d,%d) missing from hardware graph", t.Name, e.U, e.V)
+		}
+		if ge.Label != e.Label {
+			return fmt.Errorf("topology %s: physical edge (%d,%d) label %s differs from hardware graph %s",
+				t.Name, e.U, e.V, LinkType(e.Label), LinkType(ge.Label))
+		}
+	}
+	seen := make(map[int]bool)
+	for _, s := range t.Sockets {
+		for _, g := range s {
+			if !t.Graph.HasVertex(g) {
+				return fmt.Errorf("topology %s: socket GPU %d not in graph", t.Name, g)
+			}
+			if seen[g] {
+				return fmt.Errorf("topology %s: GPU %d in multiple sockets", t.Name, g)
+			}
+			seen[g] = true
+		}
+	}
+	if len(seen) != 0 && len(seen) != n {
+		return fmt.Errorf("topology %s: sockets cover %d of %d GPUs", t.Name, len(seen), n)
+	}
+	return nil
+}
+
+// LinkMix counts the links of each type among the given edge set.
+// Index the result by LinkType.
+func LinkMix(edges []graph.Edge) [5]int {
+	var mix [5]int
+	for _, e := range edges {
+		mix[e.Label]++
+	}
+	return mix
+}
+
+// builder assembles a Topology from a physical link list, then
+// completes the hardware graph with PCIe fallback edges.
+type builder struct {
+	name     string
+	n        int
+	physical *graph.Graph
+	sockets  [][]int
+}
+
+func newBuilder(name string, n int) *builder {
+	b := &builder{name: name, n: n, physical: graph.New()}
+	for v := 0; v < n; v++ {
+		b.physical.AddVertex(v)
+	}
+	return b
+}
+
+// link adds a physical point-to-point link of the given type.
+func (b *builder) link(u, v int, l LinkType) {
+	b.physical.MustAddEdge(u, v, l.Bandwidth(), int(l))
+}
+
+func (b *builder) build() *Topology {
+	g := b.physical.Clone()
+	for u := 0; u < b.n; u++ {
+		for v := u + 1; v < b.n; v++ {
+			if !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v, LinkPCIe.Bandwidth(), int(LinkPCIe))
+			}
+		}
+	}
+	t := &Topology{Name: b.name, Graph: g, Physical: b.physical, Sockets: b.sockets}
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// DGXV100 returns the NVIDIA DGX-1 with Volta GPUs (Fig. 1c): eight
+// GPUs in a hybrid cube mesh with a mix of single and double NVLink-v2
+// bricks. The link matrix reproduces the published nvidia-smi topology,
+// which is consistent with every worked example in the paper: GPUs
+// (1,5) 1-indexed share a double link, (1,2) a single link, (1,6) only
+// PCIe; allocation {1,2,5} aggregates 87 GB/s and the ideal {1,3,4}
+// aggregates 125 GB/s.
+func DGXV100() *Topology {
+	b := newBuilder("DGX-1-V100", 8)
+	b.sockets = [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	// The canonical DGX-1V NVLink matrix:
+	//      0    1    2    3    4    5    6    7
+	// 0    X   NV1  NV1  NV2  NV2  SYS  SYS  SYS
+	// 1   NV1   X   NV2  NV1  SYS  NV2  SYS  SYS
+	// 2   NV1  NV2   X   NV2  SYS  SYS  NV1  SYS
+	// 3   NV2  NV1  NV2   X   SYS  SYS  SYS  NV1
+	// 4   NV2  SYS  SYS  SYS   X   NV1  NV1  NV2
+	// 5   SYS  NV2  SYS  SYS  NV1   X   NV2  NV1
+	// 6   SYS  SYS  NV1  SYS  NV1  NV2   X   NV2
+	// 7   SYS  SYS  SYS  NV1  NV2  NV1  NV2   X
+	single := [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 6}, {3, 7}, {4, 5}, {4, 6}, {5, 7}}
+	double := [][2]int{{0, 3}, {0, 4}, {1, 2}, {1, 5}, {2, 3}, {4, 7}, {5, 6}, {6, 7}}
+	for _, p := range single {
+		b.link(p[0], p[1], LinkNVLink2)
+	}
+	for _, p := range double {
+		b.link(p[0], p[1], LinkNVLink2x2)
+	}
+	return b.build()
+}
+
+// DGXP100 returns the NVIDIA DGX-1 with Pascal GPUs (Fig. 1b): the same
+// hybrid cube mesh but with four single NVLink-v1 bricks per GPU and no
+// doubled links. Each quad {0..3} and {4..7} is fully connected and
+// GPU i pairs with GPU i+4 across the quads.
+func DGXP100() *Topology {
+	b := newBuilder("DGX-1-P100", 8)
+	b.sockets = [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	for _, q := range [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}} {
+		for i := 0; i < len(q); i++ {
+			for j := i + 1; j < len(q); j++ {
+				b.link(q[i], q[j], LinkNVLink1)
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		b.link(i, i+4, LinkNVLink1)
+	}
+	return b.build()
+}
+
+// Summit returns one node of ORNL Summit (Fig. 1a): six V100 GPUs split
+// across two POWER9 sockets of three GPUs each. Within a socket the
+// three GPUs are fully connected with double NVLink-v2 bricks; the
+// sockets communicate over the X-bus, modeled as the PCIe-class
+// fallback link.
+func Summit() *Topology {
+	b := newBuilder("Summit", 6)
+	b.sockets = [][]int{{0, 1, 2}, {3, 4, 5}}
+	for _, s := range b.sockets {
+		for i := 0; i < len(s); i++ {
+			for j := i + 1; j < len(s); j++ {
+				b.link(s[i], s[j], LinkNVLink2x2)
+			}
+		}
+	}
+	return b.build()
+}
+
+// DGX2 returns an NVSwitch-connected 16-GPU system (DGX-2 class). All
+// pairs communicate at NVSwitch bandwidth; the paper notes such systems
+// still exhibit NUMA effects but evaluates only point-to-point
+// topologies, so this is provided as an extension.
+func DGX2() *Topology {
+	b := newBuilder("DGX-2", 16)
+	b.sockets = [][]int{{0, 1, 2, 3, 4, 5, 6, 7}, {8, 9, 10, 11, 12, 13, 14, 15}}
+	for u := 0; u < 16; u++ {
+		for v := u + 1; v < 16; v++ {
+			b.link(u, v, LinkNVSwitch)
+		}
+	}
+	return b.build()
+}
+
+// Torus2D returns the paper's 16-GPU Torus-2d exploration topology
+// (Fig. 17a): a 4x4 grid with wraparound links. Following the figure's
+// mix of link classes, horizontal (row) links are double NVLink-v2 and
+// vertical (column) links are single NVLink-v2; everything else falls
+// back to PCIe. GPU (r,c) has ID 4r+c; sockets are the left and right
+// board halves.
+func Torus2D() *Topology {
+	b := newBuilder("Torus-2d", 16)
+	b.sockets = [][]int{{0, 1, 4, 5, 8, 9, 12, 13}, {2, 3, 6, 7, 10, 11, 14, 15}}
+	id := func(r, c int) int { return 4*((r+4)%4) + (c+4)%4 }
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			b.link(id(r, c), id(r, c+1), LinkNVLink2x2) // horizontal ring
+			b.link(id(r, c), id(r+1, c), LinkNVLink2)   // vertical ring
+		}
+	}
+	return b.build()
+}
+
+// CubeMesh16 returns the paper's 16-GPU Cube-mesh exploration topology
+// (Fig. 17b): two DGX-1-V100 hybrid cube meshes stacked and joined by a
+// single NVLink-v2 brick between corresponding GPUs (i and i+8). This
+// extends NVIDIA's published 8-GPU cube mesh to sixteen GPUs and is
+// deliberately less uniform than the torus, which is the property the
+// paper's exploration stresses.
+func CubeMesh16() *Topology {
+	b := newBuilder("CubeMesh-16", 16)
+	b.sockets = [][]int{{0, 1, 2, 3, 8, 9, 10, 11}, {4, 5, 6, 7, 12, 13, 14, 15}}
+	base := DGXV100()
+	for _, e := range base.Physical.Edges() {
+		b.link(e.U, e.V, LinkType(e.Label))
+		b.link(e.U+8, e.V+8, LinkType(e.Label))
+	}
+	for i := 0; i < 8; i++ {
+		b.link(i, i+8, LinkNVLink2)
+	}
+	return b.build()
+}
+
+// Ring returns a generic n-GPU ring with the given link type on ring
+// edges, useful for synthetic experiments. Sockets split the ring in
+// half.
+func Ring(n int, l LinkType) *Topology {
+	if n < 3 {
+		panic("topology: ring needs at least 3 GPUs")
+	}
+	b := newBuilder(fmt.Sprintf("Ring-%d", n), n)
+	half := make([]int, 0, n/2)
+	rest := make([]int, 0, n-n/2)
+	for v := 0; v < n; v++ {
+		b.link(v, (v+1)%n, l)
+		if v < n/2 {
+			half = append(half, v)
+		} else {
+			rest = append(rest, v)
+		}
+	}
+	b.sockets = [][]int{half, rest}
+	return b.build()
+}
+
+// FullyConnected returns n GPUs all directly joined by the given link
+// type.
+func FullyConnected(n int, l LinkType) *Topology {
+	if n < 2 {
+		panic("topology: fully connected needs at least 2 GPUs")
+	}
+	b := newBuilder(fmt.Sprintf("Full-%d", n), n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.link(u, v, l)
+		}
+	}
+	b.sockets = [][]int{b.physical.Vertices()}
+	return b.build()
+}
+
+// Hypercube returns a 2^dim-GPU hypercube with the given link type on
+// cube edges.
+func Hypercube(dim int, l LinkType) *Topology {
+	if dim < 1 || dim > 6 {
+		panic("topology: hypercube dimension must be in [1,6]")
+	}
+	n := 1 << dim
+	b := newBuilder(fmt.Sprintf("Hypercube-%d", dim), n)
+	for v := 0; v < n; v++ {
+		for d := 0; d < dim; d++ {
+			u := v ^ (1 << d)
+			if v < u {
+				b.link(v, u, l)
+			}
+		}
+	}
+	b.sockets = [][]int{intRange(0, n/2), intRange(n/2, n)}
+	return b.build()
+}
+
+func intRange(lo, hi int) []int {
+	r := make([]int, 0, hi-lo)
+	for v := lo; v < hi; v++ {
+		r = append(r, v)
+	}
+	return r
+}
+
+// ByName returns the named paper topology. Recognized names:
+// dgx-v100, dgx-p100, summit, dgx-2, torus-2d, cubemesh-16.
+func ByName(name string) (*Topology, error) {
+	switch strings.ToLower(name) {
+	case "dgx-v100", "dgxv100", "dgx-1-v100", "dgxv":
+		return DGXV100(), nil
+	case "dgx-p100", "dgxp100", "dgx-1-p100":
+		return DGXP100(), nil
+	case "summit":
+		return Summit(), nil
+	case "dgx-2", "dgx2":
+		return DGX2(), nil
+	case "torus-2d", "torus2d", "torus":
+		return Torus2D(), nil
+	case "cubemesh-16", "cubemesh16", "cube-mesh", "cubemesh":
+		return CubeMesh16(), nil
+	}
+	return nil, fmt.Errorf("topology: unknown topology %q", name)
+}
+
+// Names lists the topologies accepted by ByName, in canonical spelling.
+func Names() []string {
+	return []string{"dgx-v100", "dgx-p100", "summit", "dgx-2", "torus-2d", "cubemesh-16"}
+}
+
+// Matrix renders the nvidia-smi-style link matrix of the topology.
+func (t *Topology) Matrix() string {
+	var b strings.Builder
+	gpus := t.GPUs()
+	fmt.Fprintf(&b, "%-6s", "")
+	for _, v := range gpus {
+		fmt.Fprintf(&b, "%-6s", fmt.Sprintf("GPU%d", v))
+	}
+	b.WriteString("\n")
+	for _, u := range gpus {
+		fmt.Fprintf(&b, "%-6s", fmt.Sprintf("GPU%d", u))
+		for _, v := range gpus {
+			if u == v {
+				fmt.Fprintf(&b, "%-6s", "X")
+				continue
+			}
+			fmt.Fprintf(&b, "%-6s", t.Link(u, v).String())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// PhysicalLinkCounts returns, per link type, how many direct physical
+// links the topology has. Useful for validation and documentation.
+func (t *Topology) PhysicalLinkCounts() map[LinkType]int {
+	counts := make(map[LinkType]int)
+	for _, e := range t.Physical.Edges() {
+		counts[LinkType(e.Label)]++
+	}
+	return counts
+}
+
+// IdealAggregate returns the maximum aggregated bandwidth achievable by
+// any k-GPU induced allocation on the full (idle) topology, considering
+// all pairwise links among the chosen GPUs. This is BW_IdealAllocation
+// in the paper's fragmentation study (Fig. 4). It enumerates all
+// C(n, k) subsets, which is fine for the server sizes MAPA targets.
+func (t *Topology) IdealAggregate(k int) float64 {
+	gpus := t.GPUs()
+	if k < 1 || k > len(gpus) {
+		return 0
+	}
+	best := 0.0
+	subset := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			w := t.Graph.InducedSubgraph(subset).TotalWeight()
+			if w > best {
+				best = w
+			}
+			return
+		}
+		for i := start; i <= len(gpus)-(k-depth); i++ {
+			subset[depth] = gpus[i]
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// SortedSockets returns socket groups with ascending GPU IDs inside
+// each group and groups ordered by their smallest member.
+func (t *Topology) SortedSockets() [][]int {
+	out := make([][]int, len(t.Sockets))
+	for i, s := range t.Sockets {
+		cp := append([]int(nil), s...)
+		sort.Ints(cp)
+		out[i] = cp
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) == 0 || len(out[j]) == 0 {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}

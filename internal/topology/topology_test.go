@@ -1,0 +1,328 @@
+package topology
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinkBandwidthsTable1(t *testing.T) {
+	// Table 1 of the paper.
+	cases := map[LinkType]float64{
+		LinkPCIe:      12,
+		LinkNVLink1:   20,
+		LinkNVLink2:   25,
+		LinkNVLink2x2: 50,
+	}
+	for l, want := range cases {
+		if got := l.Bandwidth(); got != want {
+			t.Errorf("%s bandwidth = %g, want %g", l.Name(), got, want)
+		}
+	}
+}
+
+func TestLinkTypeRoundTrip(t *testing.T) {
+	for _, l := range AllLinkTypes() {
+		got, err := ParseLinkType(l.String())
+		if err != nil || got != l {
+			t.Errorf("ParseLinkType(%q) = %v, %v", l.String(), got, err)
+		}
+		got, err = ParseLinkType(l.Name())
+		if err != nil || got != l {
+			t.Errorf("ParseLinkType(%q) = %v, %v", l.Name(), got, err)
+		}
+	}
+	if _, err := ParseLinkType("bogus"); err == nil {
+		t.Error("ParseLinkType should reject unknown names")
+	}
+}
+
+func TestUnknownLinkTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bandwidth on invalid LinkType should panic")
+		}
+	}()
+	LinkType(99).Bandwidth()
+}
+
+func TestAllTopologiesValidate(t *testing.T) {
+	for _, name := range Names() {
+		top, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if err := top.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nonsense"); err == nil {
+		t.Fatal("ByName should reject unknown topologies")
+	}
+}
+
+// TestDGXV100PaperExamples pins the DGX-1 V100 model to every worked
+// example in the paper (all 1-indexed there, 0-indexed here).
+func TestDGXV100PaperExamples(t *testing.T) {
+	top := DGXV100()
+	if top.NumGPUs() != 8 {
+		t.Fatalf("NumGPUs = %d", top.NumGPUs())
+	}
+	// Sec. 2.1: GPUs (1,5) double NVLink, (1,2) single, (1,6) PCIe.
+	if got := top.Link(0, 4); got != LinkNVLink2x2 {
+		t.Errorf("link(0,4) = %s, want double NVLink", got)
+	}
+	if got := top.Link(0, 1); got != LinkNVLink2 {
+		t.Errorf("link(0,1) = %s, want single NVLink", got)
+	}
+	if got := top.Link(0, 5); got != LinkPCIe {
+		t.Errorf("link(0,5) = %s, want PCIe", got)
+	}
+	// Sec. 2.2: allocation {1,2,5} has aggregate 87 GB/s;
+	// the ideal 3-GPU allocation {1,3,4} has 125 GB/s.
+	if got := top.Graph.InducedSubgraph([]int{0, 1, 4}).TotalWeight(); got != 87 {
+		t.Errorf("aggregate BW of {0,1,4} = %g, want 87", got)
+	}
+	if got := top.Graph.InducedSubgraph([]int{0, 2, 3}).TotalWeight(); got != 125 {
+		t.Errorf("aggregate BW of {0,2,3} = %g, want 125", got)
+	}
+	if got := top.IdealAggregate(3); got != 125 {
+		t.Errorf("IdealAggregate(3) = %g, want 125", got)
+	}
+}
+
+func TestDGXV100LinkBudget(t *testing.T) {
+	// Every V100 has exactly 6 NVLink bricks: singles count 1,
+	// doubles count 2.
+	top := DGXV100()
+	for _, v := range top.GPUs() {
+		bricks := 0
+		for _, e := range top.Physical.IncidentEdges(v) {
+			switch LinkType(e.Label) {
+			case LinkNVLink2:
+				bricks++
+			case LinkNVLink2x2:
+				bricks += 2
+			default:
+				t.Errorf("GPU %d has unexpected physical link %s", v, LinkType(e.Label))
+			}
+		}
+		if bricks != 6 {
+			t.Errorf("GPU %d uses %d NVLink bricks, want 6", v, bricks)
+		}
+	}
+	counts := top.PhysicalLinkCounts()
+	if counts[LinkNVLink2] != 8 || counts[LinkNVLink2x2] != 8 {
+		t.Errorf("link counts = %v, want 8 single + 8 double", counts)
+	}
+}
+
+func TestDGXP100LinkBudget(t *testing.T) {
+	// Every P100 has exactly 4 NVLink-v1 bricks.
+	top := DGXP100()
+	if top.NumGPUs() != 8 {
+		t.Fatalf("NumGPUs = %d", top.NumGPUs())
+	}
+	for _, v := range top.GPUs() {
+		if got := top.Physical.Degree(v); got != 4 {
+			t.Errorf("GPU %d physical degree = %d, want 4", v, got)
+		}
+		for _, e := range top.Physical.IncidentEdges(v) {
+			if LinkType(e.Label) != LinkNVLink1 {
+				t.Errorf("GPU %d has non-v1 link %s", v, LinkType(e.Label))
+			}
+		}
+	}
+}
+
+func TestSummitStructure(t *testing.T) {
+	top := Summit()
+	if top.NumGPUs() != 6 {
+		t.Fatalf("NumGPUs = %d", top.NumGPUs())
+	}
+	// Intra-socket pairs are double NVLink; inter-socket pairs fall
+	// back to the PCIe-class X-bus path.
+	if got := top.Link(0, 1); got != LinkNVLink2x2 {
+		t.Errorf("link(0,1) = %s", got)
+	}
+	if got := top.Link(0, 3); got != LinkPCIe {
+		t.Errorf("link(0,3) = %s", got)
+	}
+	if top.SocketOf(2) != 0 || top.SocketOf(3) != 1 {
+		t.Errorf("sockets wrong: %v", top.Sockets)
+	}
+}
+
+func TestTorus2DStructure(t *testing.T) {
+	top := Torus2D()
+	if top.NumGPUs() != 16 {
+		t.Fatalf("NumGPUs = %d", top.NumGPUs())
+	}
+	// Every GPU has 4 physical links (2 horizontal double + 2 vertical
+	// single).
+	for _, v := range top.GPUs() {
+		if got := top.Physical.Degree(v); got != 4 {
+			t.Errorf("GPU %d degree = %d, want 4", v, got)
+		}
+	}
+	if got := top.Link(0, 1); got != LinkNVLink2x2 {
+		t.Errorf("horizontal link(0,1) = %s", got)
+	}
+	if got := top.Link(0, 3); got != LinkNVLink2x2 {
+		t.Errorf("wraparound link(0,3) = %s", got)
+	}
+	if got := top.Link(0, 4); got != LinkNVLink2 {
+		t.Errorf("vertical link(0,4) = %s", got)
+	}
+	if got := top.Link(0, 12); got != LinkNVLink2 {
+		t.Errorf("vertical wraparound link(0,12) = %s", got)
+	}
+	if got := top.Link(0, 5); got != LinkPCIe {
+		t.Errorf("diagonal link(0,5) = %s", got)
+	}
+	counts := top.PhysicalLinkCounts()
+	if counts[LinkNVLink2x2] != 16 || counts[LinkNVLink2] != 16 {
+		t.Errorf("torus link counts = %v", counts)
+	}
+}
+
+func TestCubeMesh16Structure(t *testing.T) {
+	top := CubeMesh16()
+	if top.NumGPUs() != 16 {
+		t.Fatalf("NumGPUs = %d", top.NumGPUs())
+	}
+	base := DGXV100()
+	// Both 8-GPU halves replicate the DGX-V link matrix.
+	for _, e := range base.Physical.Edges() {
+		if got := top.Link(e.U, e.V); got != LinkType(e.Label) {
+			t.Errorf("lower half link(%d,%d) = %s, want %s", e.U, e.V, got, LinkType(e.Label))
+		}
+		if got := top.Link(e.U+8, e.V+8); got != LinkType(e.Label) {
+			t.Errorf("upper half link(%d,%d) = %s, want %s", e.U+8, e.V+8, got, LinkType(e.Label))
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if got := top.Link(i, i+8); got != LinkNVLink2 {
+			t.Errorf("vertical link(%d,%d) = %s, want single NVLink", i, i+8, got)
+		}
+	}
+}
+
+func TestDGX2AllNVSwitch(t *testing.T) {
+	top := DGX2()
+	for u := 0; u < 16; u++ {
+		for v := u + 1; v < 16; v++ {
+			if top.Link(u, v) != LinkNVSwitch {
+				t.Fatalf("link(%d,%d) = %s", u, v, top.Link(u, v))
+			}
+		}
+	}
+}
+
+func TestGenericGenerators(t *testing.T) {
+	r := Ring(6, LinkNVLink2)
+	if r.Physical.NumEdges() != 6 || !r.Physical.Connected() {
+		t.Errorf("ring physical edges = %d", r.Physical.NumEdges())
+	}
+	f := FullyConnected(5, LinkNVLink2x2)
+	if f.Physical.NumEdges() != 10 {
+		t.Errorf("full physical edges = %d", f.Physical.NumEdges())
+	}
+	h := Hypercube(3, LinkNVLink1)
+	if h.NumGPUs() != 8 || h.Physical.NumEdges() != 12 {
+		t.Errorf("hypercube-3: V=%d E=%d", h.NumGPUs(), h.Physical.NumEdges())
+	}
+	for _, gen := range []func(){ // invalid parameter panics
+		func() { Ring(2, LinkPCIe) },
+		func() { FullyConnected(1, LinkPCIe) },
+		func() { Hypercube(0, LinkPCIe) },
+		func() { Hypercube(7, LinkPCIe) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("generator should panic on invalid size")
+				}
+			}()
+			gen()
+		}()
+	}
+}
+
+func TestMatrixRender(t *testing.T) {
+	m := DGXV100().Matrix()
+	if !strings.Contains(m, "GPU0") || !strings.Contains(m, "GPU7") {
+		t.Fatalf("matrix missing headers:\n%s", m)
+	}
+	if !strings.Contains(m, "NV2x") || !strings.Contains(m, "SYS") {
+		t.Fatalf("matrix missing link classes:\n%s", m)
+	}
+	lines := strings.Split(strings.TrimSpace(m), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("matrix has %d lines, want 9", len(lines))
+	}
+}
+
+func TestSocketOfUnknown(t *testing.T) {
+	if DGXV100().SocketOf(42) != -1 {
+		t.Fatal("SocketOf(unknown) should be -1")
+	}
+}
+
+func TestIdealAggregateEdges(t *testing.T) {
+	top := DGXV100()
+	if got := top.IdealAggregate(0); got != 0 {
+		t.Errorf("IdealAggregate(0) = %g", got)
+	}
+	if got := top.IdealAggregate(99); got != 0 {
+		t.Errorf("IdealAggregate(99) = %g", got)
+	}
+	// With k = 2 the ideal is a single double-NVLink pair.
+	if got := top.IdealAggregate(2); got != 50 {
+		t.Errorf("IdealAggregate(2) = %g, want 50", got)
+	}
+	// With all 8 GPUs the ideal is the whole graph.
+	if got, want := top.IdealAggregate(8), top.Graph.TotalWeight(); got != want {
+		t.Errorf("IdealAggregate(8) = %g, want %g", got, want)
+	}
+}
+
+// Property: IdealAggregate is monotone in k and never below any random
+// induced subset's aggregate.
+func TestIdealAggregateProperty(t *testing.T) {
+	top := DGXV100()
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		r := rand.New(rand.NewSource(seed))
+		perm := r.Perm(top.NumGPUs())[:k]
+		w := top.Graph.InducedSubgraph(perm).TotalWeight()
+		ideal := top.IdealAggregate(k)
+		if w > ideal {
+			return false
+		}
+		return k == 1 || top.IdealAggregate(k-1) <= ideal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedSockets(t *testing.T) {
+	top := DGXV100()
+	ss := top.SortedSockets()
+	if len(ss) != 2 || ss[0][0] != 0 || ss[1][0] != 4 {
+		t.Fatalf("SortedSockets = %v", ss)
+	}
+}
+
+func TestLinkMix(t *testing.T) {
+	top := DGXV100()
+	mix := LinkMix(top.Graph.InducedSubgraph([]int{0, 1, 4}).Edges())
+	if mix[LinkNVLink2] != 1 || mix[LinkNVLink2x2] != 1 || mix[LinkPCIe] != 1 {
+		t.Fatalf("LinkMix = %v", mix)
+	}
+}

@@ -1,0 +1,228 @@
+// Package trace extracts application topology graphs from program
+// traces, reproducing both extraction paths of Sec. 3.1 / Fig. 9 of the
+// paper:
+//
+//   - Source-code analysis: multi-GPU communication goes through
+//     well-defined APIs (ncclAllReduce over a communicator,
+//     cudaMemcpyPeer with explicit src/dst devices). A list of such
+//     calls determines the communication pattern.
+//   - Runtime profiling: per-link traffic counters (nvidia-smi NVLink
+//     counters and PCIe counters) reveal which GPU pairs actually
+//     exchanged data, which handles implicit communication (e.g.
+//     Unified Memory) that source analysis cannot see.
+//
+// Since no real CUDA runtime exists here, the traces are synthetic but
+// carry the same information content as the tools the paper names.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mapa/internal/appgraph"
+	"mapa/internal/graph"
+)
+
+// CallKind classifies an API call in a source trace.
+type CallKind string
+
+const (
+	// CallAllReduce is a collective over a communicator
+	// (ncclAllReduce and friends); it implies a ring or tree over the
+	// participating devices, selected by transfer size as NCCL does.
+	CallAllReduce CallKind = "ncclAllReduce"
+	// CallBroadcast is a rooted collective; NCCL broadcasts over the
+	// same ring/tree channels, so its edge contribution matches
+	// CallAllReduce.
+	CallBroadcast CallKind = "ncclBroadcast"
+	// CallMemcpyPeer is an explicit point-to-point copy
+	// (cudaMemcpyPeer); it contributes a single edge.
+	CallMemcpyPeer CallKind = "cudaMemcpyPeer"
+	// CallSendRecv is a CUDA-aware MPI style pairwise exchange.
+	CallSendRecv CallKind = "MPI_Sendrecv"
+)
+
+// Call is one communication API invocation found by source analysis.
+type Call struct {
+	Kind CallKind
+	// Devices lists the participating logical devices. Collectives use
+	// all of them; point-to-point kinds use exactly two (src, dst).
+	Devices []int
+	// Bytes is the transfer size, which selects ring vs tree for
+	// collectives.
+	Bytes float64
+}
+
+// FromSource builds the application graph implied by a list of API
+// calls, as source-code analysis would (Fig. 9a): the union of the
+// per-call communication patterns. Devices are renumbered 0..k-1 in
+// ascending order of their IDs in the trace.
+func FromSource(calls []Call) (*graph.Graph, error) {
+	if len(calls) == 0 {
+		return nil, fmt.Errorf("trace: empty source trace")
+	}
+	// Collect the device universe.
+	devSet := make(map[int]bool)
+	for i, c := range calls {
+		if len(c.Devices) == 0 {
+			return nil, fmt.Errorf("trace: call %d has no devices", i)
+		}
+		for _, d := range c.Devices {
+			if d < 0 {
+				return nil, fmt.Errorf("trace: call %d has negative device %d", i, d)
+			}
+			devSet[d] = true
+		}
+	}
+	devs := make([]int, 0, len(devSet))
+	for d := range devSet {
+		devs = append(devs, d)
+	}
+	sort.Ints(devs)
+	rank := make(map[int]int, len(devs))
+	for i, d := range devs {
+		rank[d] = i
+	}
+
+	g := graph.New()
+	for i := range devs {
+		g.AddVertex(i)
+	}
+	for i, c := range calls {
+		switch c.Kind {
+		case CallAllReduce, CallBroadcast:
+			if len(c.Devices) == 1 {
+				continue // single-device collective communicates nothing
+			}
+			// Order participants by rank, as NCCL ring construction
+			// does over communicator ranks.
+			parts := make([]int, len(c.Devices))
+			for j, d := range c.Devices {
+				parts[j] = rank[d]
+			}
+			sort.Ints(parts)
+			pat := appgraph.ForCollective(len(parts), c.Bytes)
+			for _, e := range pat.Edges() {
+				u, v := parts[e.U], parts[e.V]
+				if !g.HasEdge(u, v) {
+					g.MustAddEdge(u, v, 1, 0)
+				}
+			}
+		case CallMemcpyPeer, CallSendRecv:
+			if len(c.Devices) != 2 {
+				return nil, fmt.Errorf("trace: call %d (%s) needs exactly 2 devices, got %d", i, c.Kind, len(c.Devices))
+			}
+			u, v := rank[c.Devices[0]], rank[c.Devices[1]]
+			if u == v {
+				return nil, fmt.Errorf("trace: call %d copies device %d to itself", i, c.Devices[0])
+			}
+			if !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v, 1, 0)
+			}
+		default:
+			return nil, fmt.Errorf("trace: call %d has unknown kind %q", i, c.Kind)
+		}
+	}
+	return g, nil
+}
+
+// LinkCounters is a runtime profile: bytes observed flowing between
+// GPU pairs, as nvidia-smi NVLink counters report (Fig. 9b). Keys are
+// physical GPU ID pairs.
+type LinkCounters map[[2]int]float64
+
+// Add accumulates traffic between two GPUs.
+func (lc LinkCounters) Add(u, v int, bytes float64) {
+	if u > v {
+		u, v = v, u
+	}
+	lc[[2]int{u, v}] += bytes
+}
+
+// FromProfile builds the application graph from runtime link-traffic
+// counters: every GPU pair whose observed traffic exceeds threshold
+// bytes becomes a communication edge. GPUs are renumbered 0..k-1.
+// The threshold filters incidental traffic (page migrations,
+// bookkeeping) below communication significance.
+func FromProfile(counters LinkCounters, threshold float64) (*graph.Graph, error) {
+	if len(counters) == 0 {
+		return nil, fmt.Errorf("trace: empty profile")
+	}
+	devSet := make(map[int]bool)
+	for pair, bytes := range counters {
+		if bytes < 0 {
+			return nil, fmt.Errorf("trace: negative traffic %g between %d and %d", bytes, pair[0], pair[1])
+		}
+		if pair[0] == pair[1] {
+			return nil, fmt.Errorf("trace: self-traffic on GPU %d", pair[0])
+		}
+		devSet[pair[0]] = true
+		devSet[pair[1]] = true
+	}
+	devs := make([]int, 0, len(devSet))
+	for d := range devSet {
+		devs = append(devs, d)
+	}
+	sort.Ints(devs)
+	rank := make(map[int]int, len(devs))
+	for i, d := range devs {
+		rank[d] = i
+	}
+	g := graph.New()
+	for i := range devs {
+		g.AddVertex(i)
+	}
+	for pair, bytes := range counters {
+		if bytes > threshold {
+			u, v := rank[pair[0]], rank[pair[1]]
+			if !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v, 1, 0)
+			}
+		}
+	}
+	return g, nil
+}
+
+// ParseProfile reads an nvidia-smi-like textual link traffic dump, one
+// record per line: "gpuA gpuB bytes". Blank lines and lines starting
+// with '#' are skipped.
+func ParseProfile(r io.Reader) (LinkCounters, error) {
+	lc := make(LinkCounters)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 'gpuA gpuB bytes', got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad gpu %q", lineNo, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad gpu %q", lineNo, fields[1])
+		}
+		bytes, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad byte count %q", lineNo, fields[2])
+		}
+		lc.Add(u, v, bytes)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading profile: %w", err)
+	}
+	if len(lc) == 0 {
+		return nil, fmt.Errorf("trace: profile contained no records")
+	}
+	return lc, nil
+}

@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mapa/internal/appgraph"
+)
+
+func TestFromSourceAllReduceLargeBuildsRing(t *testing.T) {
+	g, err := FromSource([]Call{
+		{Kind: CallAllReduce, Devices: []int{0, 1, 2, 3}, Bytes: 1 << 24},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appgraph.Ring(4)
+	if g.NumEdges() != want.NumEdges() {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want.NumEdges())
+	}
+	for _, e := range want.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Errorf("missing ring edge (%d,%d)", e.U, e.V)
+		}
+	}
+}
+
+func TestFromSourceAllReduceSmallBuildsTree(t *testing.T) {
+	g, err := FromSource([]Call{
+		{Kind: CallAllReduce, Devices: []int{0, 1, 2, 3, 4}, Bytes: 1 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 4 { // tree has k-1 edges
+		t.Fatalf("edges = %d, want 4 (tree)", g.NumEdges())
+	}
+}
+
+func TestFromSourceDeviceRenumbering(t *testing.T) {
+	// Logical devices 3 and 7 become pattern vertices 0 and 1.
+	g, err := FromSource([]Call{
+		{Kind: CallMemcpyPeer, Devices: []int{7, 3}, Bytes: 1e6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 || !g.HasEdge(0, 1) {
+		t.Fatalf("renumbering failed: V=%d", g.NumVertices())
+	}
+}
+
+func TestFromSourceUnionOfCalls(t *testing.T) {
+	// The application graph combines all NCCL API calls in the
+	// program (Sec. 3.1).
+	g, err := FromSource([]Call{
+		{Kind: CallAllReduce, Devices: []int{0, 1, 2}, Bytes: 1 << 24}, // 3-ring
+		{Kind: CallMemcpyPeer, Devices: []int{0, 3}, Bytes: 1e6},       // extra edge
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	if !g.HasEdge(0, 3) || !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(0, 2) {
+		t.Fatalf("union incomplete: %v", g.Edges())
+	}
+}
+
+func TestFromSourceSingleDeviceCollective(t *testing.T) {
+	g, err := FromSource([]Call{
+		{Kind: CallAllReduce, Devices: []int{5}, Bytes: 1e6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1 || g.NumEdges() != 0 {
+		t.Fatal("1-device collective should not create edges")
+	}
+}
+
+func TestFromSourceErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		calls []Call
+	}{
+		{"empty", nil},
+		{"no devices", []Call{{Kind: CallAllReduce}}},
+		{"negative device", []Call{{Kind: CallAllReduce, Devices: []int{-1, 2}}}},
+		{"p2p arity", []Call{{Kind: CallMemcpyPeer, Devices: []int{1, 2, 3}}}},
+		{"self copy", []Call{{Kind: CallMemcpyPeer, Devices: []int{2, 2}}}},
+		{"unknown kind", []Call{{Kind: "cudaLaunchKernel", Devices: []int{0, 1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := FromSource(tc.calls); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestFromProfileThreshold(t *testing.T) {
+	lc := make(LinkCounters)
+	lc.Add(0, 1, 1e9) // real traffic
+	lc.Add(1, 2, 100) // noise
+	g, err := FromProfile(lc, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("high-traffic pair should be an edge")
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("noise pair should be filtered")
+	}
+	if g.NumVertices() != 3 {
+		t.Errorf("V = %d, want 3 (all observed GPUs)", g.NumVertices())
+	}
+}
+
+func TestLinkCountersAddNormalizes(t *testing.T) {
+	lc := make(LinkCounters)
+	lc.Add(5, 2, 10)
+	lc.Add(2, 5, 15)
+	if lc[[2]int{2, 5}] != 25 {
+		t.Fatalf("counters = %v", lc)
+	}
+}
+
+func TestFromProfileErrors(t *testing.T) {
+	if _, err := FromProfile(nil, 0); err == nil {
+		t.Error("empty profile should error")
+	}
+	neg := LinkCounters{{0, 1}: -5}
+	if _, err := FromProfile(neg, 0); err == nil {
+		t.Error("negative traffic should error")
+	}
+	self := LinkCounters{{3, 3}: 5}
+	if _, err := FromProfile(self, 0); err == nil {
+		t.Error("self traffic should error")
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	in := `# gpuA gpuB bytes
+0 1 1000000
+1 2 2000000
+
+2 0 500
+`
+	lc, err := ParseProfile(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lc) != 3 {
+		t.Fatalf("records = %d", len(lc))
+	}
+	if lc[[2]int{0, 1}] != 1e6 || lc[[2]int{0, 2}] != 500 {
+		t.Fatalf("counters = %v", lc)
+	}
+	g, err := FromProfile(lc, 1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2 above threshold", g.NumEdges())
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	cases := []string{
+		"0 1",             // wrong arity
+		"a 1 100",         // bad gpu
+		"0 b 100",         // bad gpu
+		"0 1 many",        // bad bytes
+		"",                // no records
+		"# only comments", // no records
+	}
+	for _, in := range cases {
+		if _, err := ParseProfile(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestSourceAndProfileAgreeOnRing(t *testing.T) {
+	// The two extraction paths should produce the same pattern for the
+	// same logical behaviour: a 4-GPU ring all-reduce.
+	src, err := FromSource([]Call{
+		{Kind: CallAllReduce, Devices: []int{0, 1, 2, 3}, Bytes: 1 << 24},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := make(LinkCounters)
+	for _, e := range appgraph.Ring(4).Edges() {
+		lc.Add(e.U, e.V, 1e9)
+	}
+	prof, err := FromProfile(lc, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NumEdges() != prof.NumEdges() || src.NumVertices() != prof.NumVertices() {
+		t.Fatalf("source %v vs profile %v", src, prof)
+	}
+	for _, e := range src.Edges() {
+		if !prof.HasEdge(e.U, e.V) {
+			t.Errorf("profile missing edge (%d,%d)", e.U, e.V)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package workload
+
+import "math"
+
+// RawMsgBytes returns the average size of one raw collective call as
+// Fig. 5a counts them: the per-iteration communication volume divided
+// by the per-iteration call count. (MsgBytes is the *fused* transfer
+// NCCL actually issues; frameworks batch roughly a thousand raw calls
+// per launch.)
+func (w Workload) RawMsgBytes() float64 {
+	if w.CommCallsPerIter == 0 {
+		return 0
+	}
+	return w.BytesPerIter() / float64(w.CommCallsPerIter)
+}
+
+// commSizeSigma is the log-normal spread of raw collective-call sizes.
+// Fig. 5a's curves span roughly three decades from first rise to
+// saturation, which a log-stddev of ~1.5 (×4.5 per sigma) matches.
+const commSizeSigma = 1.5
+
+// CommSizeCDF returns the modeled cumulative distribution of raw
+// collective-call sizes at the given byte probes — the curves of
+// Fig. 5a. Call sizes are log-normal around the workload's raw mean:
+// CNN gradient tensors span the layer-size spectrum, which is the
+// heavy-tailed multiplicative mix a log-normal captures.
+func (w Workload) CommSizeCDF(probes []float64) []float64 {
+	out := make([]float64, len(probes))
+	mu := math.Log(w.RawMsgBytes())
+	for i, p := range probes {
+		if p <= 0 {
+			continue
+		}
+		z := (math.Log(p) - mu) / (commSizeSigma * math.Sqrt2)
+		out[i] = 0.5 * (1 + math.Erf(z))
+	}
+	return out
+}
+
+// MeanCommSizeAboveThreshold reports whether the workload's average
+// raw call exceeds the given size — the paper's Sec. 2.3 test for
+// whether a workload can exploit high-speed links (threshold 1e5
+// bytes at the fused-transfer level).
+func (w Workload) MeanCommSizeAboveThreshold(bytes float64) bool {
+	return w.MsgBytes >= bytes
+}

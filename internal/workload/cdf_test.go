@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRawMsgBytes(t *testing.T) {
+	w, _ := ByName("vgg-16")
+	want := w.BytesPerIter() / float64(w.CommCallsPerIter)
+	if got := w.RawMsgBytes(); got != want {
+		t.Fatalf("RawMsgBytes = %g, want %g", got, want)
+	}
+	if (Workload{}).RawMsgBytes() != 0 {
+		t.Fatal("zero workload should have zero raw size")
+	}
+}
+
+func TestCommSizeCDFMonotoneAndBounded(t *testing.T) {
+	probes := []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+	for _, w := range CNNs() {
+		cdf := w.CommSizeCDF(probes)
+		if !sort.Float64sAreSorted(cdf) {
+			t.Errorf("%s: CDF not monotone: %v", w.Name, cdf)
+		}
+		for _, v := range cdf {
+			if v < 0 || v > 1 {
+				t.Errorf("%s: CDF value %g out of range", w.Name, v)
+			}
+		}
+		// Median lands at the raw mean size.
+		mid := w.CommSizeCDF([]float64{w.RawMsgBytes()})[0]
+		if mid < 0.49 || mid > 0.51 {
+			t.Errorf("%s: CDF at raw mean = %g, want ~0.5", w.Name, mid)
+		}
+	}
+}
+
+func TestCommSizeCDFZeroProbe(t *testing.T) {
+	w, _ := ByName("vgg-16")
+	cdf := w.CommSizeCDF([]float64{0, -5})
+	if cdf[0] != 0 || cdf[1] != 0 {
+		t.Fatalf("non-positive probes should have zero CDF: %v", cdf)
+	}
+}
+
+func TestFig5aOrdering(t *testing.T) {
+	// Fig. 5a: GoogleNet's calls are smaller than VGG's — its CDF
+	// rises earlier at every probe.
+	vgg, _ := ByName("vgg-16")
+	goog, _ := ByName("googlenet")
+	probes := []float64{1e3, 1e4, 1e5, 1e6}
+	cv := vgg.CommSizeCDF(probes)
+	cg := goog.CommSizeCDF(probes)
+	for i := range probes {
+		if cg[i] < cv[i] {
+			t.Errorf("probe %g: GoogleNet CDF %g below VGG %g", probes[i], cg[i], cv[i])
+		}
+	}
+}
+
+func TestSensitiveWorkloadsPassSizeThreshold(t *testing.T) {
+	// Sec. 2.3: transfers must exceed ~1e5 bytes (fused) to exploit
+	// fast links. GoogleNet fails the size test; CaffeNet passes it but
+	// fails on call volume (captured by the compute-bound model).
+	goog, _ := ByName("googlenet")
+	if goog.MeanCommSizeAboveThreshold(1e5) {
+		t.Error("GoogleNet should fail the size threshold")
+	}
+	for _, name := range []string{"vgg-16", "alexnet", "caffenet"} {
+		w, _ := ByName(name)
+		if !w.MeanCommSizeAboveThreshold(1e5) {
+			t.Errorf("%s should pass the size threshold", name)
+		}
+	}
+}
+
+// Property: CDF values increase with probe size for every workload.
+func TestCDFMonotoneProperty(t *testing.T) {
+	ws := All()
+	f := func(aRaw, bRaw uint32, wRaw uint8) bool {
+		w := ws[int(wRaw)%len(ws)]
+		a, b := float64(aRaw)+1, float64(bRaw)+1
+		if a > b {
+			a, b = b, a
+		}
+		cdf := w.CommSizeCDF([]float64{a, b})
+		return cdf[0] <= cdf[1]+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

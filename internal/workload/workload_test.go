@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"testing"
+
+	"mapa/internal/topology"
+)
+
+func TestCatalogCompleteness(t *testing.T) {
+	// All nine evaluation workloads (Sec. 4) present.
+	want := []string{
+		"vgg-16", "alexnet", "resnet-50", "inception-v3",
+		"caffenet", "googlenet", "cusimann", "gmm", "jacobi",
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("catalog size = %d, want %d", len(All()), len(want))
+	}
+	for _, name := range want {
+		w, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if w.Name != name {
+			t.Errorf("ByName(%q) returned %q", name, w.Name)
+		}
+	}
+	if _, err := ByName("bert"); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestByNameCaseInsensitive(t *testing.T) {
+	w, err := ByName("VGG-16")
+	if err != nil || w.Name != "vgg-16" {
+		t.Fatalf("ByName(VGG-16) = %+v, %v", w, err)
+	}
+}
+
+func TestFig5bCommCalls(t *testing.T) {
+	// Communication calls per iteration, verbatim from Fig. 5b.
+	want := map[string]int{
+		"alexnet":      80001,
+		"inception-v3": 2830001,
+		"vgg-16":       160001,
+		"resnet-50":    1600001,
+		"caffenet":     84936,
+		"googlenet":    640001,
+	}
+	for name, calls := range want {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.CommCallsPerIter != calls {
+			t.Errorf("%s: calls/iter = %d, want %d", name, w.CommCallsPerIter, calls)
+		}
+	}
+}
+
+func TestFig5bSensitivityAnnotations(t *testing.T) {
+	want := map[string]bool{
+		"alexnet": true, "inception-v3": true, "vgg-16": true, "resnet-50": true,
+		"caffenet": false, "googlenet": false,
+		"cusimann": false, "gmm": false, "jacobi": false,
+	}
+	for name, sensitive := range want {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Sensitive != sensitive {
+			t.Errorf("%s: sensitive = %v, want %v", name, w.Sensitive, sensitive)
+		}
+	}
+	if len(Sensitive()) != 4 || len(Insensitive()) != 5 {
+		t.Errorf("partition sizes: %d sensitive, %d insensitive", len(Sensitive()), len(Insensitive()))
+	}
+	if len(CNNs()) != 6 {
+		t.Errorf("CNNs = %d, want 6", len(CNNs()))
+	}
+}
+
+func TestVGGSpeedupMatchesFig2b(t *testing.T) {
+	// Fig. 2b: VGG-16 experiences up to ~3x speedup with double NVLink
+	// vs PCIe.
+	w, _ := ByName("vgg-16")
+	s := w.SpeedupOverPCIe(topology.LinkNVLink2x2)
+	if s < 2.4 || s > 3.6 {
+		t.Errorf("VGG-16 double-NVLink speedup = %.2f, want ~3x", s)
+	}
+	// Single NVLink sits between PCIe and double.
+	sSingle := w.SpeedupOverPCIe(topology.LinkNVLink2)
+	if !(1 < sSingle && sSingle < s) {
+		t.Errorf("single NVLink speedup %.2f should be between 1 and %.2f", sSingle, s)
+	}
+}
+
+func TestGoogleNetInsensitiveFig2b(t *testing.T) {
+	// Fig. 2b: GoogleNet is barely affected by link choice.
+	w, _ := ByName("googlenet")
+	s := w.SpeedupOverPCIe(topology.LinkNVLink2x2)
+	if s > 1.25 {
+		t.Errorf("GoogleNet speedup = %.2f, want near 1", s)
+	}
+}
+
+func TestSensitiveWorkloadsSpeedUpMore(t *testing.T) {
+	// Every annotated-sensitive workload must gain more from double
+	// NVLink than every annotated-insensitive workload.
+	minSensitive, maxInsensitive := 1e18, 0.0
+	for _, w := range All() {
+		s := w.SpeedupOverPCIe(topology.LinkNVLink2x2)
+		if w.Sensitive && s < minSensitive {
+			minSensitive = s
+		}
+		if !w.Sensitive && s > maxInsensitive {
+			maxInsensitive = s
+		}
+	}
+	if minSensitive <= maxInsensitive {
+		t.Errorf("sensitivity inversion: min sensitive speedup %.2f <= max insensitive %.2f",
+			minSensitive, maxInsensitive)
+	}
+	if minSensitive < 1.3 {
+		t.Errorf("sensitive workloads should gain >1.3x, got %.2f", minSensitive)
+	}
+}
+
+func TestExecTimeBasics(t *testing.T) {
+	top := topology.DGXV100()
+	w, _ := ByName("vgg-16")
+	if got := w.ExecTime(top, []int{0, 4}, 0); got != 0 {
+		t.Errorf("0 iters should take 0 time, got %g", got)
+	}
+	// Single GPU: pure compute.
+	single := w.ExecTime(top, []int{0}, 100)
+	if single != 100*w.ComputeSecPerIter {
+		t.Errorf("1-GPU time = %g", single)
+	}
+	// Communication increases time.
+	multi := w.ExecTime(top, []int{0, 4}, 100)
+	if multi <= single {
+		t.Errorf("2-GPU time %g should exceed compute-only %g", multi, single)
+	}
+}
+
+func TestExecTimeAllocationQualityMatters(t *testing.T) {
+	top := topology.DGXV100()
+	w, _ := ByName("vgg-16")
+	good := w.ExecTime(top, []int{0, 2, 3}, w.DefaultIters)  // NVLink triangle
+	bad := w.ExecTime(top, []int{0, 1, 4}, w.DefaultIters)   // fragmented
+	worse := w.ExecTime(top, []int{0, 5, 7}, w.DefaultIters) // PCIe only
+	if !(good < bad && bad <= worse) {
+		t.Errorf("allocation quality ordering violated: %g, %g, %g", good, bad, worse)
+	}
+	// Fragmentation should cost a sensitive workload dearly (paper:
+	// >50% slowdown possible).
+	if bad/good < 1.3 {
+		t.Errorf("fragmentation penalty = %.2fx, want > 1.3x", bad/good)
+	}
+}
+
+func TestBaselineExecTimesInPaperRange(t *testing.T) {
+	// Fig. 13: evaluation jobs run for hundreds of seconds. Check each
+	// CNN's default-iteration run on a good 2-GPU allocation sits in
+	// [50, 2000] seconds.
+	top := topology.DGXV100()
+	for _, w := range CNNs() {
+		tt := w.ExecTime(top, []int{0, 4}, w.DefaultIters)
+		if tt < 50 || tt > 2000 {
+			t.Errorf("%s: default exec time %.0f s out of range", w.Name, tt)
+		}
+	}
+}
+
+func TestExecTimeAtBandwidthMonotone(t *testing.T) {
+	w, _ := ByName("vgg-16")
+	prev := 1e18
+	for _, bw := range []float64{5, 12, 25, 50, 75} {
+		tt := w.ExecTimeAtBandwidth(bw, 4, w.DefaultIters)
+		if tt >= prev {
+			t.Errorf("time at %g GB/s = %g not decreasing", bw, tt)
+		}
+		prev = tt
+	}
+	// Insensitive workloads barely move.
+	g, _ := ByName("cusimann")
+	lo := g.ExecTimeAtBandwidth(5, 4, g.DefaultIters)
+	hi := g.ExecTimeAtBandwidth(75, 4, g.DefaultIters)
+	if lo/hi > 1.05 {
+		t.Errorf("cusimann varies %.2fx with bandwidth, want flat", lo/hi)
+	}
+}
+
+func TestExecTimeAtBandwidthEdgeCases(t *testing.T) {
+	w, _ := ByName("vgg-16")
+	if w.ExecTimeAtBandwidth(50, 4, 0) != 0 {
+		t.Error("0 iters should be 0")
+	}
+	if got := w.ExecTimeAtBandwidth(50, 1, 100); got != 100*w.ComputeSecPerIter {
+		t.Errorf("k=1 should be compute only, got %g", got)
+	}
+	if got := w.ExecTimeAtBandwidth(0, 4, 100); got != 100*w.ComputeSecPerIter {
+		t.Errorf("zero bandwidth treated as compute only, got %g", got)
+	}
+}
+
+func TestCommFraction(t *testing.T) {
+	top := topology.DGXV100()
+	vgg, _ := ByName("vgg-16")
+	cus, _ := ByName("cusimann")
+	fv := vgg.CommFraction(top, []int{0, 4})
+	fc := cus.CommFraction(top, []int{0, 4})
+	if fv < 0.5 {
+		t.Errorf("VGG comm fraction = %.2f, want communication-bound", fv)
+	}
+	if fc > 0.05 {
+		t.Errorf("cusimann comm fraction = %.2f, want compute-bound", fc)
+	}
+	if vgg.CommFraction(top, []int{0}) != 0 {
+		t.Error("single GPU has no comm fraction")
+	}
+}
+
+func TestBytesPerIter(t *testing.T) {
+	w, _ := ByName("vgg-16")
+	if got := w.BytesPerIter(); got != w.CollectivesPerIter*w.MsgBytes {
+		t.Errorf("BytesPerIter = %g", got)
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	ns := SortedNames()
+	if len(ns) != 9 {
+		t.Fatalf("names = %v", ns)
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1] >= ns[i] {
+			t.Fatalf("not sorted: %v", ns)
+		}
+	}
+}
+
+func TestFig6IterationScaling(t *testing.T) {
+	// Fig. 6: execution time grows linearly with iterations, and the
+	// NVLink-vs-PCIe gap persists (sensitive) or stays negligible
+	// (insensitive) as iterations grow.
+	nv := topology.FullyConnected(2, topology.LinkNVLink2x2)
+	pcie := topology.FullyConnected(2, topology.LinkPCIe)
+	vgg, _ := ByName("vgg-16")
+	goog, _ := ByName("googlenet")
+	for _, iters := range []int{1000, 3000, 7000} {
+		gapVGG := vgg.ExecTime(pcie, pcie.GPUs(), iters) / vgg.ExecTime(nv, nv.GPUs(), iters)
+		gapGoog := goog.ExecTime(pcie, pcie.GPUs(), iters) / goog.ExecTime(nv, nv.GPUs(), iters)
+		if gapVGG < 2 {
+			t.Errorf("iters=%d: VGG gap %.2f should stay large", iters, gapVGG)
+		}
+		if gapGoog > 1.25 {
+			t.Errorf("iters=%d: GoogleNet gap %.2f should stay small", iters, gapGoog)
+		}
+	}
+	// Linearity.
+	t1 := vgg.ExecTime(nv, nv.GPUs(), 1000)
+	t2 := vgg.ExecTime(nv, nv.GPUs(), 2000)
+	if diff := t2 / t1; diff < 1.99 || diff > 2.01 {
+		t.Errorf("iteration scaling not linear: %g", diff)
+	}
+}

@@ -1,0 +1,385 @@
+// Package mapa is a Go implementation of MAPA — Multi-Accelerator
+// Pattern Allocation (Ranganath et al., SC '21) — a graph
+// pattern-matching approach to allocating multi-GPU jobs on
+// multi-tenant multi-accelerator servers.
+//
+// MAPA abstracts the server as a weighted hardware graph (vertices =
+// GPUs, edge weights = best link bandwidth) and each job as a small
+// application pattern graph (vertices = requested GPUs, edges =
+// inter-GPU communication). Allocation mines the available hardware
+// graph for subgraph-isomorphic matches of the pattern, scores each
+// match (Aggregated Bandwidth, Predicted Effective Bandwidth,
+// Preserved Bandwidth), and selects one with the Preserve policy:
+// bandwidth-sensitive jobs get the match with the highest predicted
+// effective bandwidth, insensitive jobs the match that preserves the
+// most bandwidth for future sensitive jobs.
+//
+// The package offers two entry points:
+//
+//   - System: a live allocator for one machine. Allocate leases GPUs
+//     for jobs and Release returns them, with the hardware-graph state
+//     managed internally.
+//   - Simulate / CompareAllPolicies: the multi-tenant scheduling
+//     simulator used to reproduce the paper's evaluation.
+package mapa
+
+import (
+	"fmt"
+	"sync"
+
+	"mapa/internal/appgraph"
+	"mapa/internal/effbw"
+	"mapa/internal/graph"
+	"mapa/internal/jobs"
+	"mapa/internal/policy"
+	"mapa/internal/sched"
+	"mapa/internal/score"
+	"mapa/internal/topology"
+	"mapa/internal/workload"
+)
+
+// Topologies lists the built-in hardware topologies: the paper's
+// DGX-1 V100, DGX-1 P100, Summit node, DGX-2, and the 16-GPU Torus-2d
+// and Cube-mesh exploration machines.
+func Topologies() []string { return topology.Names() }
+
+// Policies lists the built-in allocation policies. The paper's
+// evaluation set is baseline, topo-aware, greedy, and preserve; the
+// rest are ablations.
+func Policies() []string { return policy.Names() }
+
+// Workloads lists the built-in workload models (the paper's six Caffe
+// CNNs plus Cusimann, GMM, and Jacobi).
+func Workloads() []string { return workload.Names() }
+
+// Shapes lists the supported application communication patterns.
+func Shapes() []string {
+	var out []string
+	for _, s := range appgraph.Shapes() {
+		out = append(out, string(s))
+	}
+	return out
+}
+
+// JobRequest describes one allocation request to a System.
+type JobRequest struct {
+	// NumGPUs is the number of accelerators requested (required).
+	NumGPUs int
+	// Shape names the communication pattern; empty defaults to Ring,
+	// NCCL's large-transfer topology.
+	Shape string
+	// Sensitive annotates bandwidth sensitivity (Algorithm 1 input).
+	Sensitive bool
+}
+
+// Lease is a granted allocation. Release it back to the System when
+// the job finishes.
+type Lease struct {
+	// ID identifies the lease within its System.
+	ID int
+	// GPUs are the allocated device IDs.
+	GPUs []int
+	// EffBW is the predicted effective bandwidth (GB/s) of the
+	// allocation; AggBW and PreservedBW are the other MAPA scores.
+	EffBW, AggBW, PreservedBW float64
+}
+
+// System is a live MAPA allocator for one machine. It owns the
+// hardware-graph state: Allocate removes GPUs, Release restores them
+// (Sec. 3.6 of the paper). System is safe for concurrent use.
+type System struct {
+	mu     sync.Mutex
+	top    *topology.Topology
+	alloc  policy.Allocator
+	avail  *graph.Graph
+	leases map[int][]int
+	nextID int
+}
+
+// NewSystem builds a System for a named topology and policy, with an
+// effective-bandwidth model trained for that topology.
+func NewSystem(topologyName, policyName string) (*System, error) {
+	top, err := topology.ByName(topologyName)
+	if err != nil {
+		return nil, err
+	}
+	scorer := score.NewScorer(effbw.TrainedFor(top))
+	alloc, err := policy.ByName(policyName, scorer)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		top:    top,
+		alloc:  alloc,
+		avail:  top.Graph.Clone(),
+		leases: make(map[int][]int),
+	}, nil
+}
+
+// Topology returns the system's topology name.
+func (s *System) Topology() string { return s.top.Name }
+
+// Policy returns the system's policy name.
+func (s *System) Policy() string { return s.alloc.Name() }
+
+// NumGPUs returns the machine size.
+func (s *System) NumGPUs() int { return s.top.NumGPUs() }
+
+// FreeGPUs returns the currently unallocated GPU IDs in ascending
+// order.
+func (s *System) FreeGPUs() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.avail.Vertices()
+}
+
+// Allocate leases GPUs for the request. It returns
+// policy.ErrNoAllocation (via errors.Is-compatible wrapping) when the
+// request cannot be placed on the currently free GPUs.
+func (s *System) Allocate(req JobRequest) (*Lease, error) {
+	shapeName := req.Shape
+	if shapeName == "" {
+		shapeName = string(appgraph.ShapeRing)
+	}
+	shape, err := appgraph.ParseShape(shapeName)
+	if err != nil {
+		return nil, err
+	}
+	pattern, err := appgraph.Build(shape, req.NumGPUs)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	alloc, err := s.alloc.Allocate(s.avail, s.top, policy.Request{Pattern: pattern, Sensitive: req.Sensitive})
+	if err != nil {
+		return nil, fmt.Errorf("mapa: allocating %d GPUs: %w", req.NumGPUs, err)
+	}
+	for _, g := range alloc.GPUs {
+		s.avail.RemoveVertex(g)
+	}
+	s.nextID++
+	lease := &Lease{
+		ID:          s.nextID,
+		GPUs:        alloc.GPUs,
+		EffBW:       alloc.Scores.EffBW,
+		AggBW:       alloc.Scores.AggBW,
+		PreservedBW: alloc.Scores.PreservedBW,
+	}
+	s.leases[lease.ID] = alloc.GPUs
+	return lease, nil
+}
+
+// Release returns a lease's GPUs to the free pool. Releasing an
+// unknown or already-released lease is an error.
+func (s *System) Release(l *Lease) error {
+	if l == nil {
+		return fmt.Errorf("mapa: nil lease")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gpus, ok := s.leases[l.ID]
+	if !ok {
+		return fmt.Errorf("mapa: lease %d not active", l.ID)
+	}
+	delete(s.leases, l.ID)
+	for _, g := range gpus {
+		s.avail.AddVertex(g)
+		for _, v := range s.avail.Vertices() {
+			if v == g {
+				continue
+			}
+			e, ok := s.top.Graph.EdgeBetween(g, v)
+			if !ok {
+				return fmt.Errorf("mapa: topology %s missing edge (%d,%d)", s.top.Name, g, v)
+			}
+			s.avail.MustAddEdge(g, v, e.Weight, e.Label)
+		}
+	}
+	return nil
+}
+
+// Matrix renders the machine's nvidia-smi-style link matrix.
+func (s *System) Matrix() string { return s.top.Matrix() }
+
+// Job is one simulated job. Workload must name a built-in workload
+// model; zero Iters uses the workload default.
+type Job struct {
+	Workload  string
+	NumGPUs   int
+	Iters     int
+	Sensitive *bool // nil uses the workload's catalog annotation
+}
+
+// SimJob converts a public Job to the internal representation.
+func simJob(id int, j Job) (jobs.Job, error) {
+	w, err := workload.ByName(j.Workload)
+	if err != nil {
+		return jobs.Job{}, err
+	}
+	iters := j.Iters
+	if iters == 0 {
+		iters = w.DefaultIters
+	}
+	sensitive := w.Sensitive
+	if j.Sensitive != nil {
+		sensitive = *j.Sensitive
+	}
+	return jobs.Job{
+		ID: id, Workload: w.Name, NumGPUs: j.NumGPUs,
+		Shape: w.Shape, Sensitive: sensitive, Iters: iters,
+	}, nil
+}
+
+// JobResult is one simulated job outcome.
+type JobResult struct {
+	Workload       string
+	NumGPUs        int
+	GPUs           []int
+	Sensitive      bool
+	Start, End     float64
+	ExecTime       float64
+	PredictedEffBW float64
+	MeasuredEffBW  float64
+}
+
+// SimulationResult is a whole run.
+type SimulationResult struct {
+	Topology   string
+	Policy     string
+	Jobs       []JobResult
+	Makespan   float64
+	Throughput float64
+}
+
+// Simulate runs the job list through the multi-tenant scheduling
+// simulator (FIFO queue, Fig. 14 of the paper) on the named topology
+// and policy.
+func Simulate(topologyName, policyName string, jobList []Job) (SimulationResult, error) {
+	top, err := topology.ByName(topologyName)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	scorer := score.NewScorer(effbw.TrainedFor(top))
+	alloc, err := policy.ByName(policyName, scorer)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	internal := make([]jobs.Job, len(jobList))
+	for i, j := range jobList {
+		ij, err := simJob(i+1, j)
+		if err != nil {
+			return SimulationResult{}, err
+		}
+		internal[i] = ij
+	}
+	res, err := sched.NewEngine(top, alloc).Run(internal)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	return convertResult(topologyName, res), nil
+}
+
+func convertResult(topName string, res sched.RunResult) SimulationResult {
+	out := SimulationResult{
+		Topology:   topName,
+		Policy:     res.Policy,
+		Makespan:   res.Makespan,
+		Throughput: res.Throughput,
+	}
+	for _, r := range res.Records {
+		out.Jobs = append(out.Jobs, JobResult{
+			Workload:       r.Job.Workload,
+			NumGPUs:        r.Job.NumGPUs,
+			GPUs:           r.GPUs,
+			Sensitive:      r.Job.Sensitive,
+			Start:          r.Start,
+			End:            r.End,
+			ExecTime:       r.ExecTime,
+			PredictedEffBW: r.PredictedEffBW,
+			MeasuredEffBW:  r.MeasuredEffBW,
+		})
+	}
+	return out
+}
+
+// PaperJobMix returns the paper's evaluation mix (Sec. 4): 300 jobs,
+// uniform over the nine workloads, uniform 1-5 GPUs, reproducible by
+// seed.
+func PaperJobMix(seed int64) []Job {
+	var out []Job
+	for _, j := range jobs.PaperMix(seed) {
+		sens := j.Sensitive
+		out = append(out, Job{Workload: j.Workload, NumGPUs: j.NumGPUs, Iters: j.Iters, Sensitive: &sens})
+	}
+	return out
+}
+
+// IdealAggregateBandwidth returns the maximum aggregate bandwidth
+// (GB/s) any k-GPU allocation can have on an idle machine — the
+// BW_IdealAllocation denominator of the paper's fragmentation study
+// (Fig. 4).
+func IdealAggregateBandwidth(topologyName string, k int) (float64, error) {
+	top, err := topology.ByName(topologyName)
+	if err != nil {
+		return 0, err
+	}
+	return top.IdealAggregate(k), nil
+}
+
+// AllocationAggregateBandwidth returns the aggregate bandwidth (GB/s)
+// of all pairwise links among the given GPUs — BW_Allocated in the
+// fragmentation study.
+func AllocationAggregateBandwidth(topologyName string, gpus []int) (float64, error) {
+	top, err := topology.ByName(topologyName)
+	if err != nil {
+		return 0, err
+	}
+	for _, g := range gpus {
+		if !top.Graph.HasVertex(g) {
+			return 0, fmt.Errorf("mapa: GPU %d not in topology %s", g, top.Name)
+		}
+	}
+	return top.Graph.InducedSubgraph(gpus).TotalWeight(), nil
+}
+
+// CompareAllPolicies runs the same jobs under every paper policy
+// (baseline, topo-aware, greedy, preserve) in real-run mode and
+// returns results keyed by policy name.
+func CompareAllPolicies(topologyName string, jobList []Job) (map[string]SimulationResult, error) {
+	return compareAll(topologyName, jobList, sched.ModeRealRun)
+}
+
+// CompareAllPoliciesFixed is CompareAllPolicies in the paper's
+// exploration-simulator mode (Sec. 5.1): every job keeps its baseline
+// duration regardless of allocation, so the admission schedule is
+// identical across policies and effective bandwidth isolates
+// allocation quality. Use this to reproduce Fig. 18.
+func CompareAllPoliciesFixed(topologyName string, jobList []Job) (map[string]SimulationResult, error) {
+	return compareAll(topologyName, jobList, sched.ModeFixed)
+}
+
+func compareAll(topologyName string, jobList []Job, mode sched.Mode) (map[string]SimulationResult, error) {
+	top, err := topology.ByName(topologyName)
+	if err != nil {
+		return nil, err
+	}
+	internal := make([]jobs.Job, len(jobList))
+	for i, j := range jobList {
+		ij, err := simJob(i+1, j)
+		if err != nil {
+			return nil, err
+		}
+		internal[i] = ij
+	}
+	results, err := sched.ComparePoliciesMode(top, sched.PaperPolicies(), internal, mode)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]SimulationResult, len(results))
+	for name, res := range results {
+		out[name] = convertResult(topologyName, res)
+	}
+	return out, nil
+}

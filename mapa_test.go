@@ -1,0 +1,191 @@
+package mapa
+
+import (
+	"errors"
+	"testing"
+
+	"mapa/internal/policy"
+)
+
+func TestCatalogs(t *testing.T) {
+	if len(Topologies()) < 6 {
+		t.Errorf("Topologies = %v", Topologies())
+	}
+	if len(Policies()) < 4 {
+		t.Errorf("Policies = %v", Policies())
+	}
+	if len(Workloads()) != 9 {
+		t.Errorf("Workloads = %v", Workloads())
+	}
+	if len(Shapes()) < 5 {
+		t.Errorf("Shapes = %v", Shapes())
+	}
+}
+
+func TestNewSystemErrors(t *testing.T) {
+	if _, err := NewSystem("nope", "preserve"); err == nil {
+		t.Error("unknown topology should error")
+	}
+	if _, err := NewSystem("dgx-v100", "nope"); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestSystemAllocateRelease(t *testing.T) {
+	sys, err := NewSystem("dgx-v100", "preserve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Topology() != "DGX-1-V100" || sys.Policy() != "preserve" || sys.NumGPUs() != 8 {
+		t.Fatalf("system metadata wrong: %s %s %d", sys.Topology(), sys.Policy(), sys.NumGPUs())
+	}
+	lease, err := sys.Allocate(JobRequest{NumGPUs: 3, Sensitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lease.GPUs) != 3 || lease.EffBW <= 0 {
+		t.Fatalf("lease = %+v", lease)
+	}
+	if got := len(sys.FreeGPUs()); got != 5 {
+		t.Fatalf("free GPUs = %d, want 5", got)
+	}
+	if err := sys.Release(lease); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.FreeGPUs()); got != 8 {
+		t.Fatalf("free GPUs after release = %d, want 8", got)
+	}
+	// Double release is an error.
+	if err := sys.Release(lease); err == nil {
+		t.Fatal("double release should error")
+	}
+	if err := sys.Release(nil); err == nil {
+		t.Fatal("nil release should error")
+	}
+}
+
+func TestSystemExhaustion(t *testing.T) {
+	sys, err := NewSystem("summit", "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := sys.Allocate(JobRequest{NumGPUs: 4, Sensitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Allocate(JobRequest{NumGPUs: 3, Sensitive: true}); !errors.Is(err, policy.ErrNoAllocation) {
+		t.Fatalf("expected ErrNoAllocation, got %v", err)
+	}
+	if err := sys.Release(l1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Allocate(JobRequest{NumGPUs: 3, Sensitive: true}); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+func TestSystemShapeHandling(t *testing.T) {
+	sys, _ := NewSystem("dgx-v100", "preserve")
+	if _, err := sys.Allocate(JobRequest{NumGPUs: 4, Shape: "Tree"}); err != nil {
+		t.Errorf("tree shape: %v", err)
+	}
+	if _, err := sys.Allocate(JobRequest{NumGPUs: 2, Shape: "Pentagram"}); err == nil {
+		t.Error("unknown shape should error")
+	}
+	if _, err := sys.Allocate(JobRequest{NumGPUs: 0}); err == nil {
+		t.Error("zero GPUs should error")
+	}
+}
+
+func TestSystemMatrix(t *testing.T) {
+	sys, _ := NewSystem("dgx-v100", "baseline")
+	if m := sys.Matrix(); len(m) == 0 {
+		t.Fatal("empty matrix")
+	}
+}
+
+func TestSimulateSmallRun(t *testing.T) {
+	jobsList := []Job{
+		{Workload: "vgg-16", NumGPUs: 2},
+		{Workload: "googlenet", NumGPUs: 3},
+		{Workload: "gmm", NumGPUs: 1},
+	}
+	res, err := Simulate("dgx-v100", "preserve", jobsList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 3 || res.Topology != "dgx-v100" || res.Policy != "preserve" {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, j := range res.Jobs {
+		if j.ExecTime <= 0 || len(j.GPUs) != j.NumGPUs {
+			t.Fatalf("job result = %+v", j)
+		}
+	}
+	// Iters default applied; sensitivity from catalog.
+	if !res.Jobs[0].Sensitive || res.Jobs[1].Sensitive {
+		t.Fatal("catalog sensitivity not applied")
+	}
+}
+
+func TestSimulateSensitivityOverride(t *testing.T) {
+	f := false
+	res, err := Simulate("dgx-v100", "preserve", []Job{
+		{Workload: "vgg-16", NumGPUs: 2, Sensitive: &f},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].Sensitive {
+		t.Fatal("override ignored")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := Simulate("nope", "preserve", nil); err == nil {
+		t.Error("unknown topology should error")
+	}
+	if _, err := Simulate("dgx-v100", "nope", nil); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if _, err := Simulate("dgx-v100", "preserve", []Job{{Workload: "nope", NumGPUs: 2}}); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestPaperJobMix(t *testing.T) {
+	mix := PaperJobMix(7)
+	if len(mix) != 300 {
+		t.Fatalf("mix size = %d", len(mix))
+	}
+	for _, j := range mix {
+		if j.NumGPUs < 1 || j.NumGPUs > 5 || j.Sensitive == nil {
+			t.Fatalf("bad job %+v", j)
+		}
+	}
+}
+
+func TestCompareAllPolicies(t *testing.T) {
+	mix := PaperJobMix(2)[:60]
+	results, err := CompareAllPolicies("dgx-v100", mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results for %d policies", len(results))
+	}
+	for name, res := range results {
+		if len(res.Jobs) != 60 {
+			t.Errorf("%s completed %d jobs", name, len(res.Jobs))
+		}
+		if res.Throughput <= 0 {
+			t.Errorf("%s throughput %g", name, res.Throughput)
+		}
+	}
+	// The MAPA policies must not lose to baseline on throughput by
+	// more than noise.
+	if results["preserve"].Throughput < 0.95*results["baseline"].Throughput {
+		t.Errorf("preserve throughput %g well below baseline %g",
+			results["preserve"].Throughput, results["baseline"].Throughput)
+	}
+}

@@ -1,0 +1,103 @@
+package mapa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewPattern(t *testing.T) {
+	p, err := NewPattern("Ring", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumGPUs() != 4 || p.NumEdges() != 4 {
+		t.Fatalf("ring pattern: V=%d E=%d", p.NumGPUs(), p.NumEdges())
+	}
+	if _, err := NewPattern("Pentagram", 4); err == nil {
+		t.Error("unknown shape should error")
+	}
+	if _, err := NewPattern("Ring", 0); err == nil {
+		t.Error("zero GPUs should error")
+	}
+}
+
+func TestPatternFromCalls(t *testing.T) {
+	p, err := PatternFromCalls([]CollectiveCall{
+		{API: CallAllReduce, Devices: []int{0, 1, 2, 3}, Bytes: 1 << 24},
+		{API: CallMemcpyPeer, Devices: []int{0, 2}, Bytes: 1e6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumGPUs() != 4 {
+		t.Fatalf("pattern GPUs = %d", p.NumGPUs())
+	}
+	// Ring (4 edges) plus the explicit 0-2 copy.
+	if p.NumEdges() != 5 {
+		t.Fatalf("pattern edges = %d, want 5", p.NumEdges())
+	}
+	if _, err := PatternFromCalls(nil); err == nil {
+		t.Error("empty trace should error")
+	}
+	if _, err := PatternFromCalls([]CollectiveCall{{API: "cudaLaunchKernel", Devices: []int{0, 1}}}); err == nil {
+		t.Error("unknown API should error")
+	}
+}
+
+func TestPatternFromProfile(t *testing.T) {
+	profile := "0 1 2000000\n1 2 3000000\n2 0 100\n"
+	p, err := PatternFromProfile(strings.NewReader(profile), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumGPUs() != 3 || p.NumEdges() != 2 {
+		t.Fatalf("pattern: V=%d E=%d", p.NumGPUs(), p.NumEdges())
+	}
+	if !strings.Contains(p.DOT(), "graph") {
+		t.Error("DOT output malformed")
+	}
+	if _, err := PatternFromProfile(strings.NewReader("garbage"), 0); err == nil {
+		t.Error("bad profile should error")
+	}
+}
+
+func TestAllocatePattern(t *testing.T) {
+	sys, err := NewSystem("dgx-v100", "preserve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PatternFromCalls([]CollectiveCall{
+		{API: CallAllReduce, Devices: []int{0, 1, 2}, Bytes: 1 << 24},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease, err := sys.AllocatePattern(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lease.GPUs) != 3 || lease.EffBW <= 0 {
+		t.Fatalf("lease = %+v", lease)
+	}
+	if err := sys.Release(lease); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AllocatePattern(nil, true); err == nil {
+		t.Error("nil pattern should error")
+	}
+}
+
+func TestAllocatePatternExhaustion(t *testing.T) {
+	sys, err := NewSystem("summit", "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPattern("Ring", 5)
+	if _, err := sys.AllocatePattern(p, true); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := NewPattern("Ring", 2)
+	if _, err := sys.AllocatePattern(p2, true); err == nil {
+		t.Error("second allocation should fail with 1 GPU free")
+	}
+}
