@@ -21,6 +21,7 @@ import (
 	"mapa/internal/effbw"
 	"mapa/internal/jobs"
 	"mapa/internal/match"
+	"mapa/internal/matchcache"
 	"mapa/internal/ncclsim"
 	"mapa/internal/policy"
 	"mapa/internal/regress"
@@ -664,7 +665,8 @@ func BenchmarkAblationModelBasis(b *testing.B) {
 }
 
 // BenchmarkAblationMatchDedup quantifies the cost of match
-// deduplication versus raw enumeration on the DGX-V.
+// deduplication versus raw enumeration on the DGX-V, and the gain from
+// the worker-pool parallel enumeration.
 func BenchmarkAblationMatchDedup(b *testing.B) {
 	top := topology.DGXV100()
 	pattern := appgraph.Ring(5)
@@ -678,14 +680,52 @@ func BenchmarkAblationMatchDedup(b *testing.B) {
 			match.FindAllDeduped(pattern, top.Graph)
 		}
 	})
+	b.Run("deduped-parallel", func(b *testing.B) {
+		w := policy.DefaultParallelism()
+		for i := 0; i < b.N; i++ {
+			match.FindAllDedupedParallel(pattern, top.Graph, w)
+		}
+	})
 }
 
 // BenchmarkAllocationDecision measures one Preserve decision on a
-// half-busy DGX-V — the steady-state scheduling cost.
+// half-busy DGX-V — the steady-state scheduling cost. Variants cover
+// the embedding-cached path (recurring availability state, the
+// scheduler steady state) and the worker-pool parallel matcher.
 func BenchmarkAllocationDecision(b *testing.B) {
 	top := topology.DGXV100()
 	scorer := score.NewScorer(effbw.TrainedFor(top))
 	p := policy.NewPreserve(scorer)
+	avail := top.Graph.Without([]int{1, 6})
+	req := policy.Request{Pattern: appgraph.Ring(3), Sensitive: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Allocate(avail, top, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocationDecisionCached(b *testing.B) {
+	top := topology.DGXV100()
+	scorer := score.NewScorer(effbw.TrainedFor(top))
+	p := policy.NewPreserve(scorer)
+	policy.AttachCache(p, matchcache.New(top, 0))
+	avail := top.Graph.Without([]int{1, 6})
+	req := policy.Request{Pattern: appgraph.Ring(3), Sensitive: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Allocate(avail, top, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocationDecisionParallel(b *testing.B) {
+	top := topology.DGXV100()
+	scorer := score.NewScorer(effbw.TrainedFor(top))
+	p := policy.NewPreserve(scorer)
+	policy.SetParallelism(p, policy.DefaultParallelism())
 	avail := top.Graph.Without([]int{1, 6})
 	req := policy.Request{Pattern: appgraph.Ring(3), Sensitive: true}
 	b.ResetTimer()

@@ -33,17 +33,19 @@ func main() {
 		n          = flag.Int("n", 300, "generated job count when -jobs is empty")
 		seed       = flag.Int64("seed", 1, "generation seed when -jobs is empty")
 		maxGPUs    = flag.Int("max-gpus", 5, "max GPUs per generated job")
+		workers    = flag.Int("workers", 1, "parallel matcher/scoring workers for MAPA policies (<2 sequential)")
+		cache      = flag.Bool("cache", true, "reuse pattern enumerations across recurring free-GPU states")
 		verbose    = flag.Bool("v", false, "print the per-job log")
 	)
 	flag.Parse()
 
-	if err := run(*topoName, *policyName, *jobFile, *n, *seed, *maxGPUs, *verbose); err != nil {
+	if err := run(*topoName, *policyName, *jobFile, *n, *seed, *maxGPUs, *workers, *cache, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "mapasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoName, policyName, jobFile string, n int, seed int64, maxGPUs int, verbose bool) error {
+func run(topoName, policyName, jobFile string, n int, seed int64, maxGPUs, workers int, cache, verbose bool) error {
 	top, err := topology.ByName(topoName)
 	if err != nil {
 		return err
@@ -70,7 +72,11 @@ func run(topoName, policyName, jobFile string, n int, seed int64, maxGPUs int, v
 	if policyName == "all" {
 		policies = sched.PaperPolicies()
 	}
-	results, err := sched.ComparePolicies(top, policies, jobList)
+	results, err := sched.ComparePoliciesConfig(top, policies, jobList, sched.CompareConfig{
+		Mode:         sched.ModeRealRun,
+		Workers:      workers,
+		DisableCache: !cache,
+	})
 	if err != nil {
 		return err
 	}

@@ -7,13 +7,19 @@ import (
 )
 
 func TestRunGeneratedMix(t *testing.T) {
-	if err := run("dgx-v100", "preserve", "", 20, 1, 5, false); err != nil {
+	if err := run("dgx-v100", "preserve", "", 20, 1, 5, 1, true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllPoliciesVerbose(t *testing.T) {
-	if err := run("summit", "all", "", 15, 2, 4, true); err != nil {
+	if err := run("summit", "all", "", 15, 2, 4, 1, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelUncached(t *testing.T) {
+	if err := run("dgx-v100", "preserve", "", 15, 3, 4, 4, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -24,22 +30,22 @@ func TestRunJobFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("dgx-v100", "greedy", path, 0, 0, 0, false); err != nil {
+	if err := run("dgx-v100", "greedy", path, 0, 0, 0, 1, true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("warpcore", "preserve", "", 5, 1, 5, false); err == nil {
+	if err := run("warpcore", "preserve", "", 5, 1, 5, 1, true, false); err == nil {
 		t.Error("unknown topology should error")
 	}
-	if err := run("dgx-v100", "warp-policy", "", 5, 1, 5, false); err == nil {
+	if err := run("dgx-v100", "warp-policy", "", 5, 1, 5, 1, true, false); err == nil {
 		t.Error("unknown policy should error")
 	}
-	if err := run("dgx-v100", "preserve", "/no/such/file", 5, 1, 5, false); err == nil {
+	if err := run("dgx-v100", "preserve", "/no/such/file", 5, 1, 5, 1, true, false); err == nil {
 		t.Error("missing job file should error")
 	}
-	if err := run("dgx-v100", "preserve", "", 0, 1, 5, false); err == nil {
+	if err := run("dgx-v100", "preserve", "", 0, 1, 5, 1, true, false); err == nil {
 		t.Error("zero jobs should error")
 	}
 }

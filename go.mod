@@ -1,0 +1,3 @@
+module mapa
+
+go 1.24

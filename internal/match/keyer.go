@@ -1,0 +1,77 @@
+package match
+
+import (
+	"sort"
+	"strconv"
+
+	"mapa/internal/graph"
+)
+
+// Keyer computes Match.Key-identical canonical keys for the stream of
+// matches emitted by one enumeration. All matches of one enumeration
+// share the same Pattern order, so the pattern's edges can be compiled
+// once into order positions; each key is then built from the match's
+// Data slice alone — no maps, no graph lookups, one reused buffer.
+//
+// A Keyer is not safe for concurrent use; give each worker its own.
+type Keyer struct {
+	epos  [][2]int // pattern edges as (match-order position) pairs
+	verts []int
+	edges [][2]int
+	buf   []byte
+}
+
+// NewKeyer compiles a keyer for matches whose Pattern slice equals
+// order (as produced by Enumerate for this pattern).
+func NewKeyer(pattern *graph.Graph, order []int) *Keyer {
+	pos := make(map[int]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	pe := pattern.Edges()
+	epos := make([][2]int, len(pe))
+	for i, e := range pe {
+		epos[i] = [2]int{pos[e.U], pos[e.V]}
+	}
+	return &Keyer{
+		epos:  epos,
+		verts: make([]int, len(order)),
+		edges: make([][2]int, len(pe)),
+		buf:   make([]byte, 0, 8*(len(order)+2*len(pe))),
+	}
+}
+
+// KeyOf returns the canonical key of m: its data vertices ascending,
+// then the normalized data edges its pattern edges map onto, sorted.
+// The string equals m.Key(pattern, data) for valid embeddings.
+func (ky *Keyer) KeyOf(m Match) string {
+	copy(ky.verts, m.Data)
+	sort.Ints(ky.verts)
+	for i, p := range ky.epos {
+		u, v := m.Data[p[0]], m.Data[p[1]]
+		if u > v {
+			u, v = v, u
+		}
+		ky.edges[i] = [2]int{u, v}
+	}
+	sort.Slice(ky.edges, func(i, j int) bool {
+		if ky.edges[i][0] != ky.edges[j][0] {
+			return ky.edges[i][0] < ky.edges[j][0]
+		}
+		return ky.edges[i][1] < ky.edges[j][1]
+	})
+	b := ky.buf[:0]
+	for _, v := range ky.verts {
+		b = strconv.AppendInt(b, int64(v), 10)
+		b = append(b, ',')
+	}
+	b = append(b, '|')
+	for _, e := range ky.edges {
+		b = strconv.AppendInt(b, int64(e[0]), 10)
+		b = append(b, '-')
+		b = strconv.AppendInt(b, int64(e[1]), 10)
+		b = append(b, ',')
+	}
+	ky.buf = b
+	return string(b)
+}

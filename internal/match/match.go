@@ -167,71 +167,16 @@ func matchOrder(p *graph.Graph) []int {
 // for each. Return false from fn to stop the search early. The Match
 // passed to fn reuses internal buffers; copy it (e.g. via Clone) if it
 // must outlive the callback.
+//
+// The enumeration runs over an adjacency-bitset index of the data
+// graph (see graph.Index): candidate filtering is word-wise AND /
+// AND-NOT instead of per-vertex map lookups. Embeddings are emitted in
+// a deterministic order — candidates ascend by data-vertex ID at every
+// depth.
 func Enumerate(pattern, data *graph.Graph, fn func(Match) bool) {
-	k := pattern.NumVertices()
-	if k == 0 || k > data.NumVertices() {
-		return
+	if s := newSearch(pattern, data, nil); s != nil {
+		s.run(fn)
 	}
-	order := matchOrder(pattern)
-	// earlier[i] lists indices j < i with pattern edge order[j]~order[i].
-	earlier := make([][]int, k)
-	pos := make(map[int]int, k)
-	for i, v := range order {
-		pos[v] = i
-	}
-	for i, v := range order {
-		for _, u := range pattern.Neighbors(v) {
-			if j := pos[u]; j < i {
-				earlier[i] = append(earlier[i], j)
-			}
-		}
-	}
-	// degree pruning: a data vertex can host pattern vertex v only if
-	// its degree is at least deg(v).
-	pdeg := make([]int, k)
-	for i, v := range order {
-		pdeg[i] = pattern.Degree(v)
-	}
-	assigned := make([]int, k)
-	used := make(map[int]bool, k)
-	m := Match{Pattern: order, Data: assigned}
-	dataVerts := data.Vertices()
-
-	var rec func(depth int) bool
-	rec = func(depth int) bool {
-		if depth == k {
-			return fn(m)
-		}
-		var candidates []int
-		if len(earlier[depth]) > 0 {
-			// Candidates must be adjacent to the image of one matched
-			// neighbor; use the smallest neighbor list available.
-			anchor := assigned[earlier[depth][0]]
-			candidates = data.Neighbors(anchor)
-		} else {
-			candidates = dataVerts
-		}
-	cand:
-		for _, d := range candidates {
-			if used[d] || data.Degree(d) < pdeg[depth] {
-				continue
-			}
-			for _, j := range earlier[depth] {
-				if !data.HasEdge(assigned[j], d) {
-					continue cand
-				}
-			}
-			assigned[depth] = d
-			used[d] = true
-			if !rec(depth + 1) {
-				used[d] = false
-				return false
-			}
-			used[d] = false
-		}
-		return true
-	}
-	rec(0)
 }
 
 // Clone returns a deep copy of m safe to retain after Enumerate's
@@ -259,17 +204,46 @@ func FindAll(pattern, data *graph.Graph) []Match {
 // pattern automorphism). These classes are exactly the distinct
 // "matching patterns" MAPA scores.
 func FindAllDeduped(pattern, data *graph.Graph) []Match {
+	return FindAllDedupedCapped(pattern, data, 0)
+}
+
+// FindAllDedupedCapped is FindAllDeduped truncated to the first max
+// representatives in enumeration order; max <= 0 means unlimited. The
+// cap bounds the candidate sets MAPA policies score on large machines.
+func FindAllDedupedCapped(pattern, data *graph.Graph, max int) []Match {
+	ms, _ := FindAllDedupedCappedKeys(pattern, data, max)
+	return ms
+}
+
+// FindAllDedupedCappedKeys is FindAllDedupedCapped returning each
+// representative's canonical key (its equivalence-class identity)
+// alongside it.
+func FindAllDedupedCappedKeys(pattern, data *graph.Graph, max int) ([]Match, []string) {
+	return dedupedCappedKeys(compile(pattern, data, nil), pattern, max)
+}
+
+// dedupedCappedKeys is the sequential dedup body over an
+// already-compiled program, so callers holding one (the parallel
+// fallbacks) do not pay compilation twice.
+func dedupedCappedKeys(pg *program, pattern *graph.Graph, max int) ([]Match, []string) {
+	if pg == nil {
+		return nil, nil
+	}
+	ky := NewKeyer(pattern, pg.order)
 	seen := make(map[string]bool)
 	var out []Match
-	Enumerate(pattern, data, func(m Match) bool {
-		key := m.Key(pattern, data)
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, m.Clone())
+	var keys []string
+	pg.newSearch().run(func(m Match) bool {
+		key := ky.KeyOf(m)
+		if seen[key] {
+			return true
 		}
-		return true
+		seen[key] = true
+		out = append(out, m.Clone())
+		keys = append(keys, key)
+		return max <= 0 || len(out) < max
 	})
-	return out
+	return out, keys
 }
 
 // CountEmbeddings returns the number of raw embeddings of pattern into

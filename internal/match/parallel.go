@@ -1,0 +1,269 @@
+// Worker-pool parallel enumeration. The search space is partitioned on
+// the candidates of the first match-order pattern vertex: each root
+// candidate spans an independent subtree of the backtracking search, so
+// workers enumerate disjoint subtrees with no shared mutable state and
+// results are stitched back together in root order — byte-identical to
+// the sequential enumeration, just faster.
+package match
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mapa/internal/graph"
+)
+
+// Searcher is a compiled enumeration of one (pattern, data) pair whose
+// per-root searches can run concurrently: the match order, pruning
+// tables, and the adjacency-bitset index are compiled once and shared
+// read-only, while every Session gets private scratch state.
+type Searcher struct {
+	pg    *program
+	roots []int
+}
+
+// NewSearcher compiles pattern against data. The result is never nil;
+// if no embedding can exist for size reasons, Roots is empty.
+func NewSearcher(pattern, data *graph.Graph) *Searcher {
+	sr := &Searcher{pg: compile(pattern, data, nil)}
+	if sr.pg == nil {
+		return sr
+	}
+	for p := 0; p < sr.pg.ix.Len(); p++ {
+		if sr.pg.ix.Degree(p) >= sr.pg.pdeg[0] {
+			sr.roots = append(sr.roots, sr.pg.ix.Vertex(p))
+		}
+	}
+	return sr
+}
+
+// Roots returns the data vertices eligible as the image of the first
+// match-order pattern vertex, in ascending order. Enumerating every
+// root reproduces the sequential enumeration exactly.
+func (sr *Searcher) Roots() []int { return sr.roots }
+
+// Order returns the pattern's match order (the Pattern slice of every
+// emitted Match).
+func (sr *Searcher) Order() []int {
+	if sr.pg == nil {
+		return nil
+	}
+	return sr.pg.order
+}
+
+// Session is one worker's scratch state over a Searcher. Sessions of
+// the same Searcher may run concurrently; a single Session may not.
+type Session struct {
+	s  *search
+	ky *Keyer
+}
+
+// keyer returns the session's lazily built Keyer for the searcher's
+// pattern, amortizing its buffers across the worker's roots.
+func (se *Session) keyer(pattern *graph.Graph) *Keyer {
+	if se.ky == nil {
+		se.ky = NewKeyer(pattern, se.s.order)
+	}
+	return se.ky
+}
+
+// Session allocates enumeration scratch state. Root may be called any
+// number of times on it, amortizing the allocation across roots.
+func (sr *Searcher) Session() *Session {
+	if sr.pg == nil {
+		return &Session{}
+	}
+	return &Session{s: sr.pg.newSearch()}
+}
+
+// Root enumerates the embeddings that map the first match-order
+// pattern vertex to the data vertex root, in the sequential emission
+// order. The Match passed to fn reuses buffers, exactly like
+// Enumerate.
+func (se *Session) Root(root int, fn func(Match) bool) {
+	if se.s == nil {
+		return
+	}
+	p, ok := se.s.ix.PosOf(root)
+	if !ok {
+		return
+	}
+	se.s.runRoot(p, fn)
+}
+
+// Enumerate runs the full sequential enumeration — every root in
+// ascending order. Identical to the package-level Enumerate.
+func (sr *Searcher) Enumerate(fn func(Match) bool) {
+	if sr.pg == nil {
+		return
+	}
+	sr.pg.newSearch().run(fn)
+}
+
+// EnumerateRoot is Session().Root for one-shot use. Calls with
+// distinct roots may run concurrently.
+func (sr *Searcher) EnumerateRoot(root int, fn func(Match) bool) {
+	sr.Session().Root(root, fn)
+}
+
+// forEachRoot runs fn(session, rootIndex, root) over all roots with
+// up to `workers` goroutines, handing out roots in ascending order —
+// the single dispatch loop every parallel entry point shares. Each
+// worker owns one Session for all its roots. A non-nil stop predicate
+// is polled before each claim; once it reports true, no further roots
+// are dispatched (in-flight roots finish), so dispatched roots always
+// form a contiguous prefix.
+func (sr *Searcher) forEachRoot(workers int, stop func() bool, fn func(se *Session, i int, root int)) {
+	n := len(sr.roots)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			se := sr.Session()
+			for {
+				if stop != nil && stop() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(se, i, sr.roots[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// FindAllParallel returns every embedding of pattern into data using a
+// pool of `workers` goroutines, one search subtree per first-vertex
+// candidate. The result is identical to FindAll, ordering included.
+// workers < 2 (or a trivially small search) falls back to the
+// sequential path.
+func FindAllParallel(pattern, data *graph.Graph, workers int) []Match {
+	sr := NewSearcher(pattern, data)
+	if workers < 2 || len(sr.roots) < 2 {
+		var out []Match
+		sr.Enumerate(func(m Match) bool {
+			out = append(out, m.Clone())
+			return true
+		})
+		return out
+	}
+	perRoot := make([][]Match, len(sr.roots))
+	sr.forEachRoot(workers, nil, func(se *Session, i, root int) {
+		var out []Match
+		se.Root(root, func(m Match) bool {
+			out = append(out, m.Clone())
+			return true
+		})
+		perRoot[i] = out
+	})
+	var all []Match
+	for _, ms := range perRoot {
+		all = append(all, ms...)
+	}
+	return all
+}
+
+// FindAllDedupedParallel is FindAllParallel followed by the
+// FindAllDeduped equivalence-class collapse. Workers compute canonical
+// keys for their subtrees; the dedup merge walks roots in order, so the
+// representatives (and their order) are identical to FindAllDeduped.
+func FindAllDedupedParallel(pattern, data *graph.Graph, workers int) []Match {
+	ms, _ := FindAllDedupedParallelKeys(pattern, data, workers, 0)
+	return ms
+}
+
+// FindAllDedupedParallelKeys is the parallel FindAllDedupedCappedKeys:
+// it returns the first max (<= 0: all) deduplicated representatives in
+// sequential enumeration order with their canonical keys. Workers
+// deduplicate within each root subtree before cloning, and the merge
+// walks roots in order, so the output is identical to the sequential
+// capped enumeration.
+func FindAllDedupedParallelKeys(pattern, data *graph.Graph, workers, max int) ([]Match, []string) {
+	sr := NewSearcher(pattern, data)
+	if workers < 2 || len(sr.roots) < 2 {
+		return dedupedCappedKeys(sr.pg, pattern, max)
+	}
+	type keyed struct {
+		m   Match
+		key string
+	}
+	perRoot := make([][]keyed, len(sr.roots))
+	// classes over-counts distinct classes across roots by at most the
+	// pattern size k (a class's raw embeddings map the first match-
+	// order vertex to at most its k data vertices, so it appears under
+	// at most k roots). Once classes >= k*max, the already-dispatched
+	// roots — always a contiguous prefix — are guaranteed to contain
+	// the first max global classes, so dispatching further roots cannot
+	// change the truncated result: a deterministic early stop for the
+	// capped case.
+	var classes atomic.Int64
+	var stop func() bool
+	if max > 0 {
+		stopAt := int64(max) * int64(pattern.NumVertices())
+		stop = func() bool { return classes.Load() >= stopAt }
+	}
+	sr.forEachRoot(workers, stop, func(se *Session, i, root int) {
+		ky := se.keyer(pattern)
+		local := make(map[string]bool)
+		var out []keyed
+		se.Root(root, func(m Match) bool {
+			key := ky.KeyOf(m)
+			if local[key] {
+				return true
+			}
+			local[key] = true
+			out = append(out, keyed{m: m.Clone(), key: key})
+			return true
+		})
+		perRoot[i] = out
+		classes.Add(int64(len(out)))
+	})
+	seen := make(map[string]bool)
+	var all []Match
+	var keys []string
+	for _, ms := range perRoot {
+		for _, km := range ms {
+			if seen[km.key] {
+				continue
+			}
+			seen[km.key] = true
+			all = append(all, km.m)
+			keys = append(keys, km.key)
+			if max > 0 && len(all) == max {
+				return all, keys
+			}
+		}
+	}
+	return all, keys
+}
+
+// CountEmbeddingsParallel is CountEmbeddings over the worker pool.
+func CountEmbeddingsParallel(pattern, data *graph.Graph, workers int) int {
+	sr := NewSearcher(pattern, data)
+	if workers < 2 || len(sr.roots) < 2 {
+		n := 0
+		sr.Enumerate(func(Match) bool {
+			n++
+			return true
+		})
+		return n
+	}
+	var total atomic.Int64
+	sr.forEachRoot(workers, nil, func(se *Session, _, root int) {
+		n := 0
+		se.Root(root, func(Match) bool {
+			n++
+			return true
+		})
+		total.Add(int64(n))
+	})
+	return int(total.Load())
+}

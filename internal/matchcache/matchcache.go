@@ -1,0 +1,227 @@
+// Package matchcache caches pattern-embedding enumerations for the
+// MAPA allocation hot path. Like an allocator that precomputes pair
+// scores at init so each placement request is cheap, MAPA can reuse a
+// prior subgraph-isomorphism enumeration whenever the same job pattern
+// is matched against the same set of free GPUs — which is the common
+// steady-state of a scheduler cycling through a small set of
+// availability states.
+//
+// Entries are keyed by (pattern canonical key, available-GPU bitmask).
+// Allocate and free events rotate the availability bitmask, so a state
+// change invalidates by construction: the next lookup misses and
+// re-enumerates, while entries for recurring states stay warm. The
+// cache is bound to one topology; rebinding or reconfiguring hardware
+// requires Clear (or a fresh cache). Capacity is bounded with LRU
+// eviction.
+package matchcache
+
+import (
+	"container/list"
+	"sync"
+
+	"mapa/internal/graph"
+	"mapa/internal/match"
+	"mapa/internal/score"
+	"mapa/internal/topology"
+)
+
+// DefaultCapacity is the default bound on cached (pattern, mask)
+// entries. An 8-GPU machine has at most 256 availability states; 512
+// comfortably covers several concurrent pattern shapes on 16-GPU
+// machines under LRU.
+const DefaultCapacity = 512
+
+// Key returns the cache key for matching pattern against the avail
+// induced subgraph: the pattern's canonical fingerprint plus the
+// available-GPU bitmask.
+//
+// The key encodes only the free vertex set, not avail's edges: it is
+// sound precisely because Allocator.Allocate requires avail to be the
+// induced subgraph of the bound topology's hardware graph over the
+// free GPUs, which makes the edge set a function of the vertex set.
+// An availability graph that violates that contract (e.g. links
+// removed by hand) must not share a cache with conforming callers.
+func Key(pattern, avail *graph.Graph) string {
+	return pattern.Fingerprint() + "@" + avail.VertexBitset().String()
+}
+
+// Entry is one cached enumeration: the deduplicated matches of a
+// pattern on one availability state, in sequential enumeration order,
+// with their canonical keys, GPU sets, and (lazily computed) MAPA
+// scores. Matches, keys, and GPU sets are shared across lookups —
+// treat them as read-only.
+type Entry struct {
+	matches []match.Match
+	keys    []string
+	gpus    [][]int
+
+	mu       sync.Mutex
+	scores   []score.Scores
+	scored   bool
+	scoredBy any
+}
+
+// NewEntry builds an entry from deduplicated matches (already capped
+// and in enumeration order) and their canonical keys, as returned by
+// match.FindAllDedupedCappedKeys. keys may be nil when no caller
+// needs per-match identities.
+func NewEntry(matches []match.Match, keys []string) *Entry {
+	e := &Entry{matches: matches, keys: keys, gpus: make([][]int, len(matches))}
+	if keys == nil {
+		e.keys = make([]string, len(matches))
+	}
+	for i, m := range matches {
+		e.gpus[i] = m.DataVertices()
+	}
+	return e
+}
+
+// Matches returns the cached matches in enumeration order. Read-only.
+func (e *Entry) Matches() []match.Match { return e.matches }
+
+// Key returns the canonical key of match i — its equivalence-class
+// identity, used as the final deterministic tie-break when selecting
+// among equally scored candidates.
+func (e *Entry) Key(i int) string { return e.keys[i] }
+
+// GPUs returns the ascending GPU set of match i. Read-only.
+func (e *Entry) GPUs(i int) []int { return e.gpus[i] }
+
+// Len returns the number of cached matches.
+func (e *Entry) Len() int { return len(e.matches) }
+
+// Scores returns the per-match MAPA scores, computing them with
+// compute on first use; workers > 1 parallelizes the fill. scorer
+// identifies the scoring model the values come from (the policy's
+// *score.Scorer): calls with the scorer that filled the entry return
+// the cached slice, while a different scorer recomputes, so swapping
+// a policy's bandwidth model under a warm cache never serves another
+// model's scores. Safe for concurrent use; the returned slice is
+// read-only.
+func (e *Entry) Scores(scorer any, workers int, compute func(i int, m match.Match) score.Scores) []score.Scores {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.scored && e.scoredBy == scorer {
+		return e.scores
+	}
+	out := make([]score.Scores, len(e.matches))
+	if workers > len(e.matches) {
+		workers = len(e.matches)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(start int) {
+				defer wg.Done()
+				for i := start; i < len(e.matches); i += workers {
+					out[i] = compute(i, e.matches[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		for i, m := range e.matches {
+			out[i] = compute(i, m)
+		}
+	}
+	e.scores = out
+	e.scored = true
+	e.scoredBy = scorer
+	return out
+}
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+type item struct {
+	key string
+	ent *Entry
+}
+
+// Cache is a bounded LRU embedding cache bound to one topology. It is
+// safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	top      *topology.Topology
+	capacity int
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	stats    Stats
+}
+
+// New returns a cache for the given topology. capacity <= 0 uses
+// DefaultCapacity.
+func New(top *topology.Topology, capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		top:      top,
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Bound reports whether the cache was built for exactly this topology
+// value. Policies bypass the cache on a mismatch, so a policy attached
+// to one machine never serves another machine's embeddings.
+func (c *Cache) Bound(top *topology.Topology) bool {
+	return c != nil && c.top == top
+}
+
+// Get returns the entry for key, if cached.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*item).ent, true
+}
+
+// Put stores ent under key and returns the canonical entry for that
+// key: if another goroutine stored one first, the existing entry wins
+// so every caller scores and selects over the same slice.
+func (c *Cache) Put(key string, ent *Entry) *Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*item).ent
+	}
+	c.entries[key] = c.lru.PushFront(&item{key: key, ent: ent})
+	for c.lru.Len() > c.capacity {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.entries, last.Value.(*item).key)
+		c.stats.Evictions++
+	}
+	return ent
+}
+
+// Clear drops every entry (topology reconfiguration, tests). Counters
+// survive.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+}
+
+// Stats returns a snapshot of the effectiveness counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	return s
+}

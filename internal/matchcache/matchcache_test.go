@@ -1,0 +1,239 @@
+package matchcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mapa/internal/appgraph"
+	"mapa/internal/match"
+	"mapa/internal/score"
+	"mapa/internal/topology"
+)
+
+func TestKeyDistinguishesPatternAndMask(t *testing.T) {
+	top := topology.DGXV100()
+	ring := appgraph.Ring(3)
+	chain := appgraph.Chain(3)
+	full := top.Graph
+	partial := top.Graph.Without([]int{1, 6})
+
+	keys := map[string]bool{
+		Key(ring, full):     true,
+		Key(ring, partial):  true,
+		Key(chain, full):    true,
+		Key(chain, partial): true,
+	}
+	if len(keys) != 4 {
+		t.Fatalf("expected 4 distinct keys, got %d", len(keys))
+	}
+	if Key(ring, full) != Key(appgraph.Ring(3), top.Graph.Clone()) {
+		t.Fatal("same pattern and availability must produce the same key")
+	}
+}
+
+func TestKeyReflectsAllocateAndFree(t *testing.T) {
+	top := topology.DGXV100()
+	ring := appgraph.Ring(3)
+	avail := top.Graph.Clone()
+	idle := Key(ring, avail)
+
+	// Allocate GPUs 0 and 3: the mask rotates, so the key must change —
+	// this is the cache's invalidation-by-construction on allocate.
+	busy := avail.Without([]int{0, 3})
+	if Key(ring, busy) == idle {
+		t.Fatal("allocation did not rotate the cache key")
+	}
+	// Free them again: the key returns to the idle-state key, so prior
+	// enumerations for this state are reusable, not stale.
+	restored := top.Graph.InducedSubgraph(top.Graph.Vertices())
+	if Key(ring, restored) != idle {
+		t.Fatal("freeing all GPUs must restore the idle-state key")
+	}
+}
+
+func TestCacheHitReturnsSameEntry(t *testing.T) {
+	top := topology.DGXV100()
+	c := New(top, 0)
+	ring := appgraph.Ring(3)
+	key := Key(ring, top.Graph)
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	ent := c.Put(key, NewEntry(match.FindAllDedupedCappedKeys(ring, top.Graph, 0)))
+	got, ok := c.Get(key)
+	if !ok || got != ent {
+		t.Fatal("Get after Put must return the stored entry")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestPutKeepsFirstEntry(t *testing.T) {
+	top := topology.DGXV100()
+	c := New(top, 0)
+	ring := appgraph.Ring(3)
+	key := Key(ring, top.Graph)
+	first := c.Put(key, NewEntry(nil, nil))
+	second := c.Put(key, NewEntry(nil, nil))
+	if first != second {
+		t.Fatal("second Put must return the canonical first entry")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	top := topology.DGXV100()
+	c := New(top, 2)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), NewEntry(nil, nil))
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	for _, k := range []string{"k1", "k2"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %s should have survived", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+	// Touching k1 makes k2 the LRU victim.
+	c.Put("k3", NewEntry(nil, nil))
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 was the LRU entry and should have been evicted")
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New(topology.DGXV100(), 0)
+	c.Put("k", NewEntry(nil, nil))
+	c.Clear()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("Clear left an entry behind")
+	}
+}
+
+func TestBound(t *testing.T) {
+	top := topology.DGXV100()
+	c := New(top, 0)
+	if !c.Bound(top) {
+		t.Fatal("cache not bound to its own topology")
+	}
+	if c.Bound(topology.DGXV100()) {
+		t.Fatal("cache bound to a different topology value")
+	}
+	var nilCache *Cache
+	if nilCache.Bound(top) {
+		t.Fatal("nil cache reported bound")
+	}
+}
+
+func TestEntryScoresComputedOnceAndConcurrently(t *testing.T) {
+	top := topology.DGXV100()
+	ring := appgraph.Ring(3)
+	ent := NewEntry(match.FindAllDedupedCappedKeys(ring, top.Graph, 0))
+	scorer := score.NewScorer(nil)
+
+	var calls sync.Map
+	var wg sync.WaitGroup
+	results := make([][]score.Scores, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = ent.Scores(scorer, 2, func(i int, m match.Match) score.Scores {
+				calls.Store(fmt.Sprintf("%d-%d", g, i), true)
+				return scorer.Score(top, ring, top.Graph, m)
+			})
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		if &results[g][0] != &results[0][0] {
+			t.Fatal("concurrent Scores calls returned different slices")
+		}
+	}
+	n := 0
+	calls.Range(func(_, _ any) bool { n++; return true })
+	if n != ent.Len() {
+		t.Fatalf("compute invoked %d times, want exactly %d (one goroutine fills)", n, ent.Len())
+	}
+}
+
+func TestEntryScoresRecomputedForDifferentScorer(t *testing.T) {
+	top := topology.DGXV100()
+	ring := appgraph.Ring(3)
+	ent := NewEntry(match.FindAllDedupedCappedKeys(ring, top.Graph, 0))
+	scorerA, scorerB := score.NewScorer(nil), score.NewScorer(nil)
+
+	countWith := func(s *score.Scorer) int {
+		calls := 0
+		ent.Scores(s, 1, func(_ int, m match.Match) score.Scores {
+			calls++
+			return s.Score(top, ring, top.Graph, m)
+		})
+		return calls
+	}
+	if got := countWith(scorerA); got != ent.Len() {
+		t.Fatalf("first scorer computed %d scores, want %d", got, ent.Len())
+	}
+	if got := countWith(scorerA); got != 0 {
+		t.Fatalf("same scorer recomputed %d scores, want cached", got)
+	}
+	if got := countWith(scorerB); got != ent.Len() {
+		t.Fatalf("different scorer reused stale scores (computed %d, want %d)", got, ent.Len())
+	}
+}
+
+func TestEntryGPUSetsMatchMatches(t *testing.T) {
+	top := topology.DGXV100()
+	ring := appgraph.Ring(4)
+	ms, keys := match.FindAllDedupedCappedKeys(ring, top.Graph, 0)
+	ent := NewEntry(ms, keys)
+	for i := range ms {
+		if ent.Key(i) != keys[i] {
+			t.Fatalf("Key(%d)=%q want %q", i, ent.Key(i), keys[i])
+		}
+	}
+	if ent.Len() != len(ms) {
+		t.Fatalf("Len=%d want %d", ent.Len(), len(ms))
+	}
+	for i, m := range ent.Matches() {
+		want := m.DataVertices()
+		got := ent.GPUs(i)
+		if len(got) != len(want) {
+			t.Fatalf("GPUs(%d)=%v want %v", i, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("GPUs(%d)=%v want %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	top := topology.DGXV100()
+	c := New(top, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%16)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, NewEntry(nil, nil))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries > 8 {
+		t.Fatalf("capacity exceeded: %+v", st)
+	}
+}

@@ -2,39 +2,66 @@ package policy
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"mapa/internal/graph"
-	"mapa/internal/match"
+	"mapa/internal/matchcache"
 	"mapa/internal/topology"
 )
 
 // SetParallelism configures a MAPA policy (greedy, preserve, and the
-// ablations) to score candidate matches with n worker goroutines.
-// The paper notes the scoring stage "is a data parallel problem"
-// (Sec. 5.4) whose parallelization reins in the overhead of Fig. 19;
-// this is that optimization. n < 2 restores single-threaded scoring.
-// Baseline and Topo-aware do not score candidate sets and ignore the
-// setting.
+// ablations) to enumerate and score candidate matches with n worker
+// goroutines. The paper notes the scoring stage "is a data parallel
+// problem" (Sec. 5.4) whose parallelization reins in the overhead of
+// Fig. 19; this is that optimization. n < 2 restores single-threaded
+// matching. Baseline and Topo-aware do not score candidate sets and
+// ignore the setting.
 //
-// The selected allocation is identical to the sequential one whenever
-// the candidate cap is not reached (the comparator is a strict total
-// order over the full deduplicated candidate set); under the cap, the
-// scanned subset may differ run to run.
+// The selected allocation is byte-identical to the sequential one,
+// candidate cap included: parallel enumeration materializes the exact
+// sequential candidate prefix and the comparator is a strict total
+// order over it.
 func SetParallelism(a Allocator, n int) {
 	if mp, ok := a.(*mapaPolicy); ok {
 		mp.workers = n
 	}
 }
 
+// AttachCache wires an embedding cache into a MAPA policy: decisions
+// on a (pattern, free-GPU bitmask) state the cache has seen reuse the
+// prior enumeration and scores. The cache must be bound to the
+// topology the policy allocates on; it is bypassed for any other
+// topology. Baseline and Topo-aware do not enumerate and ignore it.
+// Pass nil to detach.
+//
+// Cached decisions rely on the Allocator.Allocate contract that avail
+// is the induced subgraph of top.Graph over the free GPUs: the cache
+// key carries only the free vertex set, so callers that hand-craft
+// availability graphs with missing or altered links must not attach a
+// cache.
+func AttachCache(a Allocator, c *matchcache.Cache) {
+	if mp, ok := a.(*mapaPolicy); ok {
+		mp.cache = c
+	}
+}
+
+// CacheOf returns the embedding cache attached to a MAPA policy, or
+// nil.
+func CacheOf(a Allocator) *matchcache.Cache {
+	if mp, ok := a.(*mapaPolicy); ok {
+		return mp.cache
+	}
+	return nil
+}
+
 // DefaultParallelism is a reasonable worker count for parallel
-// scoring.
+// matching and scoring.
 func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
 
 // beats reports whether candidate b strictly precedes candidate a in
-// the policy's total order: primary metric first, lexicographic GPU
-// set as the final tie-break.
+// the policy's total order: primary metric first, then lexicographic
+// GPU set, then the canonical match key. Distinct deduplicated
+// candidates always differ in their keys, so the order is total and
+// the selected winner is independent of enumeration strategy.
 func (p *mapaPolicy) beats(req Request, a, b Allocation) bool {
 	if p.better(req, a.Scores, b.Scores) {
 		return true
@@ -42,84 +69,22 @@ func (p *mapaPolicy) beats(req Request, a, b Allocation) bool {
 	if p.better(req, b.Scores, a.Scores) {
 		return false
 	}
-	return lexLess(b.GPUs, a.GPUs)
+	if lexLess(b.GPUs, a.GPUs) {
+		return true
+	}
+	if lexLess(a.GPUs, b.GPUs) {
+		return false
+	}
+	return b.key < a.key
 }
 
-// allocateParallel is the worker-pool variant of Allocate: one
-// goroutine enumerates raw embeddings; w workers deduplicate (via a
-// shared concurrent set), score, and track local bests; a
-// deterministic reduction picks the winner. Deduplication and scoring
-// — the expensive stages — run in the workers.
-func (p *mapaPolicy) allocateParallel(avail *graph.Graph, top *topology.Topology, req Request, w int) (Allocation, error) {
-	const batchSize = 256
-	work := make(chan []match.Match, 4*w)
-	var stop atomic.Bool
-	go func() {
-		defer close(work)
-		batch := make([]match.Match, 0, batchSize)
-		match.Enumerate(req.Pattern, avail, func(m match.Match) bool {
-			if stop.Load() {
-				return false
-			}
-			batch = append(batch, m.Clone())
-			if len(batch) == batchSize {
-				work <- batch
-				batch = make([]match.Match, 0, batchSize)
-			}
-			return true
-		})
-		if len(batch) > 0 {
-			work <- batch
-		}
-	}()
-
-	var (
-		seen       sync.Map
-		candidates atomic.Int64
-	)
-	locals := make([]Allocation, w)
-	found := make([]bool, w)
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func(slot int) {
-			defer wg.Done()
-			for batch := range work {
-				if stop.Load() {
-					continue // drain so the producer can exit
-				}
-				for _, m := range batch {
-					key := m.Key(req.Pattern, avail)
-					if _, dup := seen.LoadOrStore(key, struct{}{}); dup {
-						continue
-					}
-					cand := scoreAllocation(p.scorer, avail, top, req, m)
-					if !found[slot] || p.beats(req, locals[slot], cand) {
-						locals[slot] = cand
-						found[slot] = true
-					}
-					if p.maxCandidates > 0 && candidates.Add(1) >= int64(p.maxCandidates) {
-						stop.Store(true)
-					}
-				}
-			}
-		}(i)
-	}
-	wg.Wait()
-
-	var best Allocation
-	haveBest := false
-	for i := 0; i < w; i++ {
-		if !found[i] {
-			continue
-		}
-		if !haveBest || p.beats(req, best, locals[i]) {
-			best = locals[i]
-			haveBest = true
-		}
-	}
-	if !haveBest {
-		return Allocation{}, ErrNoAllocation
-	}
-	return best, nil
+// allocateParallel is the worker-pool variant of Allocate. The search
+// is partitioned on the candidates of the first pattern vertex (the
+// match.FindAllParallel scheme): workers enumerate and deduplicate
+// disjoint subtrees, the in-root-order merge reproduces the exact
+// sequential candidate prefix (cap included), and scoring fans out
+// over the same pool. Every output field — GPUs, scores, and the
+// Match representative — is byte-identical to the sequential path.
+func (p *mapaPolicy) allocateParallel(avail *graph.Graph, top *topology.Topology, req Request) (Allocation, error) {
+	return p.selectFromEntry(p.enumerateEntry(avail, req), avail, top, req)
 }

@@ -24,6 +24,7 @@ import (
 
 	"mapa/internal/graph"
 	"mapa/internal/match"
+	"mapa/internal/matchcache"
 	"mapa/internal/score"
 	"mapa/internal/topology"
 )
@@ -55,6 +56,12 @@ type Allocation struct {
 	Match match.Match
 	// Scores are the MAPA metrics of the chosen match.
 	Scores score.Scores
+
+	// key is the candidate's canonical match key (vertex set + used
+	// edge set). It is the final tie-break of the selection order, so
+	// every enumeration strategy — sequential, cached, parallel —
+	// resolves equally scored same-GPU candidates identically.
+	key string
 }
 
 // Allocator is an allocation policy.
@@ -200,6 +207,7 @@ type mapaPolicy struct {
 	scorer        *score.Scorer
 	maxCandidates int
 	workers       int
+	cache         *matchcache.Cache
 	better        func(req Request, a, b score.Scores) bool
 }
 
@@ -209,20 +217,26 @@ func (p *mapaPolicy) Allocate(avail *graph.Graph, top *topology.Topology, req Re
 	if err := validate(avail, req); err != nil {
 		return Allocation{}, err
 	}
-	if p.workers > 1 {
-		return p.allocateParallel(avail, top, req, p.workers)
+	if p.cache.Bound(top) {
+		return p.allocateCached(avail, top, req)
 	}
+	if p.workers > 1 {
+		return p.allocateParallel(avail, top, req)
+	}
+	sr := match.NewSearcher(req.Pattern, avail)
+	ky := match.NewKeyer(req.Pattern, sr.Order())
 	seen := make(map[string]bool)
 	var best Allocation
 	found := false
 	candidates := 0
-	match.Enumerate(req.Pattern, avail, func(m match.Match) bool {
-		key := m.Key(req.Pattern, avail)
+	sr.Enumerate(func(m match.Match) bool {
+		key := ky.KeyOf(m)
 		if seen[key] {
 			return true
 		}
 		seen[key] = true
 		cand := scoreAllocation(p.scorer, avail, top, req, m.Clone())
+		cand.key = key
 		if !found || p.beats(req, best, cand) {
 			best = cand
 			found = true
@@ -234,6 +248,65 @@ func (p *mapaPolicy) Allocate(avail *graph.Graph, top *topology.Topology, req Re
 		return Allocation{}, ErrNoAllocation
 	}
 	return best, nil
+}
+
+// allocateCached serves the decision from the embedding cache: on a
+// hit the prior enumeration (and its scores) are reused and only the
+// comparator runs; on a miss the deduplicated candidate set is
+// enumerated — in parallel when workers are configured — and stored
+// for the next time this (pattern, free-GPU) state recurs. The
+// selected allocation is identical to the sequential path's: the
+// candidate list replays the sequential enumeration order and the
+// comparator is a strict total order.
+func (p *mapaPolicy) allocateCached(avail *graph.Graph, top *topology.Topology, req Request) (Allocation, error) {
+	key := matchcache.Key(req.Pattern, avail)
+	ent, ok := p.cache.Get(key)
+	if !ok {
+		ent = p.cache.Put(key, p.enumerateEntry(avail, req))
+	}
+	return p.selectFromEntry(ent, avail, top, req)
+}
+
+// enumerateEntry runs the deduplicated (capped) enumeration — in
+// parallel when workers are configured — and packages it as a cache
+// entry. Both strategies materialize the exact sequential candidate
+// prefix, so entries are byte-identical however they were built.
+func (p *mapaPolicy) enumerateEntry(avail *graph.Graph, req Request) *matchcache.Entry {
+	var ms []match.Match
+	var keys []string
+	if p.workers > 1 {
+		ms, keys = match.FindAllDedupedParallelKeys(req.Pattern, avail, p.workers, p.maxCandidates)
+	} else {
+		ms, keys = match.FindAllDedupedCappedKeys(req.Pattern, avail, p.maxCandidates)
+	}
+	return matchcache.NewEntry(ms, keys)
+}
+
+// selectFromEntry scores an entry's candidates (reusing cached scores
+// when the entry came from the cache) and picks the winner under the
+// policy's total order. The entry's matches are shared; the winning
+// match is cloned so the caller owns its Allocation.
+func (p *mapaPolicy) selectFromEntry(ent *matchcache.Entry, avail *graph.Graph, top *topology.Topology, req Request) (Allocation, error) {
+	if ent.Len() == 0 {
+		return Allocation{}, ErrNoAllocation
+	}
+	scores := ent.Scores(p.scorer, p.workers, func(_ int, m match.Match) score.Scores {
+		return p.scorer.Score(top, req.Pattern, avail, m)
+	})
+	best := 0
+	for i := 1; i < ent.Len(); i++ {
+		a := Allocation{GPUs: ent.GPUs(best), Scores: scores[best], key: ent.Key(best)}
+		b := Allocation{GPUs: ent.GPUs(i), Scores: scores[i], key: ent.Key(i)}
+		if p.beats(req, a, b) {
+			best = i
+		}
+	}
+	return Allocation{
+		GPUs:   append([]int(nil), ent.GPUs(best)...),
+		Match:  ent.Matches()[best].Clone(),
+		Scores: scores[best],
+		key:    ent.Key(best),
+	}, nil
 }
 
 // lexLess orders GPU sets for deterministic tie-breaking.

@@ -28,6 +28,26 @@ func ComparePolicies(top *topology.Topology, policyNames []string, jobList []job
 // is identical across policies and effective bandwidth isolates
 // allocation quality.
 func ComparePoliciesMode(top *topology.Topology, policyNames []string, jobList []jobs.Job, mode Mode) (map[string]RunResult, error) {
+	return ComparePoliciesConfig(top, policyNames, jobList, CompareConfig{Mode: mode})
+}
+
+// CompareConfig tunes the engines ComparePoliciesConfig builds.
+type CompareConfig struct {
+	// Mode selects the execution-time source.
+	Mode Mode
+	// Workers configures MAPA policies to enumerate and score
+	// candidate matches with this many goroutines (the first-vertex
+	// search partitioning of match.FindAllParallel); < 2 keeps the
+	// sequential matcher. Decisions are identical either way.
+	Workers int
+	// DisableCache turns off the per-engine embedding cache, forcing a
+	// fresh enumeration for every decision.
+	DisableCache bool
+}
+
+// ComparePoliciesConfig is ComparePoliciesMode with explicit matcher
+// parallelism and embedding-cache configuration.
+func ComparePoliciesConfig(top *topology.Topology, policyNames []string, jobList []jobs.Job, cfg CompareConfig) (map[string]RunResult, error) {
 	scorer := score.NewScorer(effbw.TrainedFor(top))
 	out := make(map[string]RunResult, len(policyNames))
 	for _, name := range policyNames {
@@ -35,8 +55,14 @@ func ComparePoliciesMode(top *topology.Topology, policyNames []string, jobList [
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Workers > 1 {
+			policy.SetParallelism(p, cfg.Workers)
+		}
 		e := NewEngine(top, p)
-		e.Mode = mode
+		e.Mode = cfg.Mode
+		if cfg.DisableCache {
+			e.Cache = nil
+		}
 		res, err := e.Run(jobList)
 		if err != nil {
 			return nil, fmt.Errorf("sched: policy %s: %w", name, err)

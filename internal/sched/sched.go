@@ -20,6 +20,7 @@ import (
 	"mapa/internal/effbw"
 	"mapa/internal/graph"
 	"mapa/internal/jobs"
+	"mapa/internal/matchcache"
 	"mapa/internal/ncclsim"
 	"mapa/internal/policy"
 	"mapa/internal/topology"
@@ -67,6 +68,12 @@ type Engine struct {
 	// Queue selects the job-queue discipline; the zero value is the
 	// paper's FIFO.
 	Queue Discipline
+	// Cache is the embedding cache attached to MAPA policies for the
+	// engine's topology, so steady-state scheduling reuses prior
+	// enumerations: every allocate/free rotates the free-GPU bitmask
+	// in the cache key, and recurring availability states hit.
+	// NewEngine populates it; nil disables caching.
+	Cache *matchcache.Cache
 }
 
 // Mode selects how the engine derives job durations.
@@ -93,9 +100,15 @@ const (
 const FixedReferenceBW = 25
 
 // NewEngine returns an engine in real-run mode with an Eq. 2 model
-// trained for the topology.
+// trained for the topology and an embedding cache for it.
 func NewEngine(top *topology.Topology, alloc policy.Allocator) *Engine {
-	return &Engine{Top: top, Alloc: alloc, Model: effbw.TrainedFor(top), Mode: ModeRealRun}
+	return &Engine{
+		Top:   top,
+		Alloc: alloc,
+		Model: effbw.TrainedFor(top),
+		Mode:  ModeRealRun,
+		Cache: matchcache.New(top, matchcache.DefaultCapacity),
+	}
 }
 
 // event is a scheduled job completion.
@@ -127,6 +140,16 @@ func (e *Engine) Run(jobList []jobs.Job) (RunResult, error) {
 			return RunResult{}, fmt.Errorf("sched: job %d needs %d GPUs but %s has %d",
 				j.ID, j.NumGPUs, e.Top.Name, e.Top.NumGPUs())
 		}
+	}
+
+	// Attach (or detach) the embedding cache so the run's caching
+	// behavior follows the engine configuration even when the
+	// allocator was used elsewhere before. A cache bound to a
+	// different topology is never attached.
+	if e.Cache.Bound(e.Top) {
+		policy.AttachCache(e.Alloc, e.Cache)
+	} else {
+		policy.AttachCache(e.Alloc, nil)
 	}
 
 	avail := e.Top.Graph.Clone()

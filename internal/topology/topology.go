@@ -225,6 +225,23 @@ func DGX2() *Topology {
 	return b.build()
 }
 
+// DGXA100 returns an NVIDIA DGX A100: eight GPUs joined through six
+// NVSwitches, so every pair communicates at full NVSwitch bandwidth.
+// Like the DGX-2 it is an all-to-all switch fabric rather than a
+// point-to-point mesh — the post-paper generation of machines — and is
+// used here as a golden-count reference topology whose embedding
+// counts have closed forms.
+func DGXA100() *Topology {
+	b := newBuilder("DGX-A100", 8)
+	b.sockets = [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	for u := 0; u < 8; u++ {
+		for v := u + 1; v < 8; v++ {
+			b.link(u, v, LinkNVSwitch)
+		}
+	}
+	return b.build()
+}
+
 // Torus2D returns the paper's 16-GPU Torus-2d exploration topology
 // (Fig. 17a): a 4x4 grid with wraparound links. Following the figure's
 // mix of link classes, horizontal (row) links are double NVLink-v2 and
@@ -331,7 +348,7 @@ func intRange(lo, hi int) []int {
 }
 
 // ByName returns the named paper topology. Recognized names:
-// dgx-v100, dgx-p100, summit, dgx-2, torus-2d, cubemesh-16.
+// dgx-v100, dgx-p100, summit, dgx-2, dgx-a100, torus-2d, cubemesh-16.
 func ByName(name string) (*Topology, error) {
 	switch strings.ToLower(name) {
 	case "dgx-v100", "dgxv100", "dgx-1-v100", "dgxv":
@@ -342,6 +359,8 @@ func ByName(name string) (*Topology, error) {
 		return Summit(), nil
 	case "dgx-2", "dgx2":
 		return DGX2(), nil
+	case "dgx-a100", "dgxa100":
+		return DGXA100(), nil
 	case "torus-2d", "torus2d", "torus":
 		return Torus2D(), nil
 	case "cubemesh-16", "cubemesh16", "cube-mesh", "cubemesh":
@@ -352,7 +371,7 @@ func ByName(name string) (*Topology, error) {
 
 // Names lists the topologies accepted by ByName, in canonical spelling.
 func Names() []string {
-	return []string{"dgx-v100", "dgx-p100", "summit", "dgx-2", "torus-2d", "cubemesh-16"}
+	return []string{"dgx-v100", "dgx-p100", "summit", "dgx-2", "dgx-a100", "torus-2d", "cubemesh-16"}
 }
 
 // Matrix renders the nvidia-smi-style link matrix of the topology.

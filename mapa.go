@@ -31,6 +31,7 @@ import (
 	"mapa/internal/effbw"
 	"mapa/internal/graph"
 	"mapa/internal/jobs"
+	"mapa/internal/matchcache"
 	"mapa/internal/policy"
 	"mapa/internal/sched"
 	"mapa/internal/score"
@@ -39,8 +40,9 @@ import (
 )
 
 // Topologies lists the built-in hardware topologies: the paper's
-// DGX-1 V100, DGX-1 P100, Summit node, DGX-2, and the 16-GPU Torus-2d
-// and Cube-mesh exploration machines.
+// DGX-1 V100, DGX-1 P100, Summit node, the NVSwitch-fabric DGX-2 and
+// DGX A100, and the 16-GPU Torus-2d and Cube-mesh exploration
+// machines.
 func Topologies() []string { return topology.Names() }
 
 // Policies lists the built-in allocation policies. The paper's
@@ -108,6 +110,10 @@ func NewSystem(topologyName, policyName string) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Steady-state allocation reuses prior pattern enumerations: the
+	// cache key carries the free-GPU bitmask, so Allocate and Release
+	// rotate the key and recurring availability states hit.
+	policy.AttachCache(alloc, matchcache.New(top, matchcache.DefaultCapacity))
 	return &System{
 		top:    top,
 		alloc:  alloc,

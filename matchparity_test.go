@@ -1,0 +1,125 @@
+package mapa
+
+import (
+	"fmt"
+	"testing"
+
+	"mapa/internal/effbw"
+	"mapa/internal/jobs"
+	"mapa/internal/matchcache"
+	"mapa/internal/policy"
+	"mapa/internal/sched"
+	"mapa/internal/score"
+	"mapa/internal/topology"
+)
+
+// allocationTrace runs the job list through a freshly configured
+// engine and renders every record's allocation-relevant fields, so two
+// traces compare byte-identically only if every decision matched.
+func allocationTrace(t *testing.T, top *topology.Topology, policyName string, jobList []jobs.Job, workers int, cached bool) ([]string, *matchcache.Cache) {
+	t.Helper()
+	scorer := score.NewScorer(effbw.TrainedFor(top))
+	p, err := policy.ByName(policyName, scorer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if workers > 1 {
+		policy.SetParallelism(p, workers)
+	}
+	e := sched.NewEngine(top, p)
+	if !cached {
+		e.Cache = nil
+	}
+	res, err := e.Run(jobList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := make([]string, len(res.Records))
+	for i, r := range res.Records {
+		trace[i] = fmt.Sprintf("job=%d gpus=%v start=%.6f end=%.6f agg=%.6f eff=%.6f pres=%.6f",
+			r.Job.ID, r.GPUs, r.Start, r.End, r.AggBW, r.PredictedEffBW, r.PreservedBW)
+	}
+	return trace, e.Cache
+}
+
+// TestCachedAndParallelMatchSequentialAllocations is the acceptance
+// check for the bitset/cache/parallel matcher rework: on the
+// integration-test workloads, the embedding-cached path and the
+// worker-pool parallel path must produce byte-identical allocation
+// sequences to the sequential matcher.
+func TestCachedAndParallelMatchSequentialAllocations(t *testing.T) {
+	cases := []struct {
+		topo   string
+		policy string
+		njobs  int
+	}{
+		{"dgx-v100", "preserve", 150},
+		{"dgx-v100", "greedy", 150},
+		{"dgx-a100", "preserve", 100},
+		{"torus-2d", "preserve", 60},
+	}
+	for _, tc := range cases {
+		t.Run(tc.topo+"/"+tc.policy, func(t *testing.T) {
+			top, err := topology.ByName(tc.topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobList := jobs.PaperMix(1)[:tc.njobs]
+
+			sequential, _ := allocationTrace(t, top, tc.policy, jobList, 1, false)
+			cachedTrace, cache := allocationTrace(t, top, tc.policy, jobList, 1, true)
+			parallel, _ := allocationTrace(t, top, tc.policy, jobList, 4, false)
+			both, _ := allocationTrace(t, top, tc.policy, jobList, 4, true)
+
+			compare := func(name string, got []string) {
+				t.Helper()
+				if len(got) != len(sequential) {
+					t.Fatalf("%s produced %d records, sequential %d", name, len(got), len(sequential))
+				}
+				for i := range sequential {
+					if got[i] != sequential[i] {
+						t.Fatalf("%s diverged from sequential at record %d:\n  seq: %s\n  got: %s",
+							name, i, sequential[i], got[i])
+					}
+				}
+			}
+			compare("cached", cachedTrace)
+			compare("parallel", parallel)
+			compare("cached+parallel", both)
+
+			// The cache must actually be doing the work: steady-state
+			// scheduling revisits availability states.
+			if st := cache.Stats(); st.Hits == 0 {
+				t.Fatalf("embedding cache saw no hits over %d jobs: %+v", tc.njobs, st)
+			}
+		})
+	}
+}
+
+// TestSystemSteadyStateUsesCache verifies the live-allocator wiring:
+// an allocate/release cycle returns to a previously seen availability
+// state and the next identical request hits the cache.
+func TestSystemSteadyStateUsesCache(t *testing.T) {
+	s, err := NewSystem("dgx-v100", "preserve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := JobRequest{NumGPUs: 3, Shape: "Ring", Sensitive: true}
+	var first *Lease
+	for i := 0; i < 5; i++ {
+		l, err := s.Allocate(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = l
+		} else {
+			if fmt.Sprint(l.GPUs) != fmt.Sprint(first.GPUs) {
+				t.Fatalf("iteration %d allocated %v, first %v — decisions must be reproducible", i, l.GPUs, first.GPUs)
+			}
+		}
+		if err := s.Release(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
