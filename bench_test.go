@@ -19,6 +19,7 @@ import (
 
 	"mapa/internal/appgraph"
 	"mapa/internal/effbw"
+	"mapa/internal/graph"
 	"mapa/internal/jobs"
 	"mapa/internal/match"
 	"mapa/internal/matchcache"
@@ -731,6 +732,64 @@ func BenchmarkAllocationDecisionParallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.Allocate(avail, top, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// coldMissStates returns every 2-busy availability state of the
+// topology, the rotation used by the cold-miss benchmarks: each
+// decision sees a different free-GPU mask, so a tier-2 cache could
+// never hit and the miss path itself is what gets timed.
+func coldMissStates(top *topology.Topology) []*graph.Graph {
+	var out []*graph.Graph
+	gpus := top.GPUs()
+	for i := 0; i < len(gpus); i++ {
+		for j := i + 1; j < len(gpus); j++ {
+			out = append(out, top.Graph.Without([]int{gpus[i], gpus[j]}))
+		}
+	}
+	return out
+}
+
+// BenchmarkAllocationDecisionColdMissSearch measures a Preserve
+// decision on a never-before-seen availability state with the
+// pre-universe pipeline: every miss runs a full subgraph-isomorphism
+// enumeration (the PR 1 uncached path, ~176 µs on the reference
+// container's DGX-A100).
+func BenchmarkAllocationDecisionColdMissSearch(b *testing.B) {
+	top := topology.DGXA100()
+	scorer := score.NewScorer(effbw.TrainedFor(top))
+	p := policy.NewPreserve(scorer)
+	states := coldMissStates(top)
+	req := policy.Request{Pattern: appgraph.Ring(3), Sensitive: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Allocate(states[i%len(states)], top, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocationDecisionColdMissFiltered is the same cold-miss
+// rotation served by the two-tier pipeline's tier 1: the shape's
+// idle-state universe is warmed once before timing, and each decision
+// derives its candidate list by bitmask-filtering the universe — no
+// search. The scorer's ring-channel memoization is shared with the
+// search variant's setup, so the delta isolates the matcher.
+func BenchmarkAllocationDecisionColdMissFiltered(b *testing.B) {
+	top := topology.DGXA100()
+	scorer := score.NewScorer(effbw.TrainedFor(top))
+	p := policy.NewPreserve(scorer)
+	pattern := appgraph.Ring(3)
+	store := matchcache.NewStore(top, 0)
+	store.Warm(1, pattern)
+	policy.AttachUniverses(p, store)
+	states := coldMissStates(top)
+	req := policy.Request{Pattern: pattern, Sensitive: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Allocate(states[i%len(states)], top, req); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -19,40 +19,69 @@ import (
 	"sort"
 	"strings"
 
+	"mapa/internal/appgraph"
+	"mapa/internal/graph"
 	"mapa/internal/jobs"
 	"mapa/internal/sched"
 	"mapa/internal/stats"
 	"mapa/internal/topology"
 )
 
+// options bundles the CLI configuration of one simulator run.
+type options struct {
+	topoName   string
+	policyName string
+	jobFile    string
+	n          int
+	seed       int64
+	maxGPUs    int
+	workers    int
+	cache      bool
+	universes  bool
+	warm       bool
+	cacheStats bool
+	verbose    bool
+}
+
 func main() {
-	var (
-		topoName   = flag.String("topology", "dgx-v100", "hardware topology: "+strings.Join(topology.Names(), ", "))
-		policyName = flag.String("policy", "preserve", "allocation policy, or 'all' for the paper's four")
-		jobFile    = flag.String("jobs", "", "job file path (empty generates a random mix)")
-		n          = flag.Int("n", 300, "generated job count when -jobs is empty")
-		seed       = flag.Int64("seed", 1, "generation seed when -jobs is empty")
-		maxGPUs    = flag.Int("max-gpus", 5, "max GPUs per generated job")
-		workers    = flag.Int("workers", 1, "parallel matcher/scoring workers for MAPA policies (<2 sequential)")
-		cache      = flag.Bool("cache", true, "reuse pattern enumerations across recurring free-GPU states")
-		verbose    = flag.Bool("v", false, "print the per-job log")
-	)
+	var o options
+	flag.StringVar(&o.topoName, "topology", "dgx-v100", "hardware topology: "+strings.Join(topology.Names(), ", "))
+	flag.StringVar(&o.policyName, "policy", "preserve", "allocation policy, or 'all' for the paper's four")
+	flag.StringVar(&o.jobFile, "jobs", "", "job file path (empty generates a random mix)")
+	flag.IntVar(&o.n, "n", 300, "generated job count when -jobs is empty")
+	flag.Int64Var(&o.seed, "seed", 1, "generation seed when -jobs is empty")
+	flag.IntVar(&o.maxGPUs, "max-gpus", 5, "max GPUs per generated job")
+	flag.IntVar(&o.workers, "workers", 1, "parallel matcher/scoring workers for MAPA policies (<2 sequential)")
+	flag.BoolVar(&o.cache, "cache", true, "reuse candidate lists across recurring free-GPU states (tier 2)")
+	flag.BoolVar(&o.universes, "universes", true, "derive new-state candidates by filtering idle-state universes (tier 1)")
+	flag.BoolVar(&o.warm, "warm", false, "prewarm idle-state universes for every shape up to -max-gpus before scheduling")
+	flag.BoolVar(&o.cacheStats, "cachestats", false, "print match-pipeline hit/miss/eviction/filter counters per policy")
+	flag.BoolVar(&o.verbose, "v", false, "print the per-job log")
 	flag.Parse()
 
-	if err := run(*topoName, *policyName, *jobFile, *n, *seed, *maxGPUs, *workers, *cache, *verbose); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mapasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoName, policyName, jobFile string, n int, seed int64, maxGPUs, workers int, cache, verbose bool) error {
-	top, err := topology.ByName(topoName)
+// warmPatterns builds every built-in shape at sizes 2..maxGPUs
+// (clamped to the machine) for universe prewarming.
+func warmPatterns(top *topology.Topology, maxGPUs int) []*graph.Graph {
+	if maxGPUs > top.NumGPUs() {
+		maxGPUs = top.NumGPUs()
+	}
+	return appgraph.AllShapes(maxGPUs)
+}
+
+func run(o options) error {
+	top, err := topology.ByName(o.topoName)
 	if err != nil {
 		return err
 	}
 	var jobList []jobs.Job
-	if jobFile != "" {
-		f, err := os.Open(jobFile)
+	if o.jobFile != "" {
+		f, err := os.Open(o.jobFile)
 		if err != nil {
 			return err
 		}
@@ -62,21 +91,26 @@ func run(topoName, policyName, jobFile string, n int, seed int64, maxGPUs, worke
 			return err
 		}
 	} else {
-		jobList, err = jobs.Generate(jobs.GenerateConfig{N: n, MaxGPUs: maxGPUs, Seed: seed})
+		jobList, err = jobs.Generate(jobs.GenerateConfig{N: o.n, MaxGPUs: o.maxGPUs, Seed: o.seed})
 		if err != nil {
 			return err
 		}
 	}
 
-	policies := []string{policyName}
-	if policyName == "all" {
+	policies := []string{o.policyName}
+	if o.policyName == "all" {
 		policies = sched.PaperPolicies()
 	}
-	results, err := sched.ComparePoliciesConfig(top, policies, jobList, sched.CompareConfig{
-		Mode:         sched.ModeRealRun,
-		Workers:      workers,
-		DisableCache: !cache,
-	})
+	cfg := sched.CompareConfig{
+		Mode:             sched.ModeRealRun,
+		Workers:          o.workers,
+		DisableCache:     !o.cache,
+		DisableUniverses: !o.universes,
+	}
+	if o.warm && o.universes {
+		cfg.WarmPatterns = warmPatterns(top, o.maxGPUs)
+	}
+	results, cacheStats, storeStats, err := sched.ComparePoliciesInstrumented(top, policies, jobList, cfg)
 	if err != nil {
 		return err
 	}
@@ -91,7 +125,13 @@ func run(topoName, policyName, jobFile string, n int, seed int64, maxGPUs, worke
 		res := results[name]
 		fmt.Printf("== %s on %s: %d jobs, makespan %.0f s, throughput %.3f jobs/ks\n",
 			name, top.Name, len(res.Records), res.Makespan, res.Throughput)
-		if verbose {
+		if o.cacheStats {
+			if cs, ok := cacheStats[name]; ok {
+				fmt.Printf("  match cache: %d hits, %d misses, %d evictions, %d entries in %d shards\n",
+					cs.Hits, cs.Misses, cs.Evictions, cs.Entries, cs.Shards)
+			}
+		}
+		if o.verbose {
 			fmt.Println("  id  workload      gpus             start      end   effBW(pred)")
 			for _, r := range res.Records {
 				fmt.Printf("  %-3d %-12s %-16v %8.0f %8.0f %8.2f\n",
@@ -108,6 +148,11 @@ func run(topoName, policyName, jobFile string, n int, seed int64, maxGPUs, worke
 			fmt.Printf("  %s eff BW:     %s\n", sched.SensitivityLabel(sensitive),
 				stats.Summarize(sched.PredictedEffBWs(recs)))
 		}
+	}
+
+	if o.cacheStats && storeStats != nil {
+		fmt.Printf("universe store (shared): %d universes (%d incomplete), %d misses filter-served, %d rejected\n",
+			storeStats.Universes, storeStats.Incomplete, storeStats.FilterServed, storeStats.FilterRejected)
 	}
 
 	if len(results) > 1 {

@@ -6,20 +6,60 @@ import (
 	"testing"
 )
 
+// opts returns a baseline options value for tests; the two-tier match
+// pipeline is on, matching the CLI defaults.
+func opts() options {
+	return options{
+		topoName:   "dgx-v100",
+		policyName: "preserve",
+		n:          20,
+		seed:       1,
+		maxGPUs:    5,
+		workers:    1,
+		cache:      true,
+		universes:  true,
+	}
+}
+
 func TestRunGeneratedMix(t *testing.T) {
-	if err := run("dgx-v100", "preserve", "", 20, 1, 5, 1, true, false); err != nil {
+	if err := run(opts()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllPoliciesVerbose(t *testing.T) {
-	if err := run("summit", "all", "", 15, 2, 4, 1, true, true); err != nil {
+	o := opts()
+	o.topoName = "summit"
+	o.policyName = "all"
+	o.n = 15
+	o.seed = 2
+	o.maxGPUs = 4
+	o.verbose = true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunParallelUncached(t *testing.T) {
-	if err := run("dgx-v100", "preserve", "", 15, 3, 4, 4, false, false); err != nil {
+	o := opts()
+	o.n = 15
+	o.seed = 3
+	o.maxGPUs = 4
+	o.workers = 4
+	o.cache = false
+	o.universes = false
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWarmedWithCacheStats(t *testing.T) {
+	o := opts()
+	o.n = 15
+	o.maxGPUs = 4
+	o.warm = true
+	o.cacheStats = true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -30,22 +70,36 @@ func TestRunJobFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("dgx-v100", "greedy", path, 0, 0, 0, 1, true, false); err != nil {
+	o := opts()
+	o.policyName = "greedy"
+	o.jobFile = path
+	o.n = 0
+	o.seed = 0
+	o.maxGPUs = 0
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("warpcore", "preserve", "", 5, 1, 5, 1, true, false); err == nil {
+	o := opts()
+	o.topoName = "warpcore"
+	if err := run(o); err == nil {
 		t.Error("unknown topology should error")
 	}
-	if err := run("dgx-v100", "warp-policy", "", 5, 1, 5, 1, true, false); err == nil {
+	o = opts()
+	o.policyName = "warp-policy"
+	if err := run(o); err == nil {
 		t.Error("unknown policy should error")
 	}
-	if err := run("dgx-v100", "preserve", "/no/such/file", 5, 1, 5, 1, true, false); err == nil {
+	o = opts()
+	o.jobFile = "/no/such/file"
+	if err := run(o); err == nil {
 		t.Error("missing job file should error")
 	}
-	if err := run("dgx-v100", "preserve", "", 0, 1, 5, 1, true, false); err == nil {
+	o = opts()
+	o.n = 0
+	if err := run(o); err == nil {
 		t.Error("zero jobs should error")
 	}
 }

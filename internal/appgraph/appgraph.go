@@ -147,6 +147,22 @@ func Build(s Shape, k int) (*graph.Graph, error) {
 	return nil, fmt.Errorf("appgraph: unknown shape %q", s)
 }
 
+// AllShapes returns every built-in shape at sizes 2..maxGPUs — the
+// canonical warm set for precomputing idle-state match universes.
+// Isomorphic duplicates across shapes (e.g. Chain(2) vs Ring(2)) are
+// left in; canonical pattern keying collapses them downstream.
+func AllShapes(maxGPUs int) []*graph.Graph {
+	var out []*graph.Graph
+	for _, s := range Shapes() {
+		for k := 2; k <= maxGPUs; k++ {
+			if p, err := Build(s, k); err == nil {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
 // ForCollective mirrors NCCL's protocol selection (Sec. 3.1): large
 // transfers all-reduce over rings, small transfers over trees.
 func ForCollective(k int, msgBytes float64) *graph.Graph {

@@ -235,19 +235,30 @@ var (
 	modelCache   = make(map[string]*Model)
 )
 
+// TrainOnMaxGPUs bounds the machine size TrainedFor will train on:
+// training-set collection enumerates every C(n, k) allocation for
+// k in DefaultSizes, which is combinatorial in n. Multi-node machines
+// beyond the bound use the paper's Table 2 model instead.
+const TrainOnMaxGPUs = 16
+
 // TrainedFor returns an Eq. 2 model trained against the ncclsim
 // microbenchmark on the given topology, caching one model per topology
 // name. If the topology has too few distinct link mixes to fit the
-// 14-term basis (tiny machines), it falls back to the paper's Table 2
-// model, which at least preserves the link-mix ordering.
+// 14-term basis (tiny machines), or too many GPUs to enumerate a
+// training set (multi-node clusters), it falls back to the paper's
+// Table 2 model, which at least preserves the link-mix ordering.
 func TrainedFor(top *topology.Topology) *Model {
 	modelCacheMu.Lock()
 	defer modelCacheMu.Unlock()
 	if m, ok := modelCache[top.Name]; ok {
 		return m
 	}
-	m, _, err := Train(top, DefaultSizes())
-	if err != nil {
+	var m *Model
+	if top.NumGPUs() > TrainOnMaxGPUs {
+		m = PaperModel()
+	} else if trained, _, err := Train(top, DefaultSizes()); err == nil {
+		m = trained
+	} else {
 		m = PaperModel()
 	}
 	modelCache[top.Name] = m

@@ -113,6 +113,26 @@ func (b Bitset) Fill(n int) {
 	}
 }
 
+// SubsetOf reports whether every member of b is a member of x. Unlike
+// the binary operators it tolerates operands of different word lengths
+// (members beyond x's capacity are simply not in x), so a bitset sized
+// for a full machine can be tested against a mask sized for an
+// availability subgraph with fewer (or lower-numbered) vertices.
+func (b Bitset) SubsetOf(x Bitset) bool {
+	for i, w := range b {
+		if i >= len(x) {
+			if w != 0 {
+				return false
+			}
+			continue
+		}
+		if w&^x[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Equal reports whether b and x have identical members and capacity.
 func (b Bitset) Equal(x Bitset) bool {
 	if len(b) != len(x) {

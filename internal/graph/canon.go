@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CanonMaxVertices bounds the exact canonicalization: graphs with more
+// vertices fall back to the structural Fingerprint (still a sound cache
+// key, just not isomorphism-invariant). Application patterns are small
+// — the paper's jobs request at most a handful of GPUs — so the exact
+// form covers the shapes that matter; the bound keeps the worst-case
+// permutation search (product of orbit-class factorials) trivial.
+const CanonMaxVertices = 8
+
+// CanonicalForm returns a fingerprint of g that is invariant under
+// isomorphism (for graphs of at most CanonMaxVertices vertices)
+// together with the canonical labeling that produced it: a map from
+// vertex ID to canonical index in [0, n).
+//
+// Two graphs receive equal canonical fingerprints exactly when an
+// edge-, weight-, and label-preserving bijection exists between them —
+// so a Ring(4) request built as 0-1-2-3-0 and one built as 0-2-1-3-0
+// share the fingerprint. Composing one graph's labeling with the
+// inverse of the other's yields such an isomorphism, which is how the
+// match pipeline re-expresses cached embeddings in a requester's own
+// vertex IDs.
+//
+// Beyond CanonMaxVertices the fingerprint degrades to a prefixed
+// Fingerprint(): only structurally equal graphs share it, and the
+// labeling is the rank in ascending vertex order (the identity
+// isomorphism between structurally equal graphs).
+func (g *Graph) CanonicalForm() (string, map[int]int) {
+	vs := g.Vertices()
+	n := len(vs)
+	labeling := make(map[int]int, n)
+	if n > CanonMaxVertices {
+		for i, v := range vs {
+			labeling[v] = i
+		}
+		return "x!" + g.Fingerprint(), labeling
+	}
+
+	// Partition vertices into classes by an isomorphism-invariant
+	// signature (degree + sorted incident (weight, label) profile +
+	// sorted neighbor degrees). Vertices in different classes can never
+	// map onto each other, so the canonical search only permutes within
+	// classes, with classes ordered by their signature.
+	sig := make(map[int]string, n)
+	for _, v := range vs {
+		var parts []string
+		for _, e := range g.IncidentEdges(v) {
+			parts = append(parts, strconv.FormatFloat(e.Weight, 'g', -1, 64)+"/"+strconv.Itoa(e.Label)+"/"+strconv.Itoa(g.Degree(e.Other(v))))
+		}
+		sort.Strings(parts)
+		sig[v] = strconv.Itoa(g.Degree(v)) + "#" + strings.Join(parts, ",")
+	}
+	classOf := make(map[string][]int)
+	for _, v := range vs {
+		classOf[sig[v]] = append(classOf[sig[v]], v)
+	}
+	sigs := make([]string, 0, len(classOf))
+	for s := range classOf {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	classes := make([][]int, len(sigs))
+	for i, s := range sigs {
+		classes[i] = classOf[s] // ascending (Vertices() order preserved)
+	}
+
+	// Enumerate every class-respecting assignment of canonical indices
+	// and keep the lexicographically smallest adjacency encoding.
+	perm := make([]int, 0, n)    // canonical index -> vertex ID
+	var best []byte              // smallest encoding so far
+	bestPerm := make([]int, n)   // the permutation that produced it
+	used := make([]bool, n)      // per-class usage marks, reused
+	var rec func(ci, offset int) // class index, canonical offset
+	encode := func(p []int) []byte {
+		buf := make([]byte, 0, n*n*4)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if e, ok := g.EdgeBetween(p[i], p[j]); ok {
+					buf = append(buf, '1')
+					buf = strconv.AppendFloat(buf, e.Weight, 'g', -1, 64)
+					buf = append(buf, ':')
+					buf = strconv.AppendInt(buf, int64(e.Label), 10)
+				} else {
+					buf = append(buf, '0')
+				}
+				buf = append(buf, ';')
+			}
+		}
+		return buf
+	}
+	rec = func(ci, offset int) {
+		if ci == len(classes) {
+			enc := encode(perm)
+			if best == nil || string(enc) < string(best) {
+				best = enc
+				copy(bestPerm, perm)
+			}
+			return
+		}
+		class := classes[ci]
+		var place func(k int)
+		place = func(k int) {
+			if k == len(class) {
+				rec(ci+1, offset+len(class))
+				return
+			}
+			for i, v := range class {
+				if used[offset+i] {
+					continue
+				}
+				used[offset+i] = true
+				perm = append(perm, v)
+				place(k + 1)
+				perm = perm[:len(perm)-1]
+				used[offset+i] = false
+			}
+		}
+		place(0)
+	}
+	rec(0, 0)
+
+	for ci, v := range bestPerm {
+		labeling[v] = ci
+	}
+	// Class sizes and signatures are isomorphism-invariant, so the
+	// encoding of the canonical adjacency plus the vertex count is a
+	// complete invariant.
+	return "c!" + strconv.Itoa(n) + "!" + strings.Join(sigs, "|") + "!" + string(best), labeling
+}

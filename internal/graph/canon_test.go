@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ring builds a k-cycle over the given vertex sequence.
+func ring(order []int) *Graph {
+	g := New()
+	for i, v := range order {
+		g.MustAddEdge(v, order[(i+1)%len(order)], 1, 0)
+	}
+	return g
+}
+
+func TestCanonicalFormSharedAcrossIsomorphicBuilds(t *testing.T) {
+	// The same 4-cycle assembled in different vertex orders: 0-1-2-3-0
+	// versus 0-2-1-3-0 (structurally different edge sets, isomorphic).
+	a := ring([]int{0, 1, 2, 3})
+	b := ring([]int{0, 2, 1, 3})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("test premise broken: builds should differ structurally")
+	}
+	fa, _ := a.CanonicalForm()
+	fb, _ := b.CanonicalForm()
+	if fa != fb {
+		t.Fatalf("isomorphic rings got different canonical forms:\n a: %s\n b: %s", fa, fb)
+	}
+}
+
+func TestCanonicalFormDistinguishesNonIsomorphic(t *testing.T) {
+	cases := map[string]*Graph{}
+	cases["ring4"] = ring([]int{0, 1, 2, 3})
+	star := New()
+	for v := 1; v <= 3; v++ {
+		star.MustAddEdge(0, v, 1, 0)
+	}
+	star.AddVertex(4)
+	chain := New()
+	for v := 1; v <= 4; v++ {
+		chain.MustAddEdge(v-1, v, 1, 0)
+	}
+	cases["star3+isolated"] = star
+	cases["chain5"] = chain
+	seen := map[string]string{}
+	for name, g := range cases {
+		fp, _ := g.CanonicalForm()
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("%s and %s share a canonical form", name, prev)
+		}
+		seen[fp] = name
+	}
+}
+
+func TestCanonicalFormRespectsWeightsAndLabels(t *testing.T) {
+	a := ring([]int{0, 1, 2, 3})
+	b := ring([]int{0, 1, 2, 3})
+	b.MustAddEdge(0, 1, 2, 0) // overwrite one edge weight
+	fa, _ := a.CanonicalForm()
+	fb, _ := b.CanonicalForm()
+	if fa == fb {
+		t.Fatal("weight change must change the canonical form")
+	}
+	c := ring([]int{0, 1, 2, 3})
+	c.MustAddEdge(0, 1, 1, 2) // overwrite one edge label
+	fc, _ := c.CanonicalForm()
+	if fa == fc {
+		t.Fatal("label change must change the canonical form")
+	}
+}
+
+// isIso verifies that f is an edge-, weight-, and label-preserving
+// bijection from g onto h.
+func isIso(g, h *Graph, f map[int]int) bool {
+	if len(f) != g.NumVertices() || g.NumVertices() != h.NumVertices() || g.NumEdges() != h.NumEdges() {
+		return false
+	}
+	img := map[int]bool{}
+	for _, v := range f {
+		if !h.HasVertex(v) || img[v] {
+			return false
+		}
+		img[v] = true
+	}
+	for _, e := range g.Edges() {
+		he, ok := h.EdgeBetween(f[e.U], f[e.V])
+		if !ok || he.Weight != e.Weight || he.Label != e.Label {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCanonicalLabelingComposesToIsomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		g := New()
+		for v := 0; v < n; v++ {
+			g.AddVertex(v)
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					g.MustAddEdge(u, v, float64(1+rng.Intn(3)), rng.Intn(2))
+				}
+			}
+		}
+		// h = g relabeled by a random permutation.
+		perm := rng.Perm(n)
+		h := New()
+		for v := 0; v < n; v++ {
+			h.AddVertex(perm[v])
+		}
+		for _, e := range g.Edges() {
+			h.MustAddEdge(perm[e.U], perm[e.V], e.Weight, e.Label)
+		}
+		fg, lg := g.CanonicalForm()
+		fh, lh := h.CanonicalForm()
+		if fg != fh {
+			t.Fatalf("trial %d: relabeled graph got a different canonical form", trial)
+		}
+		// Compose g's labeling with the inverse of h's: an isomorphism.
+		inv := make([]int, n)
+		for v, ci := range lh {
+			inv[ci] = v
+		}
+		f := make(map[int]int, n)
+		for v, ci := range lg {
+			f[v] = inv[ci]
+		}
+		if !isIso(g, h, f) {
+			t.Fatalf("trial %d: composed labelings are not an isomorphism", trial)
+		}
+	}
+}
+
+func TestCanonicalFormLargeGraphFallback(t *testing.T) {
+	big := New()
+	for v := 0; v < CanonMaxVertices+2; v++ {
+		big.MustAddEdge(v, (v+1)%(CanonMaxVertices+2), 1, 0)
+	}
+	fp, labeling := big.CanonicalForm()
+	if fp != "x!"+big.Fingerprint() {
+		t.Fatalf("large graph must fall back to the structural fingerprint, got %q", fp)
+	}
+	for i, v := range big.Vertices() {
+		if labeling[v] != i {
+			t.Fatalf("fallback labeling must be ascending rank: vertex %d -> %d", v, labeling[v])
+		}
+	}
+}
+
+func TestBitsetSubsetOf(t *testing.T) {
+	a := NewBitset(130)
+	b := NewBitset(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		a.Set(i)
+		b.Set(i)
+	}
+	b.Set(70)
+	if !a.SubsetOf(b) {
+		t.Fatal("a ⊆ b expected")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b ⊄ a expected")
+	}
+	// Differing word lengths: members beyond the mask's capacity.
+	short := NewBitset(64)
+	short.Set(0)
+	short.Set(63)
+	if !short.SubsetOf(a) {
+		t.Fatal("short ⊆ a expected")
+	}
+	if a.SubsetOf(short) {
+		t.Fatal("a has members beyond short's capacity")
+	}
+	aLow := NewBitset(130)
+	aLow.Set(0)
+	aLow.Set(63)
+	if !aLow.SubsetOf(short) {
+		t.Fatal("low members only: aLow ⊆ short expected")
+	}
+}

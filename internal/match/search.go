@@ -1,6 +1,21 @@
 package match
 
-import "mapa/internal/graph"
+import (
+	"sync/atomic"
+
+	"mapa/internal/graph"
+)
+
+// searches counts every backtracking enumeration started, full or
+// rooted — the telemetry behind Searches().
+var searches atomic.Uint64
+
+// Searches returns the cumulative number of backtracking enumerations
+// this process has started (full runs and per-root subtree runs both
+// count). It exists so tests can prove a code path was served without
+// entering the search at all — e.g. that a warmed idle-state universe
+// answers a new availability state purely by mask filtering.
+func Searches() uint64 { return searches.Load() }
 
 // search is one backtracking enumeration over a (pattern, data) pair,
 // compiled onto the data graph's adjacency-bitset index. Candidate
@@ -105,6 +120,7 @@ func newSearch(pattern, data *graph.Graph, ix *graph.Index) *search {
 // reuses buffers exactly as Enumerate documents. It returns false when
 // fn stopped the search early.
 func (s *search) run(fn func(Match) bool) bool {
+	searches.Add(1)
 	s.fn = fn
 	ok := true
 	for p := 0; p < s.ix.Len() && ok; p++ {
@@ -118,6 +134,7 @@ func (s *search) run(fn func(Match) bool) bool {
 // applies, so running runRoot over every position reproduces run,
 // emission order included.
 func (s *search) runRoot(root int, fn func(Match) bool) bool {
+	searches.Add(1)
 	s.fn = fn
 	return s.root(root)
 }

@@ -1,0 +1,119 @@
+package match
+
+import "mapa/internal/graph"
+
+// Universe is the complete deduplicated enumeration of one pattern on
+// one data graph — in MAPA's deployment, the idle-state enumeration of
+// a job shape on the full machine. Each representative is stored with
+// the bitset of data vertices it occupies, so the matches valid on any
+// availability state (an induced subgraph over a free-vertex subset)
+// can be derived by word-wise mask tests instead of a fresh search:
+// an embedding survives exactly when its vertex set is a subset of the
+// free set, because induced subgraphs preserve all edges among the
+// surviving vertices.
+//
+// Filtering preserves the sequential enumeration order. An embedding's
+// emission position is determined by its own assignment sequence alone
+// (candidates ascend by data-vertex ID at every depth), so restricting
+// the data graph to a subset deletes rows without reordering the rest —
+// Filter over the idle-state universe reproduces FindAllDedupedCapped
+// on the induced subgraph byte-for-byte, representatives included.
+//
+// A Universe is immutable after construction and safe for concurrent
+// readers.
+type Universe struct {
+	order    []int // match order: the Pattern slice shared by all matches
+	matches  []Match
+	keys     []string
+	sets     []graph.Bitset // per-match data-vertex bitset, indexed by vertex ID
+	complete bool
+}
+
+// BuildUniverse enumerates every deduplicated embedding of pattern
+// into data (in parallel when workers > 1; the output is identical).
+// max bounds the enumeration: if more than max equivalence classes
+// exist, the universe is marked incomplete and retains no matches —
+// an incomplete universe cannot soundly answer mask filters, so
+// callers must fall back to searching. max <= 0 means unlimited.
+func BuildUniverse(pattern, data *graph.Graph, max, workers int) *Universe {
+	probe := 0
+	if max > 0 {
+		probe = max + 1 // one extra to detect truncation
+	}
+	var ms []Match
+	var keys []string
+	if workers > 1 {
+		ms, keys = FindAllDedupedParallelKeys(pattern, data, workers, probe)
+	} else {
+		ms, keys = FindAllDedupedCappedKeys(pattern, data, probe)
+	}
+	if max > 0 && len(ms) > max {
+		return &Universe{complete: false}
+	}
+	u := &Universe{
+		matches:  ms,
+		keys:     keys,
+		sets:     make([]graph.Bitset, len(ms)),
+		complete: true,
+	}
+	if len(ms) > 0 {
+		u.order = ms[0].Pattern
+	}
+	capacity := 0
+	for _, v := range data.Vertices() {
+		if v+1 > capacity {
+			capacity = v + 1
+		}
+	}
+	for i, m := range ms {
+		b := graph.NewBitset(capacity)
+		for _, v := range m.Data {
+			b.Set(v)
+		}
+		u.sets[i] = b
+	}
+	return u
+}
+
+// Complete reports whether the universe holds every equivalence class.
+// Only complete universes may serve mask filters.
+func (u *Universe) Complete() bool { return u.complete }
+
+// Len returns the number of stored representatives.
+func (u *Universe) Len() int { return len(u.matches) }
+
+// Order returns the pattern's match order — the Pattern slice shared
+// by every stored match. Read-only.
+func (u *Universe) Order() []int { return u.order }
+
+// Match returns representative i. Its slices are shared; clone before
+// mutating or retaining with a different Pattern.
+func (u *Universe) Match(i int) Match { return u.matches[i] }
+
+// Key returns the canonical key (vertex set + used-edge set) of
+// representative i.
+func (u *Universe) Key(i int) string { return u.keys[i] }
+
+// Set returns the data-vertex bitset of representative i. Read-only.
+func (u *Universe) Set(i int) graph.Bitset { return u.sets[i] }
+
+// Filter returns the indices of the representatives whose data
+// vertices all lie in mask, in enumeration order, truncated to the
+// first max (max <= 0: unlimited). truncated reports whether further
+// surviving representatives exist beyond the cap. Filtering an
+// incomplete universe panics — callers must check Complete first.
+func (u *Universe) Filter(mask graph.Bitset, max int) (idx []int, truncated bool) {
+	if !u.complete {
+		panic("match: Filter on an incomplete universe")
+	}
+	for i, s := range u.sets {
+		if !s.SubsetOf(mask) {
+			continue
+		}
+		if max > 0 && len(idx) == max {
+			return idx, true
+		}
+		idx = append(idx, i)
+	}
+	return idx, false
+}

@@ -1,0 +1,152 @@
+package match
+
+import (
+	"testing"
+
+	"mapa/internal/graph"
+)
+
+// ringPattern builds a k-cycle pattern 0-1-...-k-1-0.
+func ringPattern(k int) *graph.Graph {
+	g := graph.New()
+	for v := 0; v < k; v++ {
+		g.MustAddEdge(v, (v+1)%k, 1, 0)
+	}
+	return g
+}
+
+// completeData builds a complete data graph on n vertices.
+func completeData(n int) *graph.Graph {
+	g := graph.New()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v, 1, 0)
+		}
+	}
+	return g
+}
+
+func TestUniverseFullMaskEqualsSequential(t *testing.T) {
+	pattern := ringPattern(4)
+	data := completeData(8)
+	u := BuildUniverse(pattern, data, 0, 1)
+	if !u.Complete() {
+		t.Fatal("uncapped universe must be complete")
+	}
+	wantMs, wantKeys := FindAllDedupedCappedKeys(pattern, data, 0)
+	idx, truncated := u.Filter(data.VertexBitset(), 0)
+	if truncated {
+		t.Fatal("unlimited filter cannot truncate")
+	}
+	if len(idx) != len(wantMs) {
+		t.Fatalf("full-mask filter kept %d matches, sequential found %d", len(idx), len(wantMs))
+	}
+	for j, i := range idx {
+		if u.Key(i) != wantKeys[j] {
+			t.Fatalf("match %d: key %q, want %q", j, u.Key(i), wantKeys[j])
+		}
+	}
+}
+
+// TestUniverseFilterEqualsInducedEnumeration is the order-preservation
+// contract: filtering the idle-state universe by a free-vertex mask
+// must reproduce the sequential deduplicated enumeration on the
+// induced subgraph byte-for-byte — matches, keys, order, and cap
+// behavior included.
+func TestUniverseFilterEqualsInducedEnumeration(t *testing.T) {
+	pattern := ringPattern(3)
+	data := completeData(9)
+	// Perturb the data graph so it is not vertex-transitive.
+	data.RemoveEdge(0, 5)
+	data.RemoveEdge(2, 7)
+	data.RemoveEdge(3, 4)
+	u := BuildUniverse(pattern, data, 0, 1)
+
+	frees := [][]int{
+		{0, 1, 2, 3, 4},
+		{1, 3, 5, 7, 8},
+		{0, 2, 4, 6, 8},
+		{4, 5, 6, 7, 8},
+		{0, 1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	for _, free := range frees {
+		avail := data.InducedSubgraph(free)
+		for _, max := range []int{0, 3} {
+			wantMs, wantKeys := FindAllDedupedCappedKeys(pattern, avail, max)
+			idx, _ := u.Filter(avail.VertexBitset(), max)
+			if len(idx) != len(wantMs) {
+				t.Fatalf("free=%v max=%d: filter kept %d, sequential %d", free, max, len(idx), len(wantMs))
+			}
+			for j, i := range idx {
+				if u.Key(i) != wantKeys[j] {
+					t.Fatalf("free=%v max=%d match %d: key %q, want %q", free, max, j, u.Key(i), wantKeys[j])
+				}
+				got := u.Match(i)
+				want := wantMs[j]
+				for d := range want.Data {
+					if got.Data[d] != want.Data[d] || got.Pattern[d] != want.Pattern[d] {
+						t.Fatalf("free=%v max=%d match %d: representative differs:\n got %v->%v\nwant %v->%v",
+							free, max, j, got.Pattern, got.Data, want.Pattern, want.Data)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUniverseIncompleteWhenCapped(t *testing.T) {
+	pattern := ringPattern(3)
+	data := completeData(8)
+	full := BuildUniverse(pattern, data, 0, 1)
+	capped := BuildUniverse(pattern, data, full.Len()-1, 1)
+	if capped.Complete() {
+		t.Fatal("capped below the class count must be incomplete")
+	}
+	if capped.Len() != 0 {
+		t.Fatalf("incomplete universe should retain no matches, has %d", capped.Len())
+	}
+	exact := BuildUniverse(pattern, data, full.Len(), 1)
+	if !exact.Complete() || exact.Len() != full.Len() {
+		t.Fatalf("cap equal to the class count must stay complete: complete=%v len=%d want %d",
+			exact.Complete(), exact.Len(), full.Len())
+	}
+}
+
+func TestUniverseParallelBuildIdentical(t *testing.T) {
+	pattern := ringPattern(4)
+	data := completeData(9)
+	data.RemoveEdge(1, 6)
+	seq := BuildUniverse(pattern, data, 0, 1)
+	par := BuildUniverse(pattern, data, 0, 4)
+	if seq.Len() != par.Len() {
+		t.Fatalf("parallel build found %d classes, sequential %d", par.Len(), seq.Len())
+	}
+	for i := 0; i < seq.Len(); i++ {
+		if seq.Key(i) != par.Key(i) {
+			t.Fatalf("class %d: parallel key %q, sequential %q", i, par.Key(i), seq.Key(i))
+		}
+		if !seq.Set(i).Equal(par.Set(i)) {
+			t.Fatalf("class %d: vertex bitsets differ", i)
+		}
+	}
+}
+
+func TestSearchesCounterAdvancesOnEnumerationOnly(t *testing.T) {
+	pattern := ringPattern(3)
+	data := completeData(6)
+	before := Searches()
+	FindAllDeduped(pattern, data)
+	mid := Searches()
+	if mid == before {
+		t.Fatal("an enumeration must advance the Searches counter")
+	}
+	u := BuildUniverse(pattern, data, 0, 1)
+	after := Searches()
+	if after == mid {
+		t.Fatal("building a universe enumerates and must advance the counter")
+	}
+	u.Filter(data.VertexBitset(), 0)
+	if Searches() != after {
+		t.Fatal("mask filtering must not enter the search")
+	}
+}

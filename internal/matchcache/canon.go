@@ -1,0 +1,96 @@
+package matchcache
+
+import (
+	"fmt"
+	"sync"
+
+	"mapa/internal/graph"
+)
+
+// canonInfo is the memoized canonicalization of one exact pattern
+// shape: its structural fingerprint, its canonical (isomorphism-
+// invariant) fingerprint, and the labeling in both directions.
+type canonInfo struct {
+	exact     string
+	canon     string
+	toCanon   map[int]int // vertex ID -> canonical index
+	fromCanon []int       // canonical index -> vertex ID
+}
+
+// canonizer memoizes pattern canonicalization and order remaps. The
+// exact canonical labeling is a permutation search, far too expensive
+// per decision — but the number of distinct exact shapes a scheduler
+// sees is tiny, so each is canonicalized once (keyed by the cheap
+// structural fingerprint) and every later decision is a map lookup.
+//
+// Canonicalization is a pure function of the pattern — independent of
+// any topology, cache, or store — so one process-wide canonizer is
+// shared by every Cache and Store: an entry minted by any store can be
+// remapped by any cache, and each shape pays the permutation search
+// once per process.
+type canonizer struct {
+	mu      sync.Mutex
+	byExact map[string]*canonInfo
+	remaps  map[[2]string][]int
+}
+
+// canon is the shared process-wide canonizer.
+var canon canonizer
+
+// info returns the canonicalization of p, computing and memoizing it
+// on first sight of p's structural fingerprint.
+func (cz *canonizer) info(p *graph.Graph) *canonInfo {
+	exact := p.Fingerprint()
+	cz.mu.Lock()
+	defer cz.mu.Unlock()
+	if cz.byExact == nil {
+		cz.byExact = make(map[string]*canonInfo)
+		cz.remaps = make(map[[2]string][]int)
+	}
+	if ci, ok := cz.byExact[exact]; ok {
+		return ci
+	}
+	canon, toCanon := p.CanonicalForm()
+	ci := &canonInfo{
+		exact:     exact,
+		canon:     canon,
+		toCanon:   toCanon,
+		fromCanon: make([]int, len(toCanon)),
+	}
+	for v, i := range toCanon {
+		ci.fromCanon[i] = v
+	}
+	cz.byExact[exact] = ci
+	return ci
+}
+
+// remap translates a match order expressed in the vertex IDs of the
+// pattern with structural fingerprint fromFP into the vertex IDs of
+// the (isomorphic) request pattern to. It returns nil when the shapes
+// are structurally identical — the order already speaks the request's
+// vertex IDs. The translation composes the stored shape's canonical
+// labeling with the inverse of the request's, which is an edge-,
+// weight-, and label-preserving isomorphism whenever the two canonical
+// fingerprints agree; remaps are memoized per shape pair since the
+// match order is a deterministic function of the shape.
+func (cz *canonizer) remap(fromFP string, to *canonInfo, order []int) []int {
+	if fromFP == to.exact || len(order) == 0 {
+		return nil
+	}
+	key := [2]string{fromFP, to.exact}
+	cz.mu.Lock()
+	defer cz.mu.Unlock()
+	if out, ok := cz.remaps[key]; ok {
+		return out
+	}
+	from, ok := cz.byExact[fromFP]
+	if !ok || from.canon != to.canon {
+		panic(fmt.Sprintf("matchcache: remap between non-isomorphic shapes (%q known=%v)", fromFP, ok))
+	}
+	out := make([]int, len(order))
+	for i, v := range order {
+		out[i] = to.fromCanon[from.toCanon[v]]
+	}
+	cz.remaps[key] = out
+	return out
+}

@@ -1,18 +1,35 @@
-// Package matchcache caches pattern-embedding enumerations for the
-// MAPA allocation hot path. Like an allocator that precomputes pair
-// scores at init so each placement request is cheap, MAPA can reuse a
-// prior subgraph-isomorphism enumeration whenever the same job pattern
-// is matched against the same set of free GPUs — which is the common
-// steady-state of a scheduler cycling through a small set of
-// availability states.
+// Package matchcache is the two-tier incremental match pipeline behind
+// the MAPA allocation hot path.
 //
-// Entries are keyed by (pattern canonical key, available-GPU bitmask).
+// Tier 1 (Store) holds one idle-state universe per (topology,
+// canonical pattern): the complete deduplicated enumeration of the
+// shape on the full machine, each embedding paired with its GPU
+// bitset. It is computed once — optionally warmed at construction,
+// like an allocator precomputing pair scores at init — and shared by
+// every engine bound to the topology.
+//
+// Tier 2 (Cache) holds filtered views: the candidate list of one
+// (canonical pattern, free-GPU bitmask) availability state, with
+// lazily computed scores. A recurring state hits and runs only the
+// selection comparator. A new state misses, but the miss is served by
+// word-wise AND-filtering the universe against the free-GPU mask — an
+// O(|universe|) bitset scan instead of a fresh subgraph-isomorphism
+// search. Entries are sharded per canonical pattern with one LRU per
+// shard, so mask churn on one shape cannot evict another shape's
+// warm entries.
+//
+// Patterns are keyed canonically (up to isomorphism, via
+// graph.CanonicalForm), so structurally different builds of the same
+// shape — a Ring(4) assembled 0-1-2-3-0 by one frontend and 0-2-1-3-0
+// by another — share universes and cached views; embeddings are
+// re-expressed in each requester's own vertex IDs through the
+// composed canonical labelings.
+//
 // Allocate and free events rotate the availability bitmask, so a state
-// change invalidates by construction: the next lookup misses and
-// re-enumerates, while entries for recurring states stay warm. The
-// cache is bound to one topology; rebinding or reconfiguring hardware
-// requires Clear (or a fresh cache). Capacity is bounded with LRU
-// eviction.
+// change invalidates by construction: the next lookup misses (and is
+// filter-served), while entries for recurring states stay warm. Both
+// tiers are bound to one topology; rebinding or reconfiguring hardware
+// requires fresh instances.
 package matchcache
 
 import (
@@ -25,15 +42,18 @@ import (
 	"mapa/internal/topology"
 )
 
-// DefaultCapacity is the default bound on cached (pattern, mask)
-// entries. An 8-GPU machine has at most 256 availability states; 512
-// comfortably covers several concurrent pattern shapes on 16-GPU
-// machines under LRU.
-const DefaultCapacity = 512
+// DefaultShardCapacity is the default bound on cached availability
+// states per pattern shard. An 8-GPU machine has at most 256
+// availability states, so the default keeps every state of every
+// concurrently active shape warm on the paper's machines; larger
+// machines churn within a shape without touching other shapes.
+const DefaultShardCapacity = 256
 
-// Key returns the cache key for matching pattern against the avail
-// induced subgraph: the pattern's canonical fingerprint plus the
-// available-GPU bitmask.
+// Key returns the exact-shape cache key for matching pattern against
+// the avail induced subgraph: the pattern's structural fingerprint
+// plus the available-GPU bitmask. The sharded cache keys shapes
+// canonically instead, but the soundness contract is the same and this
+// form remains for diagnostics and tests.
 //
 // The key encodes only the free vertex set, not avail's edges: it is
 // sound precisely because Allocator.Allocate requires avail to be the
@@ -45,7 +65,7 @@ func Key(pattern, avail *graph.Graph) string {
 	return pattern.Fingerprint() + "@" + avail.VertexBitset().String()
 }
 
-// Entry is one cached enumeration: the deduplicated matches of a
+// Entry is one cached candidate list: the deduplicated matches of a
 // pattern on one availability state, in sequential enumeration order,
 // with their canonical keys, GPU sets, and (lazily computed) MAPA
 // scores. Matches, keys, and GPU sets are shared across lookups —
@@ -54,6 +74,21 @@ type Entry struct {
 	matches []match.Match
 	keys    []string
 	gpus    [][]int
+
+	// order is the Pattern slice the matches are expressed in;
+	// patternFP is the structural fingerprint of the pattern they were
+	// enumerated for. Lookups for an isomorphic-but-not-identical
+	// request shape use both to translate matches into the requester's
+	// vertex IDs.
+	order     []int
+	patternFP string
+	// truncated records that a candidate cap cut the list off. A
+	// truncated list is the *enumeration-order prefix of the pattern it
+	// was enumerated for*; an isomorphic-but-structurally-different
+	// shape enumerates in a different order, so serving it a foreign
+	// truncated prefix would break sequential parity — the cache treats
+	// such lookups as misses.
+	truncated bool
 
 	mu       sync.Mutex
 	scores   []score.Scores
@@ -73,8 +108,17 @@ func NewEntry(matches []match.Match, keys []string) *Entry {
 	for i, m := range matches {
 		e.gpus[i] = m.DataVertices()
 	}
+	if len(matches) > 0 {
+		e.order = matches[0].Pattern
+	}
 	return e
 }
+
+// MarkTruncated records that the entry's candidate list was cut off by
+// a candidate cap. Truncated entries are served only to requests whose
+// pattern is structurally identical to the one they were enumerated
+// for (see Cache.GetFor).
+func (e *Entry) MarkTruncated() { e.truncated = true }
 
 // Matches returns the cached matches in enumeration order. Read-only.
 func (e *Entry) Matches() []match.Match { return e.matches }
@@ -98,6 +142,10 @@ func (e *Entry) Len() int { return len(e.matches) }
 // a policy's bandwidth model under a warm cache never serves another
 // model's scores. Safe for concurrent use; the returned slice is
 // read-only.
+//
+// The scores of a match are functions of its data-side image (GPU set
+// and used links), which isomorphic request shapes agree on, so a
+// fill by one build of a shape is valid for every isomorphic build.
 func (e *Entry) Scores(scorer any, workers int, compute func(i int, m match.Match) score.Scores) []score.Scores {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -134,36 +182,44 @@ func (e *Entry) Scores(scorer any, workers int, compute func(i int, m match.Matc
 // Stats is a snapshot of cache effectiveness counters.
 type Stats struct {
 	Hits, Misses, Evictions uint64
-	Entries                 int
+	// Entries is the total cached view count across shards; Shards is
+	// the number of distinct canonical pattern shapes with a shard.
+	Entries, Shards int
 }
 
 type item struct {
-	key string
-	ent *Entry
+	mask string
+	ent  *Entry
 }
 
-// Cache is a bounded LRU embedding cache bound to one topology. It is
-// safe for concurrent use.
+// shard is one canonical pattern's LRU of availability-state views.
+type shard struct {
+	entries map[string]*list.Element // free-GPU mask -> element
+	lru     *list.List               // front = most recently used
+}
+
+// Cache is the tier-2 filtered-view cache, bound to one topology:
+// candidate lists keyed by (canonical pattern, free-GPU bitmask),
+// sharded per pattern with an independent LRU per shard. It is safe
+// for concurrent use.
 type Cache struct {
 	mu       sync.Mutex
 	top      *topology.Topology
-	capacity int
-	entries  map[string]*list.Element
-	lru      *list.List // front = most recently used
+	shardCap int
+	shards   map[string]*shard // canonical fingerprint -> shard
 	stats    Stats
 }
 
-// New returns a cache for the given topology. capacity <= 0 uses
-// DefaultCapacity.
+// New returns a cache for the given topology. capacity bounds each
+// pattern shard's entry count; <= 0 uses DefaultShardCapacity.
 func New(top *topology.Topology, capacity int) *Cache {
 	if capacity <= 0 {
-		capacity = DefaultCapacity
+		capacity = DefaultShardCapacity
 	}
 	return &Cache{
 		top:      top,
-		capacity: capacity,
-		entries:  make(map[string]*list.Element),
-		lru:      list.New(),
+		shardCap: capacity,
+		shards:   make(map[string]*shard),
 	}
 }
 
@@ -174,38 +230,85 @@ func (c *Cache) Bound(top *topology.Topology) bool {
 	return c != nil && c.top == top
 }
 
-// Get returns the entry for key, if cached.
-func (c *Cache) Get(key string) (*Entry, bool) {
+// GetFor returns the cached entry for the request pattern on the given
+// availability state, along with the Pattern order that expresses the
+// entry's matches in the request's vertex IDs (nil when the entry was
+// enumerated for a structurally identical shape). The lookup is
+// canonical: isomorphic builds of one shape share entries — except
+// cap-truncated ones, which are valid only for the exact shape they
+// were enumerated for (a truncated prefix of another build's
+// enumeration order is not this build's prefix) and so miss for any
+// other build.
+func (c *Cache) GetFor(pattern, avail *graph.Graph) (*Entry, []int, bool) {
+	ci := canon.info(pattern)
+	mask := avail.VertexBitset().String()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	sh, ok := c.shards[ci.canon]
 	if !ok {
 		c.stats.Misses++
-		return nil, false
+		c.mu.Unlock()
+		return nil, nil, false
 	}
-	c.lru.MoveToFront(el)
+	el, ok := sh.entries[mask]
+	if !ok {
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, nil, false
+	}
+	ent := el.Value.(*item).ent
+	if ent.truncated && ent.patternFP != ci.exact {
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, nil, false
+	}
+	sh.lru.MoveToFront(el)
 	c.stats.Hits++
-	return el.Value.(*item).ent, true
+	c.mu.Unlock()
+	return ent, canon.remap(ent.patternFP, ci, ent.order), true
 }
 
-// Put stores ent under key and returns the canonical entry for that
-// key: if another goroutine stored one first, the existing entry wins
-// so every caller scores and selects over the same slice.
-func (c *Cache) Put(key string, ent *Entry) *Entry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(el)
-		return el.Value.(*item).ent
+// PutFor stores ent as the view for (pattern, avail) and returns the
+// canonical entry for that state with its order remap, exactly like
+// GetFor: if another goroutine stored an entry first, the existing one
+// wins so every caller scores and selects over the same slice.
+// Insertion may evict the shard's least recently used view; other
+// shards are untouched.
+func (c *Cache) PutFor(pattern, avail *graph.Graph, ent *Entry) (*Entry, []int) {
+	ci := canon.info(pattern)
+	if ent.patternFP == "" {
+		ent.patternFP = ci.exact
 	}
-	c.entries[key] = c.lru.PushFront(&item{key: key, ent: ent})
-	for c.lru.Len() > c.capacity {
-		last := c.lru.Back()
-		c.lru.Remove(last)
-		delete(c.entries, last.Value.(*item).key)
+	mask := avail.VertexBitset().String()
+	c.mu.Lock()
+	sh, ok := c.shards[ci.canon]
+	if !ok {
+		sh = &shard{entries: make(map[string]*list.Element), lru: list.New()}
+		c.shards[ci.canon] = sh
+	}
+	if el, ok := sh.entries[mask]; ok {
+		existing := el.Value.(*item).ent
+		if !(existing.truncated && existing.patternFP != ci.exact) {
+			sh.lru.MoveToFront(el)
+			c.mu.Unlock()
+			return existing, canon.remap(existing.patternFP, ci, existing.order)
+		}
+		// The stored entry is another build's truncated prefix —
+		// unusable for this shape (see GetFor) — so the caller's freshly
+		// derived entry replaces it.
+		sh.lru.MoveToFront(el)
+		el.Value.(*item).ent = ent
+		c.mu.Unlock()
+		return ent, canon.remap(ent.patternFP, ci, ent.order)
+	}
+	sh.entries[mask] = sh.lru.PushFront(&item{mask: mask, ent: ent})
+	for sh.lru.Len() > c.shardCap {
+		last := sh.lru.Back()
+		sh.lru.Remove(last)
+		delete(sh.entries, last.Value.(*item).mask)
 		c.stats.Evictions++
 	}
-	return ent
+	c.mu.Unlock()
+	return ent, canon.remap(ent.patternFP, ci, ent.order)
 }
 
 // Clear drops every entry (topology reconfiguration, tests). Counters
@@ -213,8 +316,7 @@ func (c *Cache) Put(key string, ent *Entry) *Entry {
 func (c *Cache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries = make(map[string]*list.Element)
-	c.lru.Init()
+	c.shards = make(map[string]*shard)
 }
 
 // Stats returns a snapshot of the effectiveness counters.
@@ -222,6 +324,9 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.stats
-	s.Entries = c.lru.Len()
+	s.Shards = len(c.shards)
+	for _, sh := range c.shards {
+		s.Entries += sh.lru.Len()
+	}
 	return s
 }

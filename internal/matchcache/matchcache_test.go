@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mapa/internal/appgraph"
+	"mapa/internal/graph"
 	"mapa/internal/match"
 	"mapa/internal/score"
 	"mapa/internal/topology"
@@ -56,19 +57,21 @@ func TestCacheHitReturnsSameEntry(t *testing.T) {
 	top := topology.DGXV100()
 	c := New(top, 0)
 	ring := appgraph.Ring(3)
-	key := Key(ring, top.Graph)
 
-	if _, ok := c.Get(key); ok {
+	if _, _, ok := c.GetFor(ring, top.Graph); ok {
 		t.Fatal("unexpected hit on empty cache")
 	}
-	ent := c.Put(key, NewEntry(match.FindAllDedupedCappedKeys(ring, top.Graph, 0)))
-	got, ok := c.Get(key)
+	ent, _ := c.PutFor(ring, top.Graph, NewEntry(match.FindAllDedupedCappedKeys(ring, top.Graph, 0)))
+	got, order, ok := c.GetFor(ring, top.Graph)
 	if !ok || got != ent {
-		t.Fatal("Get after Put must return the stored entry")
+		t.Fatal("GetFor after PutFor must return the stored entry")
+	}
+	if order != nil {
+		t.Fatal("structurally identical request needs no order remap")
 	}
 	st := c.Stats()
-	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
-		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Shards != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 entry, 1 shard", st)
 	}
 }
 
@@ -76,43 +79,114 @@ func TestPutKeepsFirstEntry(t *testing.T) {
 	top := topology.DGXV100()
 	c := New(top, 0)
 	ring := appgraph.Ring(3)
-	key := Key(ring, top.Graph)
-	first := c.Put(key, NewEntry(nil, nil))
-	second := c.Put(key, NewEntry(nil, nil))
+	first, _ := c.PutFor(ring, top.Graph, NewEntry(nil, nil))
+	second, _ := c.PutFor(ring, top.Graph, NewEntry(nil, nil))
 	if first != second {
-		t.Fatal("second Put must return the canonical first entry")
+		t.Fatal("second PutFor must return the canonical first entry")
 	}
 }
 
-func TestLRUEviction(t *testing.T) {
+// avState returns the availability graph with the given GPUs busy.
+func avState(top *topology.Topology, busy ...int) *graph.Graph {
+	return top.Graph.Without(busy)
+}
+
+func TestLRUEvictionWithinShard(t *testing.T) {
 	top := topology.DGXV100()
 	c := New(top, 2)
-	for i := 0; i < 3; i++ {
-		c.Put(fmt.Sprintf("k%d", i), NewEntry(nil, nil))
+	ring := appgraph.Ring(3)
+	states := []*graph.Graph{avState(top, 0), avState(top, 1), avState(top, 2)}
+	for _, av := range states {
+		c.PutFor(ring, av, NewEntry(nil, nil))
 	}
-	if _, ok := c.Get("k0"); ok {
-		t.Fatal("oldest entry should have been evicted")
+	if _, _, ok := c.GetFor(ring, states[0]); ok {
+		t.Fatal("oldest state should have been evicted")
 	}
-	for _, k := range []string{"k1", "k2"} {
-		if _, ok := c.Get(k); !ok {
-			t.Fatalf("entry %s should have survived", k)
+	for i := 1; i < 3; i++ {
+		if _, _, ok := c.GetFor(ring, states[i]); !ok {
+			t.Fatalf("state %d should have survived", i)
 		}
 	}
 	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
 		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", st)
 	}
-	// Touching k1 makes k2 the LRU victim.
-	c.Put("k3", NewEntry(nil, nil))
-	if _, ok := c.Get("k1"); ok {
-		t.Fatal("k1 was the LRU entry and should have been evicted")
+	// Touching state 1 above made state 2 the LRU victim.
+	c.PutFor(ring, avState(top, 3), NewEntry(nil, nil))
+	if _, _, ok := c.GetFor(ring, states[1]); ok {
+		t.Fatal("the LRU state should have been evicted")
+	}
+}
+
+// TestShardingIsolatesEviction is the sharding contract: churning
+// availability states for one shape past its shard capacity must not
+// evict another shape's entries.
+func TestShardingIsolatesEviction(t *testing.T) {
+	top := topology.DGXV100()
+	c := New(top, 2)
+	ring := appgraph.Ring(3)
+	chain := appgraph.Chain(4)
+	chainState := avState(top, 7)
+	c.PutFor(chain, chainState, NewEntry(nil, nil))
+	for i := 0; i < 6; i++ {
+		c.PutFor(ring, avState(top, i), NewEntry(nil, nil))
+	}
+	if _, _, ok := c.GetFor(chain, chainState); !ok {
+		t.Fatal("mask churn on Ring evicted a Chain entry across shards")
+	}
+	st := c.Stats()
+	if st.Shards != 2 {
+		t.Fatalf("want 2 shards, got %+v", st)
+	}
+	if st.Evictions != 4 {
+		t.Fatalf("want 4 evictions inside the ring shard, got %+v", st)
+	}
+}
+
+// TestCanonicalKeysShareEntriesAcrossIsomorphicBuilds: two structurally
+// different builds of the 4-ring must land in one shard and share
+// entries, with the second build's lookups remapped into its own
+// vertex IDs.
+func TestCanonicalKeysShareEntriesAcrossIsomorphicBuilds(t *testing.T) {
+	top := topology.DGXV100()
+	c := New(top, 0)
+	ringA := appgraph.Ring(4) // 0-1-2-3-0
+	ringB := graph.New()      // 0-2-1-3-0: isomorphic, different edges
+	ringB.MustAddEdge(0, 2, 1, 0)
+	ringB.MustAddEdge(2, 1, 1, 0)
+	ringB.MustAddEdge(1, 3, 1, 0)
+	ringB.MustAddEdge(3, 0, 1, 0)
+
+	ent, _ := c.PutFor(ringA, top.Graph, NewEntry(match.FindAllDedupedCappedKeys(ringA, top.Graph, 0)))
+	got, order, ok := c.GetFor(ringB, top.Graph)
+	if !ok {
+		t.Fatal("isomorphic build must hit the shared entry")
+	}
+	if got != ent {
+		t.Fatal("isomorphic build must share the same entry value")
+	}
+	if order == nil {
+		t.Fatal("structurally different build needs an order remap")
+	}
+	// The remapped order must make every stored match a valid embedding
+	// of ringB.
+	for _, m := range got.Matches() {
+		rm := match.Match{Pattern: order, Data: m.Data}
+		if !match.IsEmbedding(ringB, top.Graph, rm) {
+			t.Fatalf("remapped match %v->%v is not an embedding of the second build", rm.Pattern, rm.Data)
+		}
+	}
+	if st := c.Stats(); st.Shards != 1 {
+		t.Fatalf("isomorphic builds must share a shard, got %+v", st)
 	}
 }
 
 func TestClear(t *testing.T) {
-	c := New(topology.DGXV100(), 0)
-	c.Put("k", NewEntry(nil, nil))
+	top := topology.DGXV100()
+	c := New(top, 0)
+	ring := appgraph.Ring(3)
+	c.PutFor(ring, top.Graph, NewEntry(nil, nil))
 	c.Clear()
-	if _, ok := c.Get("k"); ok {
+	if _, _, ok := c.GetFor(ring, top.Graph); ok {
 		t.Fatal("Clear left an entry behind")
 	}
 }
@@ -219,15 +293,16 @@ func TestEntryGPUSetsMatchMatches(t *testing.T) {
 func TestConcurrentGetPut(t *testing.T) {
 	top := topology.DGXV100()
 	c := New(top, 8)
+	ring := appgraph.Ring(3)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				key := fmt.Sprintf("k%d", i%16)
-				if _, ok := c.Get(key); !ok {
-					c.Put(key, NewEntry(nil, nil))
+				av := avState(top, i%7)
+				if _, _, ok := c.GetFor(ring, av); !ok {
+					c.PutFor(ring, av, NewEntry(nil, nil))
 				}
 			}
 		}(g)

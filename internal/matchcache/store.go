@@ -1,0 +1,180 @@
+package matchcache
+
+import (
+	"sync"
+
+	"mapa/internal/graph"
+	"mapa/internal/match"
+	"mapa/internal/topology"
+)
+
+// DefaultUniverseCapacity bounds how many equivalence classes an
+// idle-state universe may hold. A shape whose idle enumeration exceeds
+// the bound is marked incomplete and never filtered — decisions for it
+// fall back to searching, exactly the pre-universe behavior — so the
+// bound caps both the one-time build cost and resident memory on large
+// machines.
+const DefaultUniverseCapacity = 200000
+
+// StoreStats is a snapshot of the universe store's counters.
+type StoreStats struct {
+	// Universes counts complete idle-state universes built (warmed or
+	// on demand); Incomplete counts shapes whose enumeration overflowed
+	// the capacity and were marked unusable.
+	Universes, Incomplete int
+	// FilterServed counts miss decisions answered by mask-filtering a
+	// universe — each one a subgraph-isomorphism search avoided.
+	// FilterRejected counts miss decisions the store declined
+	// (incomplete universe, or a cap-truncated filter for a pattern
+	// that is isomorphic but not structurally identical to the
+	// universe's — the one case where filtering could reorder the
+	// truncated candidate prefix).
+	FilterServed, FilterRejected uint64
+}
+
+// universeSlot holds one canonical shape's universe, built at most
+// once. pattern and patternFP record the shape the universe's matches
+// are expressed in; isomorphic requests remap through the canonizer.
+type universeSlot struct {
+	once      sync.Once
+	u         *match.Universe
+	pattern   *graph.Graph
+	patternFP string
+}
+
+// Store is the tier-1 idle-state universe store: one complete
+// deduplicated enumeration per (topology, canonical pattern), computed
+// once — optionally warmed at construction time — and shared by every
+// cache and policy bound to the topology. It is safe for concurrent
+// use and is designed to be shared across engines comparing policies
+// on the same machine.
+type Store struct {
+	mu        sync.Mutex
+	top       *topology.Topology
+	capacity  int
+	universes map[string]*universeSlot // canonical fingerprint -> slot
+	stats     StoreStats
+}
+
+// NewStore returns a universe store for the topology. capacity bounds
+// each universe's class count; <= 0 uses DefaultUniverseCapacity.
+func NewStore(top *topology.Topology, capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultUniverseCapacity
+	}
+	return &Store{
+		top:       top,
+		capacity:  capacity,
+		universes: make(map[string]*universeSlot),
+	}
+}
+
+// Bound reports whether the store was built for exactly this topology
+// value, mirroring Cache.Bound: policies bypass an unbound store.
+func (s *Store) Bound(top *topology.Topology) bool {
+	return s != nil && s.top == top
+}
+
+// slot returns the canonical shape's slot, creating it (unbuilt) on
+// first sight. The universe itself is built outside the store lock.
+func (s *Store) slot(ci *canonInfo, pattern *graph.Graph) *universeSlot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl, ok := s.universes[ci.canon]
+	if !ok {
+		sl = &universeSlot{pattern: pattern, patternFP: ci.exact}
+		s.universes[ci.canon] = sl
+	}
+	return sl
+}
+
+// universe returns the built universe for the canonical shape,
+// building it on first use with the given worker count.
+func (s *Store) universe(ci *canonInfo, pattern *graph.Graph, workers int) *universeSlot {
+	sl := s.slot(ci, pattern)
+	sl.once.Do(func() {
+		sl.u = match.BuildUniverse(sl.pattern, s.top.Graph, s.capacity, workers)
+		s.mu.Lock()
+		if sl.u.Complete() {
+			s.stats.Universes++
+		} else {
+			s.stats.Incomplete++
+		}
+		s.mu.Unlock()
+	})
+	return sl
+}
+
+// Warm precomputes idle-state universes for the given patterns — the
+// init-time enumeration MAPA pays once per shape instead of on the
+// first decision. It returns how many complete universes the store now
+// holds for the requested shapes (already-warm shapes count).
+func (s *Store) Warm(workers int, patterns ...*graph.Graph) int {
+	n := 0
+	for _, p := range patterns {
+		if sl := s.universe(canon.info(p), p, workers); sl.u.Complete() {
+			n++
+		}
+	}
+	return n
+}
+
+// FilteredEntry derives the candidate entry for (pattern, avail) by
+// mask-filtering the shape's idle-state universe: each stored
+// embedding survives exactly when its GPU bitset is a subset of the
+// free-GPU mask. The returned entry is byte-identical to a fresh
+// capped sequential enumeration on avail (see match.Universe), and
+// order carries the request pattern's vertex IDs for the entry's
+// matches when the universe was built from an isomorphic-but-not-
+// identical shape (nil otherwise).
+//
+// ok is false when the store cannot answer soundly — the universe
+// overflowed its capacity, or the filter was truncated by maxCandidates
+// for a structurally different request shape — and the caller must
+// fall back to searching. The universe is built on first use for the
+// shape, so even unwarmed shapes pay the idle enumeration once, not
+// per availability state.
+//
+// Like the cache key, filtering relies on the Allocator.Allocate
+// contract that avail is the induced subgraph of the bound topology
+// over the free GPUs.
+func (s *Store) FilteredEntry(pattern, avail *graph.Graph, maxCandidates, workers int) (ent *Entry, order []int, ok bool) {
+	ci := canon.info(pattern)
+	sl := s.universe(ci, pattern, workers)
+	reject := func() (*Entry, []int, bool) {
+		s.mu.Lock()
+		s.stats.FilterRejected++
+		s.mu.Unlock()
+		return nil, nil, false
+	}
+	if !sl.u.Complete() {
+		return reject()
+	}
+	idx, truncated := sl.u.Filter(avail.VertexBitset(), maxCandidates)
+	if truncated && sl.patternFP != ci.exact {
+		return reject()
+	}
+	ms := make([]match.Match, len(idx))
+	keys := make([]string, len(idx))
+	for j, i := range idx {
+		ms[j] = sl.u.Match(i)
+		keys[j] = sl.u.Key(i)
+	}
+	ent = NewEntry(ms, keys)
+	ent.patternFP = sl.patternFP
+	if truncated {
+		ent.MarkTruncated()
+	}
+	order = canon.remap(sl.patternFP, ci, sl.u.Order())
+	s.mu.Lock()
+	s.stats.FilterServed++
+	s.mu.Unlock()
+	return ent, order, true
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

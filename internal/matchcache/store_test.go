@@ -1,0 +1,187 @@
+package matchcache
+
+import (
+	"testing"
+
+	"mapa/internal/appgraph"
+	"mapa/internal/graph"
+	"mapa/internal/match"
+	"mapa/internal/topology"
+)
+
+// ring0213 is a 4-ring assembled in a different vertex order than
+// appgraph.Ring(4): isomorphic but structurally different.
+func ring0213() *graph.Graph {
+	g := graph.New()
+	g.MustAddEdge(0, 2, 1, 0)
+	g.MustAddEdge(2, 1, 1, 0)
+	g.MustAddEdge(1, 3, 1, 0)
+	g.MustAddEdge(3, 0, 1, 0)
+	return g
+}
+
+// TestFilteredEntryMatchesSequentialEnumeration is the tier-1
+// soundness contract: for any availability state and candidate cap,
+// the filter-derived entry must be byte-identical to a fresh capped
+// sequential enumeration on the induced subgraph.
+func TestFilteredEntryMatchesSequentialEnumeration(t *testing.T) {
+	top := topology.DGXV100()
+	s := NewStore(top, 0)
+	pattern := appgraph.Ring(3)
+	states := [][]int{nil, {0}, {1, 6}, {0, 2, 4}, {1, 3, 5, 7}, {0, 1, 2, 3, 4}}
+	for _, busy := range states {
+		avail := top.Graph.Without(busy)
+		for _, cap := range []int{0, 5} {
+			ent, order, ok := s.FilteredEntry(pattern, avail, cap, 1)
+			if !ok {
+				t.Fatalf("busy=%v cap=%d: store declined a complete universe", busy, cap)
+			}
+			if order != nil {
+				t.Fatalf("busy=%v: identical shape needs no remap", busy)
+			}
+			wantMs, wantKeys := match.FindAllDedupedCappedKeys(pattern, avail, cap)
+			if ent.Len() != len(wantMs) {
+				t.Fatalf("busy=%v cap=%d: filtered %d candidates, sequential %d", busy, cap, ent.Len(), len(wantMs))
+			}
+			for i := range wantMs {
+				if ent.Key(i) != wantKeys[i] {
+					t.Fatalf("busy=%v cap=%d cand %d: key %q want %q", busy, cap, i, ent.Key(i), wantKeys[i])
+				}
+			}
+		}
+	}
+	if st := s.Stats(); st.Universes != 1 {
+		t.Fatalf("one shape must build exactly one universe, stats %+v", st)
+	}
+}
+
+// TestWarmedShapeFiltersWithoutSearching is the zero-search proof: for
+// a warmed shape, a previously-unseen availability state is served by
+// mask filtering with zero calls into the subgraph-isomorphism search.
+func TestWarmedShapeFiltersWithoutSearching(t *testing.T) {
+	top := topology.DGXV100()
+	s := NewStore(top, 0)
+	pattern := appgraph.Ring(4)
+	if n := s.Warm(1, pattern); n != 1 {
+		t.Fatalf("Warm built %d universes, want 1", n)
+	}
+	before := match.Searches()
+	for _, busy := range [][]int{{0}, {3, 5}, {1, 2, 6}} {
+		avail := top.Graph.Without(busy)
+		ent, _, ok := s.FilteredEntry(pattern, avail, 0, 1)
+		if !ok || ent.Len() == 0 {
+			t.Fatalf("busy=%v: warmed shape must filter-serve a non-empty entry", busy)
+		}
+	}
+	if after := match.Searches(); after != before {
+		t.Fatalf("filter-served states ran %d searches, want 0", after-before)
+	}
+	if st := s.Stats(); st.FilterServed != 3 {
+		t.Fatalf("want 3 filter-served decisions, stats %+v", st)
+	}
+}
+
+func TestIncompleteUniverseFallsBack(t *testing.T) {
+	top := topology.DGXV100()
+	full := match.BuildUniverse(appgraph.Ring(3), top.Graph, 0, 1)
+	s := NewStore(top, full.Len()-1) // capacity below the class count
+	if n := s.Warm(1, appgraph.Ring(3)); n != 0 {
+		t.Fatalf("Warm claimed %d complete universes under an overflowing cap", n)
+	}
+	_, _, ok := s.FilteredEntry(appgraph.Ring(3), top.Graph, 0, 1)
+	if ok {
+		t.Fatal("an incomplete universe must not serve filters")
+	}
+	st := s.Stats()
+	if st.Incomplete != 1 || st.FilterRejected != 1 || st.FilterServed != 0 {
+		t.Fatalf("stats %+v, want 1 incomplete, 1 rejected, 0 served", st)
+	}
+}
+
+// TestIsomorphicBuildsShareUniverse: a universe built for one
+// construction of the 4-ring serves an isomorphic construction, with
+// matches re-expressed as valid embeddings of the requester's pattern.
+func TestIsomorphicBuildsShareUniverse(t *testing.T) {
+	top := topology.DGXV100()
+	s := NewStore(top, 0)
+	ringA := appgraph.Ring(4)
+	ringB := ring0213()
+	s.Warm(1, ringA)
+
+	avail := top.Graph.Without([]int{2})
+	before := match.Searches()
+	ent, order, ok := s.FilteredEntry(ringB, avail, 0, 1)
+	if !ok {
+		t.Fatal("isomorphic shape must share the warmed universe")
+	}
+	if match.Searches() != before {
+		t.Fatal("isomorphic lookup must not search")
+	}
+	if order == nil {
+		t.Fatal("structurally different build needs an order remap")
+	}
+	if st := s.Stats(); st.Universes != 1 {
+		t.Fatalf("isomorphic shapes must share one universe, stats %+v", st)
+	}
+	// Every served match, re-expressed through order, must be a valid
+	// embedding of ringB into the availability graph, and the candidate
+	// *set* must equal ringB's own enumeration (same canonical keys).
+	wantKeys := map[string]bool{}
+	_, keys := match.FindAllDedupedCappedKeys(ringB, avail, 0)
+	for _, k := range keys {
+		wantKeys[k] = true
+	}
+	if ent.Len() != len(keys) {
+		t.Fatalf("filtered %d candidates, direct enumeration %d", ent.Len(), len(keys))
+	}
+	for i, m := range ent.Matches() {
+		rm := match.Match{Pattern: order, Data: m.Data}
+		if !match.IsEmbedding(ringB, avail, rm) {
+			t.Fatalf("candidate %d is not a valid embedding of the requester's pattern", i)
+		}
+		if !wantKeys[ent.Key(i)] {
+			t.Fatalf("candidate %d key %q not in the direct enumeration", i, ent.Key(i))
+		}
+	}
+}
+
+// TestTruncatedFilterRejectedForRemappedShape: cap truncation is only
+// safe when the request shape is structurally identical to the
+// universe's — a remapped shape enumerates in a different order, so
+// the store must decline and let the policy search.
+func TestTruncatedFilterRejectedForRemappedShape(t *testing.T) {
+	top := topology.DGXV100()
+	s := NewStore(top, 0)
+	ringA := appgraph.Ring(4)
+	ringB := ring0213()
+	s.Warm(1, ringA)
+
+	// Identical shape: truncation is fine (sequential prefix).
+	if _, _, ok := s.FilteredEntry(ringA, top.Graph, 2, 1); !ok {
+		t.Fatal("truncated filter for the identical shape must be served")
+	}
+	// Isomorphic-but-different shape: must be declined under a cap that
+	// truncates…
+	if _, _, ok := s.FilteredEntry(ringB, top.Graph, 2, 1); ok {
+		t.Fatal("truncated filter for a remapped shape must be declined")
+	}
+	// …but served when the cap does not bind.
+	if _, _, ok := s.FilteredEntry(ringB, top.Graph, 0, 1); !ok {
+		t.Fatal("uncapped filter for a remapped shape must be served")
+	}
+}
+
+func TestStoreBound(t *testing.T) {
+	top := topology.DGXV100()
+	s := NewStore(top, 0)
+	if !s.Bound(top) {
+		t.Fatal("store not bound to its own topology")
+	}
+	if s.Bound(topology.DGXV100()) {
+		t.Fatal("store bound to a different topology value")
+	}
+	var nilStore *Store
+	if nilStore.Bound(top) {
+		t.Fatal("nil store reported bound")
+	}
+}

@@ -53,6 +53,50 @@ func CacheOf(a Allocator) *matchcache.Cache {
 	return nil
 }
 
+// AttachUniverses wires an idle-state universe store (tier 1 of the
+// match pipeline) into a MAPA policy: cache misses — and, when no
+// cache is attached, every decision — are answered by mask-filtering
+// the shape's precomputed idle-machine enumeration instead of running
+// a fresh subgraph-isomorphism search. The store must be bound to the
+// topology the policy allocates on; it is bypassed for any other
+// topology. A store is designed to be shared: engines comparing
+// policies on one machine should attach the same store so each shape's
+// universe is enumerated once in total. Baseline and Topo-aware do not
+// enumerate and ignore it. Pass nil to detach.
+//
+// Filtering relies on the same Allocator.Allocate contract as the
+// cache key: avail must be the induced subgraph of top.Graph over the
+// free GPUs.
+func AttachUniverses(a Allocator, s *matchcache.Store) {
+	if mp, ok := a.(*mapaPolicy); ok {
+		mp.store = s
+	}
+}
+
+// UniversesOf returns the universe store attached to a MAPA policy, or
+// nil.
+func UniversesOf(a Allocator) *matchcache.Store {
+	if mp, ok := a.(*mapaPolicy); ok {
+		return mp.store
+	}
+	return nil
+}
+
+// SetMaxCandidates overrides how many deduplicated matches a MAPA
+// policy scores per decision (DefaultMaxCandidates at construction;
+// <= 0 means unlimited). Large multi-node machines need a tighter
+// bound: candidate sets grow combinatorially with free GPUs while the
+// score separation between good matches does not. Baseline and
+// Topo-aware ignore it.
+func SetMaxCandidates(a Allocator, n int) {
+	if mp, ok := a.(*mapaPolicy); ok {
+		if n < 0 {
+			n = 0
+		}
+		mp.maxCandidates = n
+	}
+}
+
 // DefaultParallelism is a reasonable worker count for parallel
 // matching and scoring.
 func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
@@ -86,5 +130,5 @@ func (p *mapaPolicy) beats(req Request, a, b Allocation) bool {
 // over the same pool. Every output field — GPUs, scores, and the
 // Match representative — is byte-identical to the sequential path.
 func (p *mapaPolicy) allocateParallel(avail *graph.Graph, top *topology.Topology, req Request) (Allocation, error) {
-	return p.selectFromEntry(p.enumerateEntry(avail, req), avail, top, req)
+	return p.selectFromEntry(p.enumerateEntry(avail, req), nil, avail, top, req)
 }

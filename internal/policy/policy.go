@@ -208,6 +208,7 @@ type mapaPolicy struct {
 	maxCandidates int
 	workers       int
 	cache         *matchcache.Cache
+	store         *matchcache.Store
 	better        func(req Request, a, b score.Scores) bool
 }
 
@@ -219,6 +220,9 @@ func (p *mapaPolicy) Allocate(avail *graph.Graph, top *topology.Topology, req Re
 	}
 	if p.cache.Bound(top) {
 		return p.allocateCached(avail, top, req)
+	}
+	if p.store.Bound(top) {
+		return p.allocateFiltered(avail, top, req)
 	}
 	if p.workers > 1 {
 		return p.allocateParallel(avail, top, req)
@@ -250,27 +254,56 @@ func (p *mapaPolicy) Allocate(avail *graph.Graph, top *topology.Topology, req Re
 	return best, nil
 }
 
-// allocateCached serves the decision from the embedding cache: on a
-// hit the prior enumeration (and its scores) are reused and only the
-// comparator runs; on a miss the deduplicated candidate set is
-// enumerated — in parallel when workers are configured — and stored
-// for the next time this (pattern, free-GPU) state recurs. The
-// selected allocation is identical to the sequential path's: the
-// candidate list replays the sequential enumeration order and the
-// comparator is a strict total order.
+// allocateCached serves the decision from the two-tier pipeline: on a
+// tier-2 hit the prior candidate list (and its scores) are reused and
+// only the comparator runs. On a miss the list is derived by
+// mask-filtering the shape's idle-state universe when one is usable —
+// no search at all — and only otherwise enumerated afresh (in parallel
+// when workers are configured); either way it is stored for the next
+// time this (pattern, free-GPU) state recurs. The selected allocation
+// is identical to the sequential path's: every fill strategy
+// materializes the sequential candidate prefix and the comparator is a
+// strict total order.
 func (p *mapaPolicy) allocateCached(avail *graph.Graph, top *topology.Topology, req Request) (Allocation, error) {
-	key := matchcache.Key(req.Pattern, avail)
-	ent, ok := p.cache.Get(key)
+	ent, order, ok := p.cache.GetFor(req.Pattern, avail)
 	if !ok {
-		ent = p.cache.Put(key, p.enumerateEntry(avail, req))
+		ent, order = p.cache.PutFor(req.Pattern, avail, p.missEntry(avail, top, req))
 	}
-	return p.selectFromEntry(ent, avail, top, req)
+	return p.selectFromEntry(ent, order, avail, top, req)
+}
+
+// allocateFiltered is the store-without-cache path: every decision is
+// a cold miss answered by universe filtering when possible, falling
+// back to a fresh enumeration.
+func (p *mapaPolicy) allocateFiltered(avail *graph.Graph, top *topology.Topology, req Request) (Allocation, error) {
+	ent, order, ok := p.store.FilteredEntry(req.Pattern, avail, p.maxCandidates, p.workers)
+	if !ok {
+		ent, order = p.enumerateEntry(avail, req), nil
+	}
+	return p.selectFromEntry(ent, order, avail, top, req)
+}
+
+// missEntry fills a tier-2 miss: by universe filtering when a usable
+// idle-state universe exists (or can be built once), by enumeration
+// otherwise.
+func (p *mapaPolicy) missEntry(avail *graph.Graph, top *topology.Topology, req Request) *matchcache.Entry {
+	if p.store.Bound(top) {
+		if ent, _, ok := p.store.FilteredEntry(req.Pattern, avail, p.maxCandidates, p.workers); ok {
+			return ent
+		}
+	}
+	return p.enumerateEntry(avail, req)
 }
 
 // enumerateEntry runs the deduplicated (capped) enumeration — in
 // parallel when workers are configured — and packages it as a cache
 // entry. Both strategies materialize the exact sequential candidate
-// prefix, so entries are byte-identical however they were built.
+// prefix, so entries are byte-identical however they were built. An
+// entry that reached the candidate cap is marked truncated: it is a
+// prefix of *this* pattern's enumeration order, and the cache must not
+// serve it to an isomorphic build that enumerates in a different
+// order. (Reaching the cap exactly is conservatively treated as
+// truncated.)
 func (p *mapaPolicy) enumerateEntry(avail *graph.Graph, req Request) *matchcache.Entry {
 	var ms []match.Match
 	var keys []string
@@ -279,18 +312,28 @@ func (p *mapaPolicy) enumerateEntry(avail *graph.Graph, req Request) *matchcache
 	} else {
 		ms, keys = match.FindAllDedupedCappedKeys(req.Pattern, avail, p.maxCandidates)
 	}
-	return matchcache.NewEntry(ms, keys)
+	ent := matchcache.NewEntry(ms, keys)
+	if p.maxCandidates > 0 && len(ms) >= p.maxCandidates {
+		ent.MarkTruncated()
+	}
+	return ent
 }
 
 // selectFromEntry scores an entry's candidates (reusing cached scores
 // when the entry came from the cache) and picks the winner under the
-// policy's total order. The entry's matches are shared; the winning
-// match is cloned so the caller owns its Allocation.
-func (p *mapaPolicy) selectFromEntry(ent *matchcache.Entry, avail *graph.Graph, top *topology.Topology, req Request) (Allocation, error) {
+// policy's total order. order, when non-nil, re-expresses the entry's
+// matches in the request pattern's vertex IDs — the case where the
+// entry was enumerated for an isomorphic-but-not-identical build of
+// the shape. The entry's matches are shared; the winning match is
+// cloned so the caller owns its Allocation.
+func (p *mapaPolicy) selectFromEntry(ent *matchcache.Entry, order []int, avail *graph.Graph, top *topology.Topology, req Request) (Allocation, error) {
 	if ent.Len() == 0 {
 		return Allocation{}, ErrNoAllocation
 	}
 	scores := ent.Scores(p.scorer, p.workers, func(_ int, m match.Match) score.Scores {
+		if order != nil {
+			m = match.Match{Pattern: order, Data: m.Data}
+		}
 		return p.scorer.Score(top, req.Pattern, avail, m)
 	})
 	best := 0
@@ -301,9 +344,13 @@ func (p *mapaPolicy) selectFromEntry(ent *matchcache.Entry, avail *graph.Graph, 
 			best = i
 		}
 	}
+	m := ent.Matches()[best]
+	if order != nil {
+		m = match.Match{Pattern: order, Data: m.Data}
+	}
 	return Allocation{
 		GPUs:   append([]int(nil), ent.GPUs(best)...),
-		Match:  ent.Matches()[best].Clone(),
+		Match:  m.Clone(),
 		Scores: scores[best],
 		key:    ent.Key(best),
 	}, nil

@@ -1,0 +1,207 @@
+package policy
+
+import (
+	"fmt"
+	"testing"
+
+	"mapa/internal/appgraph"
+	"mapa/internal/graph"
+	"mapa/internal/match"
+	"mapa/internal/matchcache"
+	"mapa/internal/score"
+	"mapa/internal/topology"
+)
+
+// allocString renders the decision fields that must be invariant
+// across match-pipeline configurations.
+func allocString(a Allocation) string {
+	return fmt.Sprintf("gpus=%v agg=%.6f eff=%.6f pres=%.6f", a.GPUs, a.Scores.AggBW, a.Scores.EffBW, a.Scores.PreservedBW)
+}
+
+// TestWarmedShapeAllocatesNewStateWithoutSearch is the acceptance
+// check for the two-tier pipeline: with a warmed idle-state universe,
+// a Preserve decision on a previously-unseen availability state must
+// be served by mask filtering — zero calls into the match package's
+// backtracking search — and still equal the plain sequential decision.
+func TestWarmedShapeAllocatesNewStateWithoutSearch(t *testing.T) {
+	top := topology.DGXV100()
+	scorer := score.NewScorer(nil)
+	pattern := appgraph.Ring(3)
+
+	warmed := NewPreserve(scorer)
+	AttachCache(warmed, matchcache.New(top, 0))
+	store := matchcache.NewStore(top, 0)
+	store.Warm(1, pattern)
+	AttachUniverses(warmed, store)
+
+	vanilla := NewPreserve(score.NewScorer(nil))
+
+	for _, busy := range [][]int{{0, 5}, {1, 6}, {2, 3, 7}} {
+		avail := top.Graph.Without(busy)
+		req := Request{Pattern: pattern, Sensitive: true}
+
+		before := match.Searches()
+		got, err := warmed.Allocate(avail, top, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after := match.Searches(); after != before {
+			t.Fatalf("busy=%v: unseen availability state ran %d searches, want 0 (filter-served)", busy, after-before)
+		}
+		want, err := vanilla.Allocate(avail, top, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if allocString(got) != allocString(want) {
+			t.Fatalf("busy=%v: filtered decision diverged:\n got %s\nwant %s", busy, allocString(got), allocString(want))
+		}
+		if !match.IsEmbedding(pattern, avail, got.Match) {
+			t.Fatalf("busy=%v: filtered decision returned an invalid embedding", busy)
+		}
+	}
+	if st := store.Stats(); st.FilterServed != 3 {
+		t.Fatalf("want 3 filter-served decisions, store stats %+v", st)
+	}
+}
+
+// TestTruncatedCacheEntryNotServedAcrossBuilds is the regression test
+// for cap-truncated entries under canonical keying: a truncated
+// candidate list is the enumeration-order prefix of the build that
+// filled it, so an isomorphic-but-structurally-different build must
+// not be served it — its own sequential prefix differs. With a binding
+// cap, the cached decision for the second build must still equal that
+// build's plain sequential decision.
+func TestTruncatedCacheEntryNotServedAcrossBuilds(t *testing.T) {
+	top := topology.DGXV100()
+	patA := graph.New()
+	patA.MustAddEdge(0, 1, 1, 0)
+	patA.MustAddEdge(0, 2, 2, 0)
+	patA.MustAddEdge(1, 3, 1, 0)
+	// The same weighted tree relabeled by 2<->3: isomorphic, different
+	// structural fingerprint — and the leaf-ID swap flips the match
+	// order's tie-break, so B's enumeration emits classes in a
+	// genuinely different order than A's.
+	patB := graph.New()
+	patB.MustAddEdge(0, 1, 1, 0)
+	patB.MustAddEdge(0, 3, 2, 0)
+	patB.MustAddEdge(1, 2, 1, 0)
+
+	cached := NewPreserve(score.NewScorer(nil))
+	SetMaxCandidates(cached, 2)
+	AttachCache(cached, matchcache.New(top, 0))
+	// Build A fills the (canonical shape, idle mask) view with its own
+	// truncated prefix…
+	if _, err := cached.Allocate(top.Graph, top, Request{Pattern: patA, Sensitive: true}); err != nil {
+		t.Fatal(err)
+	}
+	// …which must NOT be served to build B.
+	got, err := cached.Allocate(top.Graph, top, Request{Pattern: patB, Sensitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vanilla := NewPreserve(score.NewScorer(nil))
+	SetMaxCandidates(vanilla, 2)
+	want, err := vanilla.Allocate(top.Graph, top, Request{Pattern: patB, Sensitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocString(got) != allocString(want) {
+		t.Fatalf("truncated entry leaked across builds:\n got %s\nwant %s", allocString(got), allocString(want))
+	}
+	if !match.IsEmbedding(patB, top.Graph, got.Match) {
+		t.Fatal("cached decision is not a valid embedding of build B")
+	}
+	// Build A must still hit its own truncated entry afterwards.
+	c := CacheOf(cached)
+	before := c.Stats()
+	if _, err := cached.Allocate(top.Graph, top, Request{Pattern: patA, Sensitive: true}); err != nil {
+		t.Fatal(err)
+	}
+	// (A's entry was replaced by B's; A re-fills, then hits again.)
+	if _, err := cached.Allocate(top.Graph, top, Request{Pattern: patA, Sensitive: true}); err != nil {
+		t.Fatal(err)
+	}
+	if after := c.Stats(); after.Hits == before.Hits {
+		t.Fatalf("same-build truncated entries must still hit: before %+v after %+v", before, after)
+	}
+}
+
+// TestStoreOnlyPathMatchesSequential exercises allocateFiltered (a
+// universe store without a tier-2 cache): every decision is a cold
+// miss served by filtering, and must equal the sequential decision.
+func TestStoreOnlyPathMatchesSequential(t *testing.T) {
+	top := topology.Torus2D()
+	scorer := score.NewScorer(nil)
+	pattern := appgraph.Ring(4)
+
+	filtered := NewGreedy(scorer)
+	AttachUniverses(filtered, matchcache.NewStore(top, 0))
+	vanilla := NewGreedy(score.NewScorer(nil))
+
+	for _, busy := range [][]int{nil, {0, 1}, {3, 7, 11, 15}, {2, 5, 8}} {
+		avail := top.Graph.Without(busy)
+		req := Request{Pattern: pattern, Sensitive: false}
+		got, err := filtered.Allocate(avail, top, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := vanilla.Allocate(avail, top, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if allocString(got) != allocString(want) {
+			t.Fatalf("busy=%v: store-only decision diverged:\n got %s\nwant %s", busy, allocString(got), allocString(want))
+		}
+	}
+}
+
+// TestIsomorphicRequestSharesPipeline: a structurally different build
+// of the same ring must reuse the first build's universe and cached
+// views, and still produce the same decision as its own sequential
+// enumeration, with a valid embedding in its own vertex IDs.
+func TestIsomorphicRequestSharesPipeline(t *testing.T) {
+	top := topology.DGXV100()
+	scorer := score.NewScorer(nil)
+	ringA := appgraph.Ring(4) // 0-1-2-3-0
+	ringB := graph.New()      // 0-2-1-3-0
+	ringB.MustAddEdge(0, 2, 1, 0)
+	ringB.MustAddEdge(2, 1, 1, 0)
+	ringB.MustAddEdge(1, 3, 1, 0)
+	ringB.MustAddEdge(3, 0, 1, 0)
+
+	p := NewPreserve(scorer)
+	cache := matchcache.New(top, 0)
+	AttachCache(p, cache)
+	store := matchcache.NewStore(top, 0)
+	store.Warm(1, ringA)
+	AttachUniverses(p, store)
+
+	avail := top.Graph.Without([]int{1})
+	// First build fills the (canonical shape, mask) view…
+	if _, err := p.Allocate(avail, top, Request{Pattern: ringA, Sensitive: true}); err != nil {
+		t.Fatal(err)
+	}
+	// …and the isomorphic build must hit it: no search, one tier-2 hit.
+	before := match.Searches()
+	got, err := p.Allocate(avail, top, Request{Pattern: ringB, Sensitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if match.Searches() != before {
+		t.Fatal("isomorphic request ran a search despite the shared pipeline")
+	}
+	if st := cache.Stats(); st.Hits == 0 || st.Shards != 1 {
+		t.Fatalf("isomorphic request must hit the shared shard, cache stats %+v", st)
+	}
+	vanilla := NewPreserve(score.NewScorer(nil))
+	want, err := vanilla.Allocate(avail, top, Request{Pattern: ringB, Sensitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocString(got) != allocString(want) {
+		t.Fatalf("isomorphic decision diverged:\n got %s\nwant %s", allocString(got), allocString(want))
+	}
+	if !match.IsEmbedding(ringB, avail, got.Match) {
+		t.Fatal("isomorphic decision returned an embedding not valid for the requester's pattern")
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"strings"
 
 	"mapa/internal/effbw"
+	"mapa/internal/graph"
 	"mapa/internal/jobs"
+	"mapa/internal/matchcache"
 	"mapa/internal/policy"
 	"mapa/internal/score"
 	"mapa/internal/stats"
@@ -40,36 +42,72 @@ type CompareConfig struct {
 	// search partitioning of match.FindAllParallel); < 2 keeps the
 	// sequential matcher. Decisions are identical either way.
 	Workers int
-	// DisableCache turns off the per-engine embedding cache, forcing a
-	// fresh enumeration for every decision.
+	// DisableCache turns off the per-engine tier-2 filtered-view
+	// cache, forcing a fresh candidate derivation for every decision.
 	DisableCache bool
+	// DisableUniverses turns off the tier-1 idle-state universe store,
+	// so cache misses fall back to full subgraph-isomorphism searches
+	// (the pre-universe behavior).
+	DisableUniverses bool
+	// WarmPatterns are job shapes whose idle-state universes are
+	// precomputed before any engine runs — the init-time enumeration
+	// paid once for the whole comparison instead of on first use.
+	WarmPatterns []*graph.Graph
 }
 
 // ComparePoliciesConfig is ComparePoliciesMode with explicit matcher
-// parallelism and embedding-cache configuration.
+// parallelism and match-pipeline configuration. All engines share one
+// idle-state universe store bound to the topology, so each canonical
+// job shape is enumerated once for the whole comparison no matter how
+// many policies run.
 func ComparePoliciesConfig(top *topology.Topology, policyNames []string, jobList []jobs.Job, cfg CompareConfig) (map[string]RunResult, error) {
+	out, _, _, err := ComparePoliciesInstrumented(top, policyNames, jobList, cfg)
+	return out, err
+}
+
+// ComparePoliciesInstrumented is ComparePoliciesConfig returning the
+// match-pipeline counters alongside the results: the per-policy tier-2
+// cache stats and the stats of the shared tier-1 universe store (nil
+// when universes are disabled).
+func ComparePoliciesInstrumented(top *topology.Topology, policyNames []string, jobList []jobs.Job, cfg CompareConfig) (map[string]RunResult, map[string]matchcache.Stats, *matchcache.StoreStats, error) {
 	scorer := score.NewScorer(effbw.TrainedFor(top))
+	var store *matchcache.Store
+	if !cfg.DisableUniverses {
+		store = matchcache.NewStore(top, matchcache.DefaultUniverseCapacity)
+		if len(cfg.WarmPatterns) > 0 {
+			store.Warm(cfg.Workers, cfg.WarmPatterns...)
+		}
+	}
 	out := make(map[string]RunResult, len(policyNames))
+	cacheStats := make(map[string]matchcache.Stats, len(policyNames))
 	for _, name := range policyNames {
 		p, err := policy.ByName(name, scorer)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		if cfg.Workers > 1 {
 			policy.SetParallelism(p, cfg.Workers)
 		}
 		e := NewEngine(top, p)
 		e.Mode = cfg.Mode
+		e.Universes = store
 		if cfg.DisableCache {
 			e.Cache = nil
 		}
 		res, err := e.Run(jobList)
 		if err != nil {
-			return nil, fmt.Errorf("sched: policy %s: %w", name, err)
+			return nil, nil, nil, fmt.Errorf("sched: policy %s: %w", name, err)
 		}
 		out[name] = res
+		if e.Cache != nil {
+			cacheStats[name] = e.Cache.Stats()
+		}
 	}
-	return out, nil
+	if store == nil {
+		return out, cacheStats, nil, nil
+	}
+	st := store.Stats()
+	return out, cacheStats, &st, nil
 }
 
 // PaperPolicies is the evaluation policy set of Sec. 4.

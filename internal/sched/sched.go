@@ -68,12 +68,21 @@ type Engine struct {
 	// Queue selects the job-queue discipline; the zero value is the
 	// paper's FIFO.
 	Queue Discipline
-	// Cache is the embedding cache attached to MAPA policies for the
-	// engine's topology, so steady-state scheduling reuses prior
-	// enumerations: every allocate/free rotates the free-GPU bitmask
-	// in the cache key, and recurring availability states hit.
+	// Cache is the tier-2 filtered-view cache attached to MAPA policies
+	// for the engine's topology, so steady-state scheduling reuses
+	// prior candidate lists: every allocate/free rotates the free-GPU
+	// bitmask in the cache key, and recurring availability states hit.
 	// NewEngine populates it; nil disables caching.
 	Cache *matchcache.Cache
+	// Universes is the tier-1 idle-state universe store: one complete
+	// deduplicated enumeration per canonical job shape on the full
+	// machine, built once (or prewarmed), from which any availability
+	// state's candidate list is derived by bitmask filtering — cache
+	// misses stop paying for subgraph-isomorphism searches. NewEngine
+	// populates a private store; engines comparing policies on one
+	// topology should share a store (ComparePoliciesConfig does). nil
+	// disables universe filtering.
+	Universes *matchcache.Store
 }
 
 // Mode selects how the engine derives job durations.
@@ -100,14 +109,16 @@ const (
 const FixedReferenceBW = 25
 
 // NewEngine returns an engine in real-run mode with an Eq. 2 model
-// trained for the topology and an embedding cache for it.
+// trained for the topology, an embedding cache, and an idle-state
+// universe store for it.
 func NewEngine(top *topology.Topology, alloc policy.Allocator) *Engine {
 	return &Engine{
-		Top:   top,
-		Alloc: alloc,
-		Model: effbw.TrainedFor(top),
-		Mode:  ModeRealRun,
-		Cache: matchcache.New(top, matchcache.DefaultCapacity),
+		Top:       top,
+		Alloc:     alloc,
+		Model:     effbw.TrainedFor(top),
+		Mode:      ModeRealRun,
+		Cache:     matchcache.New(top, matchcache.DefaultShardCapacity),
+		Universes: matchcache.NewStore(top, matchcache.DefaultUniverseCapacity),
 	}
 }
 
@@ -142,14 +153,19 @@ func (e *Engine) Run(jobList []jobs.Job) (RunResult, error) {
 		}
 	}
 
-	// Attach (or detach) the embedding cache so the run's caching
-	// behavior follows the engine configuration even when the
-	// allocator was used elsewhere before. A cache bound to a
-	// different topology is never attached.
+	// Attach (or detach) the embedding cache and universe store so the
+	// run's match-pipeline behavior follows the engine configuration
+	// even when the allocator was used elsewhere before. A cache or
+	// store bound to a different topology is never attached.
 	if e.Cache.Bound(e.Top) {
 		policy.AttachCache(e.Alloc, e.Cache)
 	} else {
 		policy.AttachCache(e.Alloc, nil)
+	}
+	if e.Universes.Bound(e.Top) {
+		policy.AttachUniverses(e.Alloc, e.Universes)
+	} else {
+		policy.AttachUniverses(e.Alloc, nil)
 	}
 
 	avail := e.Top.Graph.Clone()

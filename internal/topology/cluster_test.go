@@ -1,0 +1,55 @@
+package topology
+
+import "testing"
+
+func TestClusterA100Structure(t *testing.T) {
+	top := ClusterA100(9)
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := top.NumGPUs(); got != 72 {
+		t.Fatalf("NumGPUs = %d, want 72", got)
+	}
+	if len(top.Sockets) != 9 {
+		t.Fatalf("sockets = %d, want one per node", len(top.Sockets))
+	}
+	// Intra-node pairs ride the NVSwitch fabric; inter-node pairs fall
+	// back to the PCIe-class host/network path.
+	if l := top.Link(0, 7); l != LinkNVSwitch {
+		t.Fatalf("intra-node link = %s, want %s", l, LinkNVSwitch)
+	}
+	if l := top.Link(7, 8); l != LinkPCIe {
+		t.Fatalf("inter-node link = %s, want %s", l, LinkPCIe)
+	}
+	if l := top.Link(0, 71); l != LinkPCIe {
+		t.Fatalf("first-to-last link = %s, want %s", l, LinkPCIe)
+	}
+	// Physical link count: 9 nodes x C(8,2) NVSwitch pairs.
+	counts := top.PhysicalLinkCounts()
+	if counts[LinkNVSwitch] != 9*28 {
+		t.Fatalf("NVSwitch links = %d, want %d", counts[LinkNVSwitch], 9*28)
+	}
+	// Node membership is ID-major.
+	if s := top.SocketOf(17); s != 2 {
+		t.Fatalf("GPU 17 in socket %d, want 2", s)
+	}
+}
+
+func TestClusterA100ByName(t *testing.T) {
+	top, err := ByName("cluster-a100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumGPUs() != 72 {
+		t.Fatalf("cluster-a100 resolves to %d GPUs, want 72", top.NumGPUs())
+	}
+}
+
+func TestClusterA100TooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ClusterA100(1) should panic")
+		}
+	}()
+	ClusterA100(1)
+}

@@ -281,6 +281,36 @@ func CubeMesh16() *Topology {
 	return b.build()
 }
 
+// ClusterA100 returns a synthetic multi-node machine: `nodes` DGX-A100
+// servers of eight GPUs each, every intra-node pair at NVSwitch
+// bandwidth, and every inter-node pair joined by the PCIe-class
+// host/network fallback edge (the matcher's hardware graph is complete
+// by construction, Sec. 3.2). GPU IDs are node-major — node i owns
+// 8i..8i+7 — and each node is one socket, so the Topo-aware baseline
+// packs jobs per node. With nine or more nodes the machine crosses 64
+// GPUs, which exercises the multi-word graph.Bitset paths end to end:
+// availability masks, universe filtering, and cache keys all span
+// multiple uint64 words.
+func ClusterA100(nodes int) *Topology {
+	if nodes < 2 {
+		panic("topology: cluster needs at least 2 nodes")
+	}
+	const perNode = 8
+	n := nodes * perNode
+	b := newBuilder(fmt.Sprintf("Cluster-A100-%d", nodes), n)
+	b.sockets = make([][]int, nodes)
+	for node := 0; node < nodes; node++ {
+		base := node * perNode
+		b.sockets[node] = intRange(base, base+perNode)
+		for u := base; u < base+perNode; u++ {
+			for v := u + 1; v < base+perNode; v++ {
+				b.link(u, v, LinkNVSwitch)
+			}
+		}
+	}
+	return b.build()
+}
+
 // Ring returns a generic n-GPU ring with the given link type on ring
 // edges, useful for synthetic experiments. Sockets split the ring in
 // half.
@@ -365,11 +395,18 @@ func ByName(name string) (*Topology, error) {
 		return Torus2D(), nil
 	case "cubemesh-16", "cubemesh16", "cube-mesh", "cubemesh":
 		return CubeMesh16(), nil
+	case "cluster-a100", "cluster":
+		return ClusterA100(9), nil
 	}
 	return nil, fmt.Errorf("topology: unknown topology %q", name)
 }
 
-// Names lists the topologies accepted by ByName, in canonical spelling.
+// Names lists the single-server topologies accepted by ByName, in
+// canonical spelling. ByName additionally accepts "cluster-a100", the
+// synthetic 9-node (72-GPU) multi-node machine, which is kept out of
+// this list because the exhaustive cross-product studies (ideal-
+// aggregate enumeration, Eq. 2 training-set collection) are
+// combinatorial in machine size.
 func Names() []string {
 	return []string{"dgx-v100", "dgx-p100", "summit", "dgx-2", "dgx-a100", "torus-2d", "cubemesh-16"}
 }

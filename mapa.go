@@ -94,13 +94,68 @@ type System struct {
 	top    *topology.Topology
 	alloc  policy.Allocator
 	avail  *graph.Graph
+	cache  *matchcache.Cache
+	store  *matchcache.Store
 	leases map[int][]int
 	nextID int
 }
 
+// SystemOption configures a System at construction.
+type SystemOption func(*systemConfig)
+
+type systemConfig struct {
+	workers          int
+	warmMaxGPUs      int
+	disableCache     bool
+	disableUniverses bool
+}
+
+// WithWorkers makes MAPA policies enumerate and score candidate
+// matches with n worker goroutines. Decisions are byte-identical to
+// the sequential matcher's.
+func WithWorkers(n int) SystemOption {
+	return func(c *systemConfig) { c.workers = n }
+}
+
+// WithWarmShapes precomputes the idle-state match universes for every
+// built-in communication shape (see Shapes) at sizes 2..maxGPUs during
+// NewSystem, so even the first decision for those shapes — and every
+// later decision on a never-seen availability state — is served by
+// mask filtering instead of a subgraph-isomorphism search. Warming is
+// the init-time cost MAPA pays once per machine instead of per
+// scheduling step.
+func WithWarmShapes(maxGPUs int) SystemOption {
+	return func(c *systemConfig) { c.warmMaxGPUs = maxGPUs }
+}
+
+// WithoutCache disables the tier-2 filtered-view cache (recurring
+// availability states stop hitting).
+func WithoutCache() SystemOption {
+	return func(c *systemConfig) { c.disableCache = true }
+}
+
+// WithoutUniverses disables the tier-1 idle-state universe store
+// (cache misses fall back to full searches).
+func WithoutUniverses() SystemOption {
+	return func(c *systemConfig) { c.disableUniverses = true }
+}
+
+// warmPatterns builds the canonical warm set, clamped to the machine
+// size.
+func warmPatterns(maxGPUs, machineGPUs int) []*graph.Graph {
+	if maxGPUs > machineGPUs {
+		maxGPUs = machineGPUs
+	}
+	return appgraph.AllShapes(maxGPUs)
+}
+
 // NewSystem builds a System for a named topology and policy, with an
-// effective-bandwidth model trained for that topology.
-func NewSystem(topologyName, policyName string) (*System, error) {
+// effective-bandwidth model trained for that topology. By default the
+// two-tier match pipeline is active: recurring availability states hit
+// the filtered-view cache, and new states are derived by bitmask-
+// filtering per-shape idle-state universes (built on first use, or at
+// construction with WithWarmShapes).
+func NewSystem(topologyName, policyName string, opts ...SystemOption) (*System, error) {
 	top, err := topology.ByName(topologyName)
 	if err != nil {
 		return nil, err
@@ -110,16 +165,64 @@ func NewSystem(topologyName, policyName string) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Steady-state allocation reuses prior pattern enumerations: the
-	// cache key carries the free-GPU bitmask, so Allocate and Release
-	// rotate the key and recurring availability states hit.
-	policy.AttachCache(alloc, matchcache.New(top, matchcache.DefaultCapacity))
-	return &System{
+	var cfg systemConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers > 1 {
+		policy.SetParallelism(alloc, cfg.workers)
+	}
+	s := &System{
 		top:    top,
 		alloc:  alloc,
 		avail:  top.Graph.Clone(),
 		leases: make(map[int][]int),
-	}, nil
+	}
+	if !cfg.disableCache {
+		// Steady-state allocation reuses prior candidate lists: the
+		// cache key carries the free-GPU bitmask, so Allocate and
+		// Release rotate the key and recurring availability states hit.
+		s.cache = matchcache.New(top, matchcache.DefaultShardCapacity)
+		policy.AttachCache(alloc, s.cache)
+	}
+	if !cfg.disableUniverses {
+		s.store = matchcache.NewStore(top, matchcache.DefaultUniverseCapacity)
+		policy.AttachUniverses(alloc, s.store)
+		if cfg.warmMaxGPUs > 1 {
+			s.store.Warm(cfg.workers, warmPatterns(cfg.warmMaxGPUs, top.NumGPUs())...)
+		}
+	}
+	return s, nil
+}
+
+// CacheStats reports the match-pipeline counters of a System: the
+// tier-2 filtered-view cache (hits/misses/evictions) and the tier-1
+// idle-state universe store (universes built, miss decisions served by
+// mask filtering).
+type CacheStats struct {
+	// Tier 2: filtered-view cache.
+	Hits, Misses, Evictions uint64
+	Entries, Shards         int
+	// Tier 1: idle-state universe store.
+	Universes, UniversesIncomplete int
+	FilterServed, FilterRejected   uint64
+}
+
+// CacheStats returns a snapshot of the system's match-pipeline
+// counters. Disabled tiers report zeros.
+func (s *System) CacheStats() CacheStats {
+	var out CacheStats
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		out.Hits, out.Misses, out.Evictions = cs.Hits, cs.Misses, cs.Evictions
+		out.Entries, out.Shards = cs.Entries, cs.Shards
+	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		out.Universes, out.UniversesIncomplete = ss.Universes, ss.Incomplete
+		out.FilterServed, out.FilterRejected = ss.FilterServed, ss.FilterRejected
+	}
+	return out
 }
 
 // Topology returns the system's topology name.

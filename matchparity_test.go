@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"mapa/internal/appgraph"
 	"mapa/internal/effbw"
 	"mapa/internal/jobs"
 	"mapa/internal/matchcache"
@@ -13,22 +14,36 @@ import (
 	"mapa/internal/topology"
 )
 
+// traceConfig selects one match-pipeline configuration for a parity
+// run.
+type traceConfig struct {
+	workers   int
+	cached    bool // tier-2 filtered-view cache
+	universes bool // tier-1 idle-state universe store
+	warm      bool // prewarm universes for the job-mix shapes
+}
+
 // allocationTrace runs the job list through a freshly configured
 // engine and renders every record's allocation-relevant fields, so two
 // traces compare byte-identically only if every decision matched.
-func allocationTrace(t *testing.T, top *topology.Topology, policyName string, jobList []jobs.Job, workers int, cached bool) ([]string, *matchcache.Cache) {
+func allocationTrace(t *testing.T, top *topology.Topology, policyName string, jobList []jobs.Job, cfg traceConfig) ([]string, *matchcache.Cache, *matchcache.Store) {
 	t.Helper()
 	scorer := score.NewScorer(effbw.TrainedFor(top))
 	p, err := policy.ByName(policyName, scorer)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if workers > 1 {
-		policy.SetParallelism(p, workers)
+	if cfg.workers > 1 {
+		policy.SetParallelism(p, cfg.workers)
 	}
 	e := sched.NewEngine(top, p)
-	if !cached {
+	if !cfg.cached {
 		e.Cache = nil
+	}
+	if !cfg.universes {
+		e.Universes = nil
+	} else if cfg.warm {
+		e.Universes.Warm(cfg.workers, appgraph.AllShapes(5)...)
 	}
 	res, err := e.Run(jobList)
 	if err != nil {
@@ -39,14 +54,15 @@ func allocationTrace(t *testing.T, top *topology.Topology, policyName string, jo
 		trace[i] = fmt.Sprintf("job=%d gpus=%v start=%.6f end=%.6f agg=%.6f eff=%.6f pres=%.6f",
 			r.Job.ID, r.GPUs, r.Start, r.End, r.AggBW, r.PredictedEffBW, r.PreservedBW)
 	}
-	return trace, e.Cache
+	return trace, e.Cache, e.Universes
 }
 
 // TestCachedAndParallelMatchSequentialAllocations is the acceptance
-// check for the bitset/cache/parallel matcher rework: on the
-// integration-test workloads, the embedding-cached path and the
-// worker-pool parallel path must produce byte-identical allocation
-// sequences to the sequential matcher.
+// check for the match-pipeline rework: on the integration-test
+// workloads, every fast path — the tier-2 cached path, the worker-pool
+// parallel path, the universe-filtered path, and the warmed two-tier
+// pipeline — must produce byte-identical allocation sequences to the
+// plain sequential matcher.
 func TestCachedAndParallelMatchSequentialAllocations(t *testing.T) {
 	cases := []struct {
 		topo   string
@@ -66,11 +82,7 @@ func TestCachedAndParallelMatchSequentialAllocations(t *testing.T) {
 			}
 			jobList := jobs.PaperMix(1)[:tc.njobs]
 
-			sequential, _ := allocationTrace(t, top, tc.policy, jobList, 1, false)
-			cachedTrace, cache := allocationTrace(t, top, tc.policy, jobList, 1, true)
-			parallel, _ := allocationTrace(t, top, tc.policy, jobList, 4, false)
-			both, _ := allocationTrace(t, top, tc.policy, jobList, 4, true)
-
+			sequential, _, _ := allocationTrace(t, top, tc.policy, jobList, traceConfig{workers: 1})
 			compare := func(name string, got []string) {
 				t.Helper()
 				if len(got) != len(sequential) {
@@ -83,14 +95,34 @@ func TestCachedAndParallelMatchSequentialAllocations(t *testing.T) {
 					}
 				}
 			}
+
+			cachedTrace, cache, _ := allocationTrace(t, top, tc.policy, jobList, traceConfig{workers: 1, cached: true})
 			compare("cached", cachedTrace)
+			parallel, _, _ := allocationTrace(t, top, tc.policy, jobList, traceConfig{workers: 4})
 			compare("parallel", parallel)
+			both, _, _ := allocationTrace(t, top, tc.policy, jobList, traceConfig{workers: 4, cached: true})
 			compare("cached+parallel", both)
+			filtered, _, fstore := allocationTrace(t, top, tc.policy, jobList, traceConfig{workers: 1, universes: true})
+			compare("filtered (store only)", filtered)
+			warmed, _, wstore := allocationTrace(t, top, tc.policy, jobList,
+				traceConfig{workers: 1, cached: true, universes: true, warm: true})
+			compare("warmed two-tier", warmed)
+			warmedPar, _, _ := allocationTrace(t, top, tc.policy, jobList,
+				traceConfig{workers: 4, cached: true, universes: true, warm: true})
+			compare("warmed two-tier parallel", warmedPar)
 
 			// The cache must actually be doing the work: steady-state
 			// scheduling revisits availability states.
 			if st := cache.Stats(); st.Hits == 0 {
 				t.Fatalf("embedding cache saw no hits over %d jobs: %+v", tc.njobs, st)
+			}
+			// And the universes must actually be filtering: cold misses
+			// (store-only: every decision) are filter-served.
+			if st := fstore.Stats(); st.FilterServed == 0 {
+				t.Fatalf("universe store served no filters over %d jobs: %+v", tc.njobs, st)
+			}
+			if st := wstore.Stats(); st.Universes == 0 || st.FilterServed == 0 {
+				t.Fatalf("warmed store did not serve the run: %+v", st)
 			}
 		})
 	}
@@ -121,5 +153,48 @@ func TestSystemSteadyStateUsesCache(t *testing.T) {
 		if err := s.Release(l); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if st := s.CacheStats(); st.Hits == 0 {
+		t.Fatalf("steady-state cycling produced no cache hits: %+v", st)
+	}
+}
+
+// TestSystemWarmedServesFirstDecisionByFilter verifies the public
+// warming option end to end: a warmed System answers its very first
+// request for a warmed shape from the universe, not from a search.
+func TestSystemWarmedServesFirstDecisionByFilter(t *testing.T) {
+	s, err := NewSystem("dgx-v100", "preserve", WithWarmShapes(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Universes == 0 {
+		t.Fatalf("WithWarmShapes built no universes: %+v", st)
+	}
+	if _, err := s.Allocate(JobRequest{NumGPUs: 4, Shape: "Ring", Sensitive: true}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.CacheStats()
+	if st.FilterServed == 0 {
+		t.Fatalf("first decision was not filter-served: %+v", st)
+	}
+	// The warmed System must agree with an unwarmed one.
+	plain, err := NewSystem("dgx-v100", "preserve", WithoutCache(), WithoutUniverses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := plain.Allocate(JobRequest{NumGPUs: 4, Shape: "Ring", Sensitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSystem("dgx-v100", "preserve", WithWarmShapes(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := s2.Allocate(JobRequest{NumGPUs: 4, Shape: "Ring", Sensitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(l2.GPUs) != fmt.Sprint(lw.GPUs) {
+		t.Fatalf("warmed system allocated %v, plain %v", l2.GPUs, lw.GPUs)
 	}
 }

@@ -1,0 +1,121 @@
+package mapa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// checkAvailInvariant asserts the soundness contract the match
+// pipeline's keying depends on (see matchcache.Key): the System's
+// availability graph must be exactly the topology's induced subgraph
+// over the currently free GPUs — edges a pure function of the free
+// vertex set — after any interleaving of allocates and releases.
+func checkAvailInvariant(t *testing.T, s *System, step string) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	want := s.top.Graph.InducedSubgraph(s.avail.Vertices())
+	if !s.avail.Equal(want) {
+		t.Fatalf("%s: avail is not the induced subgraph over free GPUs:\n avail: %v\n want:  %v",
+			step, s.avail, want)
+	}
+}
+
+// TestSystemAllocateReleaseInterleavingKeepsInducedSubgraph drives a
+// System through out-of-order allocate/release interleavings and
+// checks the induced-subgraph invariant after every single operation.
+// Releases deliberately do not mirror allocation order: the paper's
+// Sec. 3.6 state update must hold for arbitrary completion orders.
+func TestSystemAllocateReleaseInterleavingKeepsInducedSubgraph(t *testing.T) {
+	s, err := NewSystem("dgx-v100", "preserve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAvailInvariant(t, s, "idle")
+
+	// Fill the machine with four 2-GPU leases…
+	var leases []*Lease
+	for i := 0; i < 4; i++ {
+		l, err := s.Allocate(JobRequest{NumGPUs: 2, Shape: "Ring", Sensitive: i%2 == 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		leases = append(leases, l)
+		checkAvailInvariant(t, s, fmt.Sprintf("allocate %d", i))
+	}
+	// …then release them out of order (2, 0, 3, 1), reallocating a
+	// differently shaped job between releases so frees interleave with
+	// new placements.
+	for step, idx := range []int{2, 0, 3, 1} {
+		if err := s.Release(leases[idx]); err != nil {
+			t.Fatal(err)
+		}
+		checkAvailInvariant(t, s, fmt.Sprintf("release lease %d", idx))
+		if step == 1 {
+			l, err := s.Allocate(JobRequest{NumGPUs: 3, Shape: "Chain", Sensitive: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAvailInvariant(t, s, "interleaved allocate")
+			defer func() {
+				if err := s.Release(l); err != nil {
+					t.Fatal(err)
+				}
+			}()
+		}
+	}
+
+	// Double release must fail and leave the state untouched.
+	if err := s.Release(leases[2]); err == nil {
+		t.Fatal("double release succeeded")
+	}
+	checkAvailInvariant(t, s, "after rejected double release")
+}
+
+// TestSystemRandomizedInterleavingKeepsInducedSubgraph is the seeded
+// stress variant: hundreds of random allocates and out-of-order
+// releases across shapes and sizes, invariant checked at every step,
+// ending with a full drain back to the idle machine.
+func TestSystemRandomizedInterleavingKeepsInducedSubgraph(t *testing.T) {
+	s, err := NewSystem("dgx-v100", "preserve", WithWarmShapes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	shapes := []string{"Ring", "Chain", "Star", "AllToAll"}
+	var live []*Lease
+	for step := 0; step < 300; step++ {
+		if len(live) > 0 && (rng.Intn(2) == 0 || len(s.FreeGPUs()) < 2) {
+			// Release a random live lease — not the most recent one.
+			i := rng.Intn(len(live))
+			if err := s.Release(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			checkAvailInvariant(t, s, fmt.Sprintf("step %d release", step))
+			continue
+		}
+		maxK := 3
+		if free := len(s.FreeGPUs()); free < maxK {
+			maxK = free
+		}
+		k := 1 + rng.Intn(maxK)
+		l, err := s.Allocate(JobRequest{NumGPUs: k, Shape: shapes[rng.Intn(len(shapes))], Sensitive: rng.Intn(2) == 0})
+		if err != nil {
+			t.Fatalf("step %d: allocate %d GPUs with %d free: %v", step, k, len(s.FreeGPUs()), err)
+		}
+		live = append(live, l)
+		checkAvailInvariant(t, s, fmt.Sprintf("step %d allocate", step))
+	}
+	for _, l := range live {
+		if err := s.Release(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkAvailInvariant(t, s, "after drain")
+	if free := s.FreeGPUs(); len(free) != s.NumGPUs() {
+		t.Fatalf("drained system has %d free GPUs, want %d", len(free), s.NumGPUs())
+	}
+}
