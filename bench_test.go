@@ -804,3 +804,80 @@ func BenchmarkNCCLDecompose(b *testing.B) {
 		ncclsim.Decompose(top, gpus)
 	}
 }
+
+// clusterChurnStates returns a sliding 10-GPU free window over the
+// 72-GPU cluster: state i has GPUs {i..i+9 mod 72} free, so
+// consecutive states differ by a 2-GPU delta (GPU i leaves the free
+// set, GPU i+10 enters). This is the mostly-busy multi-node regime the
+// live views exist for: candidate output is small while the idle-state
+// universe — which the filter path must scan in full per decision —
+// holds tens of thousands of embeddings.
+func clusterChurnStates(top *topology.Topology) []*graph.Graph {
+	const window = 10
+	n := top.NumGPUs()
+	states := make([]*graph.Graph, n)
+	for i := 0; i < n; i++ {
+		free := make([]int, window)
+		for j := range free {
+			free[j] = (i + j) % n
+		}
+		states[i] = top.Graph.InducedSubgraph(free)
+	}
+	return states
+}
+
+// BenchmarkFilteredMiss measures deriving one miss's candidate entry on
+// the 72-GPU cluster via the tier-1 path: every decision mask-filters
+// the shape's idle-state universe — an O(|universe|) subset scan
+// (59,640 Ring(3) classes) regardless of how little changed.
+func BenchmarkFilteredMiss(b *testing.B) {
+	top := topology.ClusterA100(9)
+	pattern := appgraph.Ring(3)
+	store := matchcache.NewStore(top, 0)
+	store.Warm(1, pattern)
+	states := clusterChurnStates(top)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := store.FilteredEntry(pattern, states[i%len(states)], 0, 1); !ok {
+			b.Fatal("filtered entry rejected")
+		}
+	}
+}
+
+// BenchmarkLiveViewMiss measures the same rotation served by the
+// tier-0 live view: each state change publishes its 2-GPU delta
+// (walking just those GPUs' posting lists) and the candidate list is
+// read from the maintained live set — cost proportional to the delta
+// and the output, not to |universe|. Output is byte-identical to
+// BenchmarkFilteredMiss's entries.
+func BenchmarkLiveViewMiss(b *testing.B) {
+	top := topology.ClusterA100(9)
+	pattern := appgraph.Ring(3)
+	store := matchcache.NewStore(top, 0)
+	store.Warm(1, pattern)
+	views := store.NewViews()
+	states := clusterChurnStates(top)
+	n := top.NumGPUs()
+	const window = 10
+	// Enter state 0: everything outside the initial window is busy.
+	var busy []int
+	for g := window; g < n; g++ {
+		busy = append(busy, g)
+	}
+	views.Allocate(busy)
+	// Build the view (and pay its one-time posting-list construction)
+	// before timing, mirroring the warmed store above.
+	if _, _, ok := views.Entry(pattern, states[0], 0, 1); !ok {
+		b.Fatal("view entry rejected")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := views.Entry(pattern, states[i%len(states)], 0, 1); !ok {
+			b.Fatal("view entry rejected")
+		}
+		// Publish the delta to the next state: GPU i leaves the free
+		// window, GPU i+window enters it.
+		views.Allocate([]int{i % n})
+		views.Release([]int{(i + window) % n})
+	}
+}

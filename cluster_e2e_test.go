@@ -17,7 +17,7 @@ import (
 // candidate sets on a 72-GPU complete hardware graph are combinatorial
 // while the score separation is not — this is exactly the regime the
 // cap exists for.
-func clusterTrace(t *testing.T, jobList []jobs.Job, cached, universes bool) ([]string, *sched.Engine) {
+func clusterTrace(t *testing.T, jobList []jobs.Job, cached, universes, liveviews bool) ([]string, *sched.Engine) {
 	t.Helper()
 	top, err := topology.ByName("cluster-a100")
 	if err != nil {
@@ -31,6 +31,7 @@ func clusterTrace(t *testing.T, jobList []jobs.Job, cached, universes bool) ([]s
 	policy.SetMaxCandidates(p, 400)
 	e := sched.NewEngine(top, p)
 	e.Mode = sched.ModeFixed
+	e.DisableLiveViews = !liveviews
 	if !cached {
 		e.Cache = nil
 	}
@@ -58,17 +59,26 @@ func TestClusterEndToEndMultiWordParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sequential, _ := clusterTrace(t, jobList, false, false)
-	twoTier, e := clusterTrace(t, jobList, true, true)
-	if len(twoTier) != len(sequential) {
-		t.Fatalf("two-tier run produced %d records, sequential %d", len(twoTier), len(sequential))
-	}
-	for i := range sequential {
-		if twoTier[i] != sequential[i] {
-			t.Fatalf("two-tier diverged at record %d:\n  seq: %s\n  got: %s", i, sequential[i], twoTier[i])
+	sequential, _ := clusterTrace(t, jobList, false, false, false)
+	compare := func(name string, got []string) {
+		t.Helper()
+		if len(got) != len(sequential) {
+			t.Fatalf("%s run produced %d records, sequential %d", name, len(got), len(sequential))
+		}
+		for i := range sequential {
+			if got[i] != sequential[i] {
+				t.Fatalf("%s diverged at record %d:\n  seq: %s\n  got: %s", name, i, sequential[i], got[i])
+			}
 		}
 	}
-	if st := e.Universes.Stats(); st.Universes == 0 || st.FilterServed == 0 {
+	filtered, fe := clusterTrace(t, jobList, true, true, false)
+	compare("two-tier (no views)", filtered)
+	if st := fe.Universes.Stats(); st.Universes == 0 || st.FilterServed == 0 {
 		t.Fatalf("cluster run was not filter-served: %+v", st)
+	}
+	viewed, ve := clusterTrace(t, jobList, true, true, true)
+	compare("live-view pipeline", viewed)
+	if vs := ve.Views.Stats(); vs.Served == 0 {
+		t.Fatalf("cluster run was not view-served: %+v", vs)
 	}
 }

@@ -38,6 +38,7 @@ type options struct {
 	workers    int
 	cache      bool
 	universes  bool
+	liveviews  bool
 	warm       bool
 	cacheStats bool
 	verbose    bool
@@ -54,6 +55,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 1, "parallel matcher/scoring workers for MAPA policies (<2 sequential)")
 	flag.BoolVar(&o.cache, "cache", true, "reuse candidate lists across recurring free-GPU states (tier 2)")
 	flag.BoolVar(&o.universes, "universes", true, "derive new-state candidates by filtering idle-state universes (tier 1)")
+	flag.BoolVar(&o.liveviews, "liveviews", true, "maintain per-shape candidate views incrementally from allocate/release deltas (tier 0)")
 	flag.BoolVar(&o.warm, "warm", false, "prewarm idle-state universes for every shape up to -max-gpus before scheduling")
 	flag.BoolVar(&o.cacheStats, "cachestats", false, "print match-pipeline hit/miss/eviction/filter counters per policy")
 	flag.BoolVar(&o.verbose, "v", false, "print the per-job log")
@@ -106,11 +108,12 @@ func run(o options) error {
 		Workers:          o.workers,
 		DisableCache:     !o.cache,
 		DisableUniverses: !o.universes,
+		DisableLiveViews: !o.liveviews,
 	}
 	if o.warm && o.universes {
 		cfg.WarmPatterns = warmPatterns(top, o.maxGPUs)
 	}
-	results, cacheStats, storeStats, err := sched.ComparePoliciesInstrumented(top, policies, jobList, cfg)
+	results, pipeStats, storeStats, err := sched.ComparePoliciesInstrumented(top, policies, jobList, cfg)
 	if err != nil {
 		return err
 	}
@@ -126,9 +129,13 @@ func run(o options) error {
 		fmt.Printf("== %s on %s: %d jobs, makespan %.0f s, throughput %.3f jobs/ks\n",
 			name, top.Name, len(res.Records), res.Makespan, res.Throughput)
 		if o.cacheStats {
-			if cs, ok := cacheStats[name]; ok {
+			if ps, ok := pipeStats[name]; ok {
+				cs := ps.Cache
 				fmt.Printf("  match cache: %d hits, %d misses, %d evictions, %d entries in %d shards\n",
 					cs.Hits, cs.Misses, cs.Evictions, cs.Entries, cs.Shards)
+				vs := ps.Views
+				fmt.Printf("  live views: %d views, %d misses view-served, %d rejected\n",
+					vs.Views, vs.Served, vs.Rejected)
 			}
 		}
 		if o.verbose {

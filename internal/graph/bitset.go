@@ -184,17 +184,25 @@ func (b Bitset) String() string {
 	return sb.String()
 }
 
-// VertexBitset returns the graph's vertex set as a bitset indexed by
-// vertex ID. For an availability subgraph of a hardware topology this
-// is the available-GPU bitmask used to key the embedding cache.
-func (g *Graph) VertexBitset() Bitset {
+// Capacity returns the bitset capacity needed to index g's vertices by
+// ID: the maximum vertex ID plus one (zero for an empty graph). Vertex
+// IDs may be sparse — physical GPU IDs survive removal — so capacity is
+// a property of the largest ID, not the vertex count.
+func Capacity(g *Graph) int {
 	max := -1
 	for v := range g.adj {
 		if v > max {
 			max = v
 		}
 	}
-	b := NewBitset(max + 1)
+	return max + 1
+}
+
+// VertexBitset returns the graph's vertex set as a bitset indexed by
+// vertex ID. For an availability subgraph of a hardware topology this
+// is the available-GPU bitmask used to key the embedding cache.
+func (g *Graph) VertexBitset() Bitset {
+	b := NewBitset(Capacity(g))
 	for v := range g.adj {
 		b.Set(v)
 	}

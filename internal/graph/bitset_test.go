@@ -142,6 +142,30 @@ func TestVertexBitsetSparseIDs(t *testing.T) {
 	}
 }
 
+// TestCapacitySparseIDs pins the Capacity helper the universe and
+// live-view layers size their ID-indexed structures with: it must
+// track the maximum vertex ID, not the vertex count, and survive
+// removal of the maximum.
+func TestCapacitySparseIDs(t *testing.T) {
+	g := New()
+	if got := Capacity(g); got != 0 {
+		t.Fatalf("empty graph capacity = %d, want 0", got)
+	}
+	g.AddVertex(3)
+	g.AddVertex(130)
+	g.AddVertex(64)
+	if got := Capacity(g); got != 131 {
+		t.Fatalf("capacity = %d, want 131 (max ID + 1, not count)", got)
+	}
+	g.RemoveVertex(130)
+	if got := Capacity(g); got != 65 {
+		t.Fatalf("capacity after removing max = %d, want 65", got)
+	}
+	if b := g.VertexBitset(); len(b) != (65+63)/64 || !b.Has(64) || !b.Has(3) {
+		t.Fatalf("VertexBitset inconsistent with capacity: words=%d members=%v", len(b), b.Members())
+	}
+}
+
 func TestFingerprintDistinguishesStructure(t *testing.T) {
 	g := New()
 	g.MustAddEdge(0, 1, 25, 2)

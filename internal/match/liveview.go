@@ -1,0 +1,160 @@
+package match
+
+import (
+	"fmt"
+
+	"mapa/internal/graph"
+)
+
+// LiveView is a delta-maintained candidate view over one complete
+// idle-state Universe: the set of embeddings valid on the *current*
+// availability state, updated incrementally as GPUs are allocated and
+// released instead of rescanned per decision.
+//
+// The structure inverts the universe: for every data vertex it holds a
+// posting list of the embedding indices whose vertex set contains it,
+// and for every embedding a counter of how many of its vertices are
+// currently unavailable. Allocating k GPUs walks exactly k posting
+// lists incrementing counters (and vice versa for a release), so the
+// maintenance cost scales with the allocate/release delta — the sum of
+// the touched posting lists — not with |universe| the way
+// Universe.Filter does. An embedding is live exactly when its blocked
+// counter is zero; live indices are additionally mirrored in a bitset
+// so Candidates serves the list with a word-wise scan.
+//
+// Order is preserved by construction: posting-list maintenance never
+// reorders anything, and the live bitset iterates in ascending
+// embedding index — the universe's enumeration order. Candidates is
+// therefore byte-identical to Universe.Filter on the equivalent mask,
+// which is itself byte-identical to a fresh sequential search on the
+// induced subgraph.
+//
+// A LiveView tracks one availability-state stream and is not safe for
+// concurrent use; callers (matchcache.Views) serialize access.
+type LiveView struct {
+	u        *Universe
+	postings [][]int32 // data vertex ID -> ascending embedding indices containing it
+	blocked  []int32   // embedding index -> count of its vertices currently unavailable
+	avail    graph.Bitset
+	live     graph.Bitset // embedding indices with blocked == 0
+	liveLen  int
+}
+
+// NewLiveView builds the live view of u on an initial availability
+// state: free holds the currently available data vertices (vertices
+// beyond the universe's capacity are irrelevant — no embedding can
+// contain them). Building costs one pass over the universe's vertex
+// sets; afterwards maintenance is delta-proportional. The universe
+// must be complete — an incomplete universe cannot soundly answer any
+// availability state — and NewLiveView panics otherwise, mirroring
+// Filter.
+func NewLiveView(u *Universe, free graph.Bitset) *LiveView {
+	if !u.Complete() {
+		panic("match: LiveView over an incomplete universe")
+	}
+	lv := &LiveView{
+		u:        u,
+		postings: make([][]int32, u.Capacity()),
+		blocked:  make([]int32, u.Len()),
+		avail:    graph.NewBitset(u.Capacity()),
+		live:     graph.NewBitset(u.Len()),
+	}
+	for v := 0; v < u.Capacity(); v++ {
+		if free.Has(v) {
+			lv.avail.Set(v)
+		}
+	}
+	for i := 0; i < u.Len(); i++ {
+		u.Set(i).ForEach(func(v int) bool {
+			lv.postings[v] = append(lv.postings[v], int32(i))
+			if !lv.avail.Has(v) {
+				lv.blocked[i]++
+			}
+			return true
+		})
+		if lv.blocked[i] == 0 {
+			lv.live.Set(i)
+			lv.liveLen++
+		}
+	}
+	return lv
+}
+
+// Universe returns the universe the view is maintained over.
+func (lv *LiveView) Universe() *Universe { return lv.u }
+
+// Len returns the number of currently live embeddings.
+func (lv *LiveView) Len() int { return lv.liveLen }
+
+// Available reports whether data vertex v is currently available in
+// the view's tracked state.
+func (lv *LiveView) Available(v int) bool { return lv.avail.Has(v) }
+
+// Allocate marks the given data vertices unavailable, deactivating
+// exactly the embeddings on their posting lists. Vertices outside the
+// universe's capacity are ignored (no embedding contains them).
+// Allocating an already-unavailable vertex panics: it means the
+// publisher's availability stream has diverged from the view's, which
+// would silently corrupt the blocked counters.
+func (lv *LiveView) Allocate(gpus []int) {
+	for _, g := range gpus {
+		if g < 0 || g >= len(lv.postings) {
+			continue
+		}
+		if !lv.avail.Has(g) {
+			panic(fmt.Sprintf("match: LiveView.Allocate(%d): vertex already unavailable", g))
+		}
+		lv.avail.Unset(g)
+		for _, i := range lv.postings[g] {
+			lv.blocked[i]++
+			if lv.blocked[i] == 1 {
+				lv.live.Unset(int(i))
+				lv.liveLen--
+			}
+		}
+	}
+}
+
+// Release marks the given data vertices available again, reactivating
+// every embedding whose last blocker they were. Releasing an
+// already-available vertex panics, like Allocate.
+func (lv *LiveView) Release(gpus []int) {
+	for _, g := range gpus {
+		if g < 0 || g >= len(lv.postings) {
+			continue
+		}
+		if lv.avail.Has(g) {
+			panic(fmt.Sprintf("match: LiveView.Release(%d): vertex already available", g))
+		}
+		lv.avail.Set(g)
+		for _, i := range lv.postings[g] {
+			lv.blocked[i]--
+			if lv.blocked[i] == 0 {
+				lv.live.Set(int(i))
+				lv.liveLen++
+			}
+		}
+	}
+}
+
+// Candidates returns the live embedding indices in enumeration order,
+// truncated to the first max (max <= 0: unlimited); truncated reports
+// whether further live embeddings exist beyond the cap. The result is
+// byte-identical to Universe.Filter with the tracked availability
+// mask — same indices, same order, same truncation behavior — without
+// the O(|universe|) subset scan.
+func (lv *LiveView) Candidates(max int) (idx []int, truncated bool) {
+	n := lv.liveLen
+	if max > 0 && n > max {
+		n, truncated = max, true
+	}
+	if n == 0 {
+		return nil, truncated
+	}
+	idx = make([]int, 0, n)
+	lv.live.ForEach(func(i int) bool {
+		idx = append(idx, i)
+		return len(idx) < n
+	})
+	return idx, truncated
+}

@@ -1,6 +1,21 @@
 package match
 
-import "mapa/internal/graph"
+import (
+	"sync/atomic"
+
+	"mapa/internal/graph"
+)
+
+// filters counts every full-universe mask scan (Universe.Filter call) —
+// the telemetry behind Filters().
+var filters atomic.Uint64
+
+// Filters returns the cumulative number of full-universe mask scans
+// (Universe.Filter calls) this process has run. Together with
+// Searches it lets tests prove a decision path's cost class: a
+// live-view-served decision advances neither counter, a filter-served
+// miss advances only Filters, and a cold search advances Searches.
+func Filters() uint64 { return filters.Load() }
 
 // Universe is the complete deduplicated enumeration of one pattern on
 // one data graph — in MAPA's deployment, the idle-state enumeration of
@@ -26,6 +41,7 @@ type Universe struct {
 	matches  []Match
 	keys     []string
 	sets     []graph.Bitset // per-match data-vertex bitset, indexed by vertex ID
+	capacity int            // bitset capacity: max data-vertex ID + 1
 	complete bool
 }
 
@@ -47,23 +63,19 @@ func BuildUniverse(pattern, data *graph.Graph, max, workers int) *Universe {
 	} else {
 		ms, keys = FindAllDedupedCappedKeys(pattern, data, probe)
 	}
+	capacity := graph.Capacity(data)
 	if max > 0 && len(ms) > max {
-		return &Universe{complete: false}
+		return &Universe{capacity: capacity, complete: false}
 	}
 	u := &Universe{
 		matches:  ms,
 		keys:     keys,
 		sets:     make([]graph.Bitset, len(ms)),
+		capacity: capacity,
 		complete: true,
 	}
 	if len(ms) > 0 {
 		u.order = ms[0].Pattern
-	}
-	capacity := 0
-	for _, v := range data.Vertices() {
-		if v+1 > capacity {
-			capacity = v + 1
-		}
 	}
 	for i, m := range ms {
 		b := graph.NewBitset(capacity)
@@ -81,6 +93,11 @@ func (u *Universe) Complete() bool { return u.complete }
 
 // Len returns the number of stored representatives.
 func (u *Universe) Len() int { return len(u.matches) }
+
+// Capacity returns the bitset capacity the universe's per-match vertex
+// sets were built with: the data graph's maximum vertex ID plus one
+// (see graph.Capacity). LiveView sizes its posting lists with it.
+func (u *Universe) Capacity() int { return u.capacity }
 
 // Order returns the pattern's match order — the Pattern slice shared
 // by every stored match. Read-only.
@@ -106,6 +123,7 @@ func (u *Universe) Filter(mask graph.Bitset, max int) (idx []int, truncated bool
 	if !u.complete {
 		panic("match: Filter on an incomplete universe")
 	}
+	filters.Add(1)
 	for i, s := range u.sets {
 		if !s.SubsetOf(mask) {
 			continue

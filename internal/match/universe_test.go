@@ -112,6 +112,65 @@ func TestUniverseIncompleteWhenCapped(t *testing.T) {
 	}
 }
 
+// TestUniverseFilterIncompletePanics pins the documented contract that
+// callers must check Complete before filtering: an incomplete universe
+// holds no matches and silently returning nothing would masquerade as
+// "no feasible allocation".
+func TestUniverseFilterIncompletePanics(t *testing.T) {
+	pattern := ringPattern(3)
+	data := completeData(8)
+	full := BuildUniverse(pattern, data, 0, 1)
+	capped := BuildUniverse(pattern, data, full.Len()-1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Filter on an incomplete universe must panic")
+		}
+	}()
+	capped.Filter(data.VertexBitset(), 0)
+}
+
+// TestUniverseFilterTruncationBoundary pins the cap semantics at the
+// boundary: a cap equal to the surviving count returns everything with
+// truncated=false; one below returns the exact prefix with
+// truncated=true; and the truncation decision must account only for
+// *surviving* representatives, not universe positions.
+func TestUniverseFilterTruncationBoundary(t *testing.T) {
+	pattern := ringPattern(3)
+	data := completeData(9)
+	u := BuildUniverse(pattern, data, 0, 1)
+	free := []int{0, 2, 3, 5, 8}
+	mask := data.InducedSubgraph(free).VertexBitset()
+	all, truncated := u.Filter(mask, 0)
+	if truncated {
+		t.Fatal("unlimited filter cannot truncate")
+	}
+	if want := 5 * 4 * 3 / 6; len(all) != want {
+		t.Fatalf("mask keeps %d classes, want %d", len(all), want)
+	}
+	n := len(all)
+	for _, tc := range []struct {
+		max       int
+		wantLen   int
+		wantTrunc bool
+	}{
+		{n + 1, n, false},
+		{n, n, false},
+		{n - 1, n - 1, true},
+		{1, 1, true},
+	} {
+		idx, trunc := u.Filter(mask, tc.max)
+		if trunc != tc.wantTrunc || len(idx) != tc.wantLen {
+			t.Fatalf("max=%d: got %d classes truncated=%v, want %d truncated=%v",
+				tc.max, len(idx), trunc, tc.wantLen, tc.wantTrunc)
+		}
+		for j := range idx {
+			if idx[j] != all[j] {
+				t.Fatalf("max=%d: capped filter is not a prefix at %d", tc.max, j)
+			}
+		}
+	}
+}
+
 func TestUniverseParallelBuildIdentical(t *testing.T) {
 	pattern := ringPattern(4)
 	data := completeData(9)
@@ -148,5 +207,26 @@ func TestSearchesCounterAdvancesOnEnumerationOnly(t *testing.T) {
 	u.Filter(data.VertexBitset(), 0)
 	if Searches() != after {
 		t.Fatal("mask filtering must not enter the search")
+	}
+}
+
+// TestFiltersCounterAdvancesOnFullScansOnly pins the Filters telemetry
+// the live-view tests build on: Universe.Filter is a full-universe
+// scan and counts; serving a live view's candidate list does not.
+func TestFiltersCounterAdvancesOnFullScansOnly(t *testing.T) {
+	pattern := ringPattern(3)
+	data := completeData(6)
+	u := BuildUniverse(pattern, data, 0, 1)
+	before := Filters()
+	u.Filter(data.VertexBitset(), 0)
+	mid := Filters()
+	if mid == before {
+		t.Fatal("a mask filter must advance the Filters counter")
+	}
+	lv := NewLiveView(u, data.VertexBitset())
+	lv.Allocate([]int{1})
+	lv.Candidates(0)
+	if Filters() != mid {
+		t.Fatal("live-view maintenance and candidate serving must not scan the universe")
 	}
 }

@@ -1,5 +1,11 @@
-// Package matchcache is the two-tier incremental match pipeline behind
-// the MAPA allocation hot path.
+// Package matchcache is the incremental match pipeline behind the
+// MAPA allocation hot path.
+//
+// Tier 0 (Views) holds per-shape live candidate views over one
+// availability-state stream: per-GPU posting lists and per-embedding
+// blocked counters maintained incrementally from each Allocate and
+// Release delta, so a miss decision reads an already-current candidate
+// list instead of scanning the universe (see match.LiveView).
 //
 // Tier 1 (Store) holds one idle-state universe per (topology,
 // canonical pattern): the complete deduplicated enumeration of the

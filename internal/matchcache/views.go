@@ -1,0 +1,187 @@
+package matchcache
+
+import (
+	"sync"
+
+	"mapa/internal/graph"
+	"mapa/internal/match"
+	"mapa/internal/topology"
+)
+
+// ViewStats is a snapshot of a view set's counters.
+type ViewStats struct {
+	// Views counts live views materialized: one per canonical shape
+	// actually served on this availability stream.
+	Views int
+	// Served counts miss decisions answered from a delta-maintained
+	// live candidate list — zero full-universe scans and zero searches.
+	// Rejected counts decisions the view layer declined (availability
+	// stream out of sync, incomplete universe, or a cap-truncated list
+	// for a structurally different build of the shape) and handed down
+	// to the filter path.
+	Served, Rejected uint64
+}
+
+// viewSlot is one canonical shape's live view, tagged with the
+// structural fingerprint of the pattern its universe was built from so
+// truncated candidate lists obey the same serving rule as Filter.
+type viewSlot struct {
+	lv        *match.LiveView
+	patternFP string
+}
+
+// Views is tier 0 of the match pipeline: per-shape live candidate
+// views over one availability-state stream, maintained incrementally
+// from the GPU-set deltas of each Allocate and Release. Where tier 1
+// answers a miss by mask-filtering the idle-state universe — an
+// O(|universe|) subset scan — a live view already holds the surviving
+// candidate list and only pays the delta on each state change, so
+// steady-state decisions for warmed shapes run zero full-universe
+// scans (pinned by the match.Filters counter).
+//
+// A Views is bound to one availability stream (one mapa.System, or one
+// sched.Engine run): the publisher calls Allocate/Release with exactly
+// the GPU-set deltas it applies to its availability graph. Entry
+// cross-checks the request's free mask against the tracked stream and
+// declines to serve on any mismatch, so a mis-published stream degrades
+// to the filter path instead of corrupting decisions. The shared Store
+// stays stream-agnostic — engines comparing policies on one topology
+// share universes while each keeps its own view set.
+//
+// Views built for a shape that is first warmed mid-stream initialize
+// from the current mask, not the idle machine, so late-warmed shapes
+// serve correctly. Incomplete (capacity-overflowed) universes are
+// never viewed, and cap-truncated candidate lists are served only to
+// the exact pattern build they were enumerated for — the same
+// soundness rules as Universe.Filter and Store.FilteredEntry.
+//
+// Views is safe for concurrent use.
+type Views struct {
+	mu    sync.Mutex
+	store *Store
+	free  graph.Bitset // tracked free mask, capacity = full machine
+	slots map[string]*viewSlot
+	stats ViewStats
+}
+
+// NewViews returns a live-view set over the store's universes,
+// tracking a fresh availability stream that starts with the whole
+// machine free.
+func (s *Store) NewViews() *Views {
+	return &Views{
+		store: s,
+		free:  s.top.Graph.VertexBitset(),
+		slots: make(map[string]*viewSlot),
+	}
+}
+
+// Bound reports whether the view set serves exactly this topology
+// value; policies bypass unbound view sets, mirroring Cache.Bound.
+func (v *Views) Bound(top *topology.Topology) bool {
+	return v != nil && v.store.Bound(top)
+}
+
+// Allocate publishes an allocation delta: the given GPUs left the free
+// set. Each live view deactivates exactly the embeddings on the
+// GPUs' posting lists. Nil view sets ignore the call, so publishers
+// need no nil checks.
+func (v *Views) Allocate(gpus []int) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, g := range gpus {
+		v.free.Unset(g)
+	}
+	for _, sl := range v.slots {
+		sl.lv.Allocate(gpus)
+	}
+}
+
+// Release publishes a release delta: the given GPUs returned to the
+// free set. Nil view sets ignore the call.
+func (v *Views) Release(gpus []int) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, g := range gpus {
+		v.free.Set(g)
+	}
+	for _, sl := range v.slots {
+		sl.lv.Release(gpus)
+	}
+}
+
+// Entry serves the candidate entry for (pattern, avail) from the
+// shape's live view: byte-identical to Store.FilteredEntry — and so to
+// a fresh sequential search on avail — but derived without scanning
+// the universe. The shape's view (and, on first sight, its universe)
+// is built on demand, so a shape first requested mid-stream still
+// serves correctly from its next decision on.
+//
+// ok is false when the view layer cannot answer soundly — avail's free
+// mask does not match the tracked stream, the universe overflowed its
+// capacity, or the candidate cap truncated the list for a structurally
+// different build of the shape — and the caller falls back to the
+// filter path.
+func (v *Views) Entry(pattern, avail *graph.Graph, maxCandidates, workers int) (ent *Entry, order []int, ok bool) {
+	if v == nil {
+		return nil, nil, false
+	}
+	ci := canon.info(pattern)
+	mask := avail.VertexBitset()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	reject := func() (*Entry, []int, bool) {
+		v.stats.Rejected++
+		return nil, nil, false
+	}
+	// Mutual subset = equal membership; the masks may differ in word
+	// length when the highest-numbered GPUs are busy.
+	if !mask.SubsetOf(v.free) || !v.free.SubsetOf(mask) {
+		return reject()
+	}
+	sl, seen := v.slots[ci.canon]
+	if !seen {
+		usl := v.store.universe(ci, pattern, workers)
+		if !usl.u.Complete() {
+			return reject()
+		}
+		sl = &viewSlot{lv: match.NewLiveView(usl.u, v.free), patternFP: usl.patternFP}
+		v.slots[ci.canon] = sl
+		v.stats.Views++
+	}
+	idx, truncated := sl.lv.Candidates(maxCandidates)
+	if truncated && sl.patternFP != ci.exact {
+		return reject()
+	}
+	u := sl.lv.Universe()
+	ms := make([]match.Match, len(idx))
+	keys := make([]string, len(idx))
+	for j, i := range idx {
+		ms[j] = u.Match(i)
+		keys[j] = u.Key(i)
+	}
+	ent = NewEntry(ms, keys)
+	ent.patternFP = sl.patternFP
+	if truncated {
+		ent.MarkTruncated()
+	}
+	order = canon.remap(sl.patternFP, ci, u.Order())
+	v.stats.Served++
+	return ent, order, true
+}
+
+// Stats returns a snapshot of the view set's counters. A nil view set
+// reports zeros.
+func (v *Views) Stats() ViewStats {
+	if v == nil {
+		return ViewStats{}
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stats
+}

@@ -1,0 +1,184 @@
+package matchcache
+
+import (
+	"testing"
+
+	"mapa/internal/graph"
+	"mapa/internal/match"
+	"mapa/internal/topology"
+)
+
+// ringN builds a k-cycle pattern 0-1-...-k-1-0.
+func ringN(k int) *graph.Graph {
+	g := graph.New()
+	for v := 0; v < k; v++ {
+		g.MustAddEdge(v, (v+1)%k, 1, 0)
+	}
+	return g
+}
+
+// entriesEqual compares two entries' candidate lists byte-wise:
+// matches (pattern and data slices), keys, and GPU sets.
+func entriesEqual(t *testing.T, got, want *Entry, step string) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: entry has %d candidates, want %d", step, got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.Key(i) != want.Key(i) {
+			t.Fatalf("%s candidate %d: key %q, want %q", step, i, got.Key(i), want.Key(i))
+		}
+		g, w := got.Matches()[i], want.Matches()[i]
+		for j := range w.Data {
+			if g.Data[j] != w.Data[j] || g.Pattern[j] != w.Pattern[j] {
+				t.Fatalf("%s candidate %d: match %v->%v, want %v->%v",
+					step, i, g.Pattern, g.Data, w.Pattern, w.Data)
+			}
+		}
+	}
+}
+
+// TestViewsEntryMatchesFilteredEntryUnderChurn drives allocate/release
+// deltas through a view set and checks every serve against the store's
+// filter path (itself pinned byte-identical to a fresh search).
+func TestViewsEntryMatchesFilteredEntryUnderChurn(t *testing.T) {
+	top := topology.DGXV100()
+	pattern := ringN(3)
+	store := NewStore(top, 0)
+	views := store.NewViews()
+
+	free := append([]int(nil), top.GPUs()...)
+	remove := func(gpus ...int) {
+		views.Allocate(gpus)
+		next := free[:0]
+		for _, g := range free {
+			busy := false
+			for _, b := range gpus {
+				busy = busy || b == g
+			}
+			if !busy {
+				next = append(next, g)
+			}
+		}
+		free = next
+	}
+	check := func(step string) {
+		t.Helper()
+		avail := top.Graph.InducedSubgraph(free)
+		got, gotOrder, ok := views.Entry(pattern, avail, 0, 1)
+		if !ok {
+			t.Fatalf("%s: view entry rejected", step)
+		}
+		want, wantOrder, ok := store.FilteredEntry(pattern, avail, 0, 1)
+		if !ok {
+			t.Fatalf("%s: filtered entry rejected", step)
+		}
+		entriesEqual(t, got, want, step)
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("%s: order %v, want %v", step, gotOrder, wantOrder)
+		}
+	}
+
+	check("idle")
+	remove(0, 3)
+	check("allocate {0,3}")
+	remove(5)
+	check("allocate {5}")
+	views.Release([]int{3})
+	free = append(free, 3)
+	check("release {3}")
+	if vs := views.Stats(); vs.Views != 1 || vs.Served != 4 || vs.Rejected != 0 {
+		t.Fatalf("view stats = %+v, want 1 view, 4 served, 0 rejected", vs)
+	}
+}
+
+// TestViewsRejectsOutOfSyncStream pins the stream cross-check: an
+// availability graph whose free mask differs from the published deltas
+// must be declined, not served stale candidates.
+func TestViewsRejectsOutOfSyncStream(t *testing.T) {
+	top := topology.DGXV100()
+	pattern := ringN(3)
+	views := NewStore(top, 0).NewViews()
+	views.Allocate([]int{0, 1})
+	// Caller presents the idle machine although the stream says 0 and 1
+	// are busy.
+	if _, _, ok := views.Entry(pattern, top.Graph, 0, 1); ok {
+		t.Fatal("out-of-sync avail was served from the live view")
+	}
+	if vs := views.Stats(); vs.Rejected != 1 || vs.Served != 0 {
+		t.Fatalf("view stats = %+v, want the mismatch rejected", vs)
+	}
+	// The matching state must serve.
+	if _, _, ok := views.Entry(pattern, top.Graph.Without([]int{0, 1}), 0, 1); !ok {
+		t.Fatal("in-sync avail was rejected")
+	}
+}
+
+// TestViewsRejectsIncompleteUniverse: a shape whose idle enumeration
+// overflows the store capacity can never be viewed.
+func TestViewsRejectsIncompleteUniverse(t *testing.T) {
+	top := topology.DGXV100()
+	store := NewStore(top, 2) // triangle universe on a DGX-V is far larger
+	views := store.NewViews()
+	if _, _, ok := views.Entry(ringN(3), top.Graph, 0, 1); ok {
+		t.Fatal("incomplete universe was served from a live view")
+	}
+	if vs := views.Stats(); vs.Views != 0 || vs.Rejected != 1 {
+		t.Fatalf("view stats = %+v, want no view built and 1 rejection", vs)
+	}
+}
+
+// TestViewsTruncatedNotServedToIsomorphicBuild mirrors the cache and
+// store rule: a cap-truncated candidate list is the enumeration-order
+// prefix of the build it was derived for, so a structurally different
+// isomorphic build must be declined.
+func TestViewsTruncatedNotServedToIsomorphicBuild(t *testing.T) {
+	top := topology.DGXV100()
+	ringA := ringN(4)    // 0-1-2-3-0
+	ringB := graph.New() // 0-2-1-3-0: isomorphic, different fingerprint
+	ringB.MustAddEdge(0, 2, 1, 0)
+	ringB.MustAddEdge(2, 1, 1, 0)
+	ringB.MustAddEdge(1, 3, 1, 0)
+	ringB.MustAddEdge(3, 0, 1, 0)
+	views := NewStore(top, 0).NewViews()
+
+	ent, _, ok := views.Entry(ringA, top.Graph, 2, 1)
+	if !ok || !ent.truncated {
+		t.Fatalf("build A must be served its own truncated prefix (ok=%v)", ok)
+	}
+	if _, _, ok := views.Entry(ringB, top.Graph, 2, 1); ok {
+		t.Fatal("foreign truncated prefix was served to an isomorphic build")
+	}
+	// Untruncated serves cross builds fine, remapped.
+	entB, orderB, ok := views.Entry(ringB, top.Graph, 0, 1)
+	if !ok {
+		t.Fatal("untruncated view must serve the isomorphic build")
+	}
+	if orderB == nil {
+		t.Fatal("isomorphic build must receive an order remap")
+	}
+	m := match.Match{Pattern: orderB, Data: entB.Matches()[0].Data}
+	if !match.IsEmbedding(ringB, top.Graph, m) {
+		t.Fatal("remapped live-view match is not an embedding of the requester's build")
+	}
+}
+
+// TestViewsBuildsMidStream pins the late-warm case: a shape first
+// requested after deltas have been published initializes its view from
+// the current mask, not the idle machine.
+func TestViewsBuildsMidStream(t *testing.T) {
+	top := topology.DGXV100()
+	store := NewStore(top, 0)
+	views := store.NewViews()
+	views.Allocate([]int{2, 6, 7})
+	avail := top.Graph.Without([]int{2, 6, 7})
+	got, _, ok := views.Entry(ringN(3), avail, 0, 1)
+	if !ok {
+		t.Fatal("mid-stream first request was rejected")
+	}
+	want, _, ok := store.FilteredEntry(ringN(3), avail, 0, 1)
+	if !ok {
+		t.Fatal("filtered entry rejected")
+	}
+	entriesEqual(t, got, want, "mid-stream build")
+}

@@ -82,6 +82,31 @@ func UniversesOf(a Allocator) *matchcache.Store {
 	return nil
 }
 
+// AttachViews wires a live-view set (tier 0 of the match pipeline)
+// into a MAPA policy: miss decisions are answered from delta-maintained
+// per-shape candidate views before any universe filtering is tried, so
+// steady-state decisions for warmed shapes run zero full-universe
+// scans. The view set must be bound to the topology the policy
+// allocates on and must be fed the exact GPU-set deltas of the
+// availability stream the policy decides over (mapa.System and
+// sched.Engine publish them); a view set whose stream diverges from
+// avail declines to serve and the decision falls back to the filter
+// path. Baseline and Topo-aware do not enumerate and ignore it. Pass
+// nil to detach.
+func AttachViews(a Allocator, v *matchcache.Views) {
+	if mp, ok := a.(*mapaPolicy); ok {
+		mp.views = v
+	}
+}
+
+// ViewsOf returns the live-view set attached to a MAPA policy, or nil.
+func ViewsOf(a Allocator) *matchcache.Views {
+	if mp, ok := a.(*mapaPolicy); ok {
+		return mp.views
+	}
+	return nil
+}
+
 // SetMaxCandidates overrides how many deduplicated matches a MAPA
 // policy scores per decision (DefaultMaxCandidates at construction;
 // <= 0 means unlimited). Large multi-node machines need a tighter

@@ -209,6 +209,7 @@ type mapaPolicy struct {
 	workers       int
 	cache         *matchcache.Cache
 	store         *matchcache.Store
+	views         *matchcache.Views
 	better        func(req Request, a, b score.Scores) bool
 }
 
@@ -221,7 +222,7 @@ func (p *mapaPolicy) Allocate(avail *graph.Graph, top *topology.Topology, req Re
 	if p.cache.Bound(top) {
 		return p.allocateCached(avail, top, req)
 	}
-	if p.store.Bound(top) {
+	if p.views.Bound(top) || p.store.Bound(top) {
 		return p.allocateFiltered(avail, top, req)
 	}
 	if p.workers > 1 {
@@ -273,20 +274,38 @@ func (p *mapaPolicy) allocateCached(avail *graph.Graph, top *topology.Topology, 
 }
 
 // allocateFiltered is the store-without-cache path: every decision is
-// a cold miss answered by universe filtering when possible, falling
-// back to a fresh enumeration.
+// a cold miss answered in cost order — from the shape's delta-
+// maintained live view when one can serve (tier 0, no universe scan),
+// by mask-filtering the idle-state universe otherwise (tier 1), and
+// only as a last resort by a fresh enumeration.
 func (p *mapaPolicy) allocateFiltered(avail *graph.Graph, top *topology.Topology, req Request) (Allocation, error) {
-	ent, order, ok := p.store.FilteredEntry(req.Pattern, avail, p.maxCandidates, p.workers)
+	if p.views.Bound(top) {
+		if ent, order, ok := p.views.Entry(req.Pattern, avail, p.maxCandidates, p.workers); ok {
+			return p.selectFromEntry(ent, order, avail, top, req)
+		}
+	}
+	var ent *matchcache.Entry
+	var order []int
+	ok := false
+	if p.store.Bound(top) {
+		ent, order, ok = p.store.FilteredEntry(req.Pattern, avail, p.maxCandidates, p.workers)
+	}
 	if !ok {
 		ent, order = p.enumerateEntry(avail, req), nil
 	}
 	return p.selectFromEntry(ent, order, avail, top, req)
 }
 
-// missEntry fills a tier-2 miss: by universe filtering when a usable
-// idle-state universe exists (or can be built once), by enumeration
-// otherwise.
+// missEntry fills a tier-2 miss in the same cost order as
+// allocateFiltered: live view, then universe filter, then enumeration.
+// The entry carries its origin pattern's fingerprint, so the cache
+// recomputes the order remap on lookups from isomorphic builds.
 func (p *mapaPolicy) missEntry(avail *graph.Graph, top *topology.Topology, req Request) *matchcache.Entry {
+	if p.views.Bound(top) {
+		if ent, _, ok := p.views.Entry(req.Pattern, avail, p.maxCandidates, p.workers); ok {
+			return ent
+		}
+	}
 	if p.store.Bound(top) {
 		if ent, _, ok := p.store.FilteredEntry(req.Pattern, avail, p.maxCandidates, p.workers); ok {
 			return ent

@@ -49,6 +49,11 @@ type CompareConfig struct {
 	// so cache misses fall back to full subgraph-isomorphism searches
 	// (the pre-universe behavior).
 	DisableUniverses bool
+	// DisableLiveViews turns off the tier-0 delta-maintained live
+	// views, so misses are answered by mask-filtering the universe per
+	// decision instead of from incrementally maintained candidate
+	// lists.
+	DisableLiveViews bool
 	// WarmPatterns are job shapes whose idle-state universes are
 	// precomputed before any engine runs — the init-time enumeration
 	// paid once for the whole comparison instead of on first use.
@@ -65,11 +70,19 @@ func ComparePoliciesConfig(top *topology.Topology, policyNames []string, jobList
 	return out, err
 }
 
+// PipelineStats bundles one engine's per-policy match-pipeline
+// counters: the tier-2 filtered-view cache and the tier-0 live views
+// (disabled tiers report zeros).
+type PipelineStats struct {
+	Cache matchcache.Stats
+	Views matchcache.ViewStats
+}
+
 // ComparePoliciesInstrumented is ComparePoliciesConfig returning the
 // match-pipeline counters alongside the results: the per-policy tier-2
-// cache stats and the stats of the shared tier-1 universe store (nil
-// when universes are disabled).
-func ComparePoliciesInstrumented(top *topology.Topology, policyNames []string, jobList []jobs.Job, cfg CompareConfig) (map[string]RunResult, map[string]matchcache.Stats, *matchcache.StoreStats, error) {
+// cache and tier-0 view stats, and the stats of the shared tier-1
+// universe store (nil when universes are disabled).
+func ComparePoliciesInstrumented(top *topology.Topology, policyNames []string, jobList []jobs.Job, cfg CompareConfig) (map[string]RunResult, map[string]PipelineStats, *matchcache.StoreStats, error) {
 	scorer := score.NewScorer(effbw.TrainedFor(top))
 	var store *matchcache.Store
 	if !cfg.DisableUniverses {
@@ -79,7 +92,7 @@ func ComparePoliciesInstrumented(top *topology.Topology, policyNames []string, j
 		}
 	}
 	out := make(map[string]RunResult, len(policyNames))
-	cacheStats := make(map[string]matchcache.Stats, len(policyNames))
+	pipeStats := make(map[string]PipelineStats, len(policyNames))
 	for _, name := range policyNames {
 		p, err := policy.ByName(name, scorer)
 		if err != nil {
@@ -91,6 +104,7 @@ func ComparePoliciesInstrumented(top *topology.Topology, policyNames []string, j
 		e := NewEngine(top, p)
 		e.Mode = cfg.Mode
 		e.Universes = store
+		e.DisableLiveViews = cfg.DisableLiveViews
 		if cfg.DisableCache {
 			e.Cache = nil
 		}
@@ -99,15 +113,18 @@ func ComparePoliciesInstrumented(top *topology.Topology, policyNames []string, j
 			return nil, nil, nil, fmt.Errorf("sched: policy %s: %w", name, err)
 		}
 		out[name] = res
+		var ps PipelineStats
 		if e.Cache != nil {
-			cacheStats[name] = e.Cache.Stats()
+			ps.Cache = e.Cache.Stats()
 		}
+		ps.Views = e.Views.Stats()
+		pipeStats[name] = ps
 	}
 	if store == nil {
-		return out, cacheStats, nil, nil
+		return out, pipeStats, nil, nil
 	}
 	st := store.Stats()
-	return out, cacheStats, &st, nil
+	return out, pipeStats, &st, nil
 }
 
 // PaperPolicies is the evaluation policy set of Sec. 4.

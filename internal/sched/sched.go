@@ -83,6 +83,18 @@ type Engine struct {
 	// topology should share a store (ComparePoliciesConfig does). nil
 	// disables universe filtering.
 	Universes *matchcache.Store
+	// Views is tier 0: per-shape live candidate views maintained
+	// incrementally from the run's allocate/release deltas, serving
+	// miss decisions without scanning the universe. Run creates a fresh
+	// view set over Universes for each simulation (views track one
+	// availability stream, so they are per-run even when the store is
+	// shared) and leaves it here for inspection; set DisableLiveViews
+	// to fall back to per-miss universe filtering.
+	Views *matchcache.Views
+	// DisableLiveViews turns tier 0 off: misses are answered by
+	// mask-filtering the universe (the PR 2 behavior) instead of from
+	// delta-maintained views.
+	DisableLiveViews bool
 }
 
 // Mode selects how the engine derives job durations.
@@ -167,6 +179,14 @@ func (e *Engine) Run(jobList []jobs.Job) (RunResult, error) {
 	} else {
 		policy.AttachUniverses(e.Alloc, nil)
 	}
+	// Live views track one availability stream, so every run gets a
+	// fresh set over the (possibly shared) universe store, fed below
+	// with exactly the deltas applied to avail.
+	e.Views = nil
+	if !e.DisableLiveViews && e.Universes.Bound(e.Top) {
+		e.Views = e.Universes.NewViews()
+	}
+	policy.AttachViews(e.Alloc, e.Views)
 
 	avail := e.Top.Graph.Clone()
 	var pending []event // running jobs, kept sorted by completion time
@@ -228,6 +248,7 @@ func (e *Engine) Run(jobList []jobs.Job) (RunResult, error) {
 			PreservedBW:    alloc.Scores.PreservedBW,
 		})
 		avail = avail.Without(alloc.GPUs)
+		e.Views.Allocate(alloc.GPUs)
 		push(event{at: now + exec, job: j.ID, gpus: alloc.GPUs})
 		return true, nil
 	}
@@ -263,6 +284,7 @@ func (e *Engine) Run(jobList []jobs.Job) (RunResult, error) {
 		for _, g := range ev.gpus {
 			restore(avail, e.Top, g)
 		}
+		e.Views.Release(ev.gpus)
 	}
 
 	result := RunResult{Policy: e.Alloc.Name(), Records: records}

@@ -96,6 +96,7 @@ type System struct {
 	avail  *graph.Graph
 	cache  *matchcache.Cache
 	store  *matchcache.Store
+	views  *matchcache.Views
 	leases map[int][]int
 	nextID int
 }
@@ -108,6 +109,7 @@ type systemConfig struct {
 	warmMaxGPUs      int
 	disableCache     bool
 	disableUniverses bool
+	disableLiveViews bool
 }
 
 // WithWorkers makes MAPA policies enumerate and score candidate
@@ -135,9 +137,18 @@ func WithoutCache() SystemOption {
 }
 
 // WithoutUniverses disables the tier-1 idle-state universe store
-// (cache misses fall back to full searches).
+// (cache misses fall back to full searches). Live views depend on the
+// store, so this disables them too.
 func WithoutUniverses() SystemOption {
 	return func(c *systemConfig) { c.disableUniverses = true }
+}
+
+// WithoutLiveViews disables the tier-0 delta-maintained live views:
+// miss decisions fall back to mask-filtering the idle-state universe
+// per decision instead of reading an incrementally maintained
+// candidate list.
+func WithoutLiveViews() SystemOption {
+	return func(c *systemConfig) { c.disableLiveViews = true }
 }
 
 // warmPatterns builds the canonical warm set, clamped to the machine
@@ -191,6 +202,14 @@ func NewSystem(topologyName, policyName string, opts ...SystemOption) (*System, 
 		if cfg.warmMaxGPUs > 1 {
 			s.store.Warm(cfg.workers, warmPatterns(cfg.warmMaxGPUs, top.NumGPUs())...)
 		}
+		if !cfg.disableLiveViews {
+			// Tier 0: the System's allocate/release deltas keep
+			// per-shape live candidate views current, so steady-state
+			// misses read a maintained list instead of scanning the
+			// universe.
+			s.views = s.store.NewViews()
+			policy.AttachViews(alloc, s.views)
+		}
 	}
 	return s, nil
 }
@@ -206,6 +225,9 @@ type CacheStats struct {
 	// Tier 1: idle-state universe store.
 	Universes, UniversesIncomplete int
 	FilterServed, FilterRejected   uint64
+	// Tier 0: delta-maintained live views.
+	LiveViews                int
+	ViewServed, ViewRejected uint64
 }
 
 // CacheStats returns a snapshot of the system's match-pipeline
@@ -221,6 +243,11 @@ func (s *System) CacheStats() CacheStats {
 		ss := s.store.Stats()
 		out.Universes, out.UniversesIncomplete = ss.Universes, ss.Incomplete
 		out.FilterServed, out.FilterRejected = ss.FilterServed, ss.FilterRejected
+	}
+	if s.views != nil {
+		vs := s.views.Stats()
+		out.LiveViews = vs.Views
+		out.ViewServed, out.ViewRejected = vs.Served, vs.Rejected
 	}
 	return out
 }
@@ -268,6 +295,7 @@ func (s *System) Allocate(req JobRequest) (*Lease, error) {
 	for _, g := range alloc.GPUs {
 		s.avail.RemoveVertex(g)
 	}
+	s.views.Allocate(alloc.GPUs)
 	s.nextID++
 	lease := &Lease{
 		ID:          s.nextID,
@@ -306,6 +334,7 @@ func (s *System) Release(l *Lease) error {
 			s.avail.MustAddEdge(g, v, e.Weight, e.Label)
 		}
 	}
+	s.views.Release(gpus)
 	return nil
 }
 

@@ -2,12 +2,14 @@ package mapa
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"mapa/internal/appgraph"
 	"mapa/internal/effbw"
+	"mapa/internal/graph"
 	"mapa/internal/jobs"
-	"mapa/internal/matchcache"
+	"mapa/internal/match"
 	"mapa/internal/policy"
 	"mapa/internal/sched"
 	"mapa/internal/score"
@@ -20,13 +22,15 @@ type traceConfig struct {
 	workers   int
 	cached    bool // tier-2 filtered-view cache
 	universes bool // tier-1 idle-state universe store
+	noviews   bool // disable the tier-0 live views layered on the store
 	warm      bool // prewarm universes for the job-mix shapes
 }
 
 // allocationTrace runs the job list through a freshly configured
 // engine and renders every record's allocation-relevant fields, so two
-// traces compare byte-identically only if every decision matched.
-func allocationTrace(t *testing.T, top *topology.Topology, policyName string, jobList []jobs.Job, cfg traceConfig) ([]string, *matchcache.Cache, *matchcache.Store) {
+// traces compare byte-identically only if every decision matched. The
+// engine is returned for counter inspection.
+func allocationTrace(t *testing.T, top *topology.Topology, policyName string, jobList []jobs.Job, cfg traceConfig) ([]string, *sched.Engine) {
 	t.Helper()
 	scorer := score.NewScorer(effbw.TrainedFor(top))
 	p, err := policy.ByName(policyName, scorer)
@@ -37,6 +41,7 @@ func allocationTrace(t *testing.T, top *topology.Topology, policyName string, jo
 		policy.SetParallelism(p, cfg.workers)
 	}
 	e := sched.NewEngine(top, p)
+	e.DisableLiveViews = cfg.noviews
 	if !cfg.cached {
 		e.Cache = nil
 	}
@@ -54,15 +59,15 @@ func allocationTrace(t *testing.T, top *topology.Topology, policyName string, jo
 		trace[i] = fmt.Sprintf("job=%d gpus=%v start=%.6f end=%.6f agg=%.6f eff=%.6f pres=%.6f",
 			r.Job.ID, r.GPUs, r.Start, r.End, r.AggBW, r.PredictedEffBW, r.PreservedBW)
 	}
-	return trace, e.Cache, e.Universes
+	return trace, e
 }
 
 // TestCachedAndParallelMatchSequentialAllocations is the acceptance
 // check for the match-pipeline rework: on the integration-test
 // workloads, every fast path — the tier-2 cached path, the worker-pool
-// parallel path, the universe-filtered path, and the warmed two-tier
-// pipeline — must produce byte-identical allocation sequences to the
-// plain sequential matcher.
+// parallel path, the universe-filtered path (with and without tier-0
+// live views), and the warmed pipeline — must produce byte-identical
+// allocation sequences to the plain sequential matcher.
 func TestCachedAndParallelMatchSequentialAllocations(t *testing.T) {
 	cases := []struct {
 		topo   string
@@ -82,7 +87,7 @@ func TestCachedAndParallelMatchSequentialAllocations(t *testing.T) {
 			}
 			jobList := jobs.PaperMix(1)[:tc.njobs]
 
-			sequential, _, _ := allocationTrace(t, top, tc.policy, jobList, traceConfig{workers: 1})
+			sequential, _ := allocationTrace(t, top, tc.policy, jobList, traceConfig{workers: 1})
 			compare := func(name string, got []string) {
 				t.Helper()
 				if len(got) != len(sequential) {
@@ -96,33 +101,44 @@ func TestCachedAndParallelMatchSequentialAllocations(t *testing.T) {
 				}
 			}
 
-			cachedTrace, cache, _ := allocationTrace(t, top, tc.policy, jobList, traceConfig{workers: 1, cached: true})
+			cachedTrace, cachedEng := allocationTrace(t, top, tc.policy, jobList, traceConfig{workers: 1, cached: true})
 			compare("cached", cachedTrace)
-			parallel, _, _ := allocationTrace(t, top, tc.policy, jobList, traceConfig{workers: 4})
+			parallel, _ := allocationTrace(t, top, tc.policy, jobList, traceConfig{workers: 4})
 			compare("parallel", parallel)
-			both, _, _ := allocationTrace(t, top, tc.policy, jobList, traceConfig{workers: 4, cached: true})
+			both, _ := allocationTrace(t, top, tc.policy, jobList, traceConfig{workers: 4, cached: true})
 			compare("cached+parallel", both)
-			filtered, _, fstore := allocationTrace(t, top, tc.policy, jobList, traceConfig{workers: 1, universes: true})
-			compare("filtered (store only)", filtered)
-			warmed, _, wstore := allocationTrace(t, top, tc.policy, jobList,
+			viewed, viewEng := allocationTrace(t, top, tc.policy, jobList, traceConfig{workers: 1, universes: true})
+			compare("live views (store only)", viewed)
+			filtered, filterEng := allocationTrace(t, top, tc.policy, jobList,
+				traceConfig{workers: 1, universes: true, noviews: true})
+			compare("filtered (store only, no views)", filtered)
+			warmed, warmEng := allocationTrace(t, top, tc.policy, jobList,
 				traceConfig{workers: 1, cached: true, universes: true, warm: true})
-			compare("warmed two-tier", warmed)
-			warmedPar, _, _ := allocationTrace(t, top, tc.policy, jobList,
+			compare("warmed pipeline", warmed)
+			warmedPar, _ := allocationTrace(t, top, tc.policy, jobList,
 				traceConfig{workers: 4, cached: true, universes: true, warm: true})
-			compare("warmed two-tier parallel", warmedPar)
+			compare("warmed pipeline parallel", warmedPar)
 
 			// The cache must actually be doing the work: steady-state
 			// scheduling revisits availability states.
-			if st := cache.Stats(); st.Hits == 0 {
+			if st := cachedEng.Cache.Stats(); st.Hits == 0 {
 				t.Fatalf("embedding cache saw no hits over %d jobs: %+v", tc.njobs, st)
 			}
-			// And the universes must actually be filtering: cold misses
-			// (store-only: every decision) are filter-served.
-			if st := fstore.Stats(); st.FilterServed == 0 {
+			// Live views must be serving every miss on the store-only
+			// run (tier 0 sits in front of the filter path)…
+			if vs := viewEng.Views.Stats(); vs.Served == 0 {
+				t.Fatalf("live views served no decisions over %d jobs: %+v", tc.njobs, vs)
+			}
+			if st := viewEng.Universes.Stats(); st.FilterServed != 0 {
+				t.Fatalf("live-view run fell back to %d universe scans: %+v", st.FilterServed, st)
+			}
+			// …and with views disabled the universes must be filtering:
+			// cold misses (store-only: every decision) are filter-served.
+			if st := filterEng.Universes.Stats(); st.FilterServed == 0 {
 				t.Fatalf("universe store served no filters over %d jobs: %+v", tc.njobs, st)
 			}
-			if st := wstore.Stats(); st.Universes == 0 || st.FilterServed == 0 {
-				t.Fatalf("warmed store did not serve the run: %+v", st)
+			if st, vs := warmEng.Universes.Stats(), warmEng.Views.Stats(); st.Universes == 0 || vs.Served == 0 {
+				t.Fatalf("warmed pipeline did not serve the run: store %+v views %+v", st, vs)
 			}
 		})
 	}
@@ -161,7 +177,9 @@ func TestSystemSteadyStateUsesCache(t *testing.T) {
 
 // TestSystemWarmedServesFirstDecisionByFilter verifies the public
 // warming option end to end: a warmed System answers its very first
-// request for a warmed shape from the universe, not from a search.
+// request for a warmed shape from the universe — via the tier-0 live
+// view by default, by mask filtering under WithoutLiveViews — never
+// from a search.
 func TestSystemWarmedServesFirstDecisionByFilter(t *testing.T) {
 	s, err := NewSystem("dgx-v100", "preserve", WithWarmShapes(5))
 	if err != nil {
@@ -174,8 +192,18 @@ func TestSystemWarmedServesFirstDecisionByFilter(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := s.CacheStats()
-	if st.FilterServed == 0 {
-		t.Fatalf("first decision was not filter-served: %+v", st)
+	if st.ViewServed == 0 {
+		t.Fatalf("first decision was not view-served: %+v", st)
+	}
+	noViews, err := NewSystem("dgx-v100", "preserve", WithWarmShapes(5), WithoutLiveViews())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noViews.Allocate(JobRequest{NumGPUs: 4, Shape: "Ring", Sensitive: true}); err != nil {
+		t.Fatal(err)
+	}
+	if st := noViews.CacheStats(); st.FilterServed == 0 || st.ViewServed != 0 {
+		t.Fatalf("WithoutLiveViews first decision was not filter-served: %+v", st)
 	}
 	// The warmed System must agree with an unwarmed one.
 	plain, err := NewSystem("dgx-v100", "preserve", WithoutCache(), WithoutUniverses())
@@ -196,5 +224,125 @@ func TestSystemWarmedServesFirstDecisionByFilter(t *testing.T) {
 	}
 	if fmt.Sprint(l2.GPUs) != fmt.Sprint(lw.GPUs) {
 		t.Fatalf("warmed system allocated %v, plain %v", l2.GPUs, lw.GPUs)
+	}
+}
+
+// liveViewChurnVerify asserts the three-way byte-identity the live
+// views guarantee: the delta-maintained candidate list, the
+// full-universe mask filter, and a fresh deduplicated search on the
+// induced availability subgraph must agree on indices, keys, and
+// representative assignment sequences.
+func liveViewChurnVerify(t *testing.T, u *match.Universe, lv *match.LiveView, top *topology.Topology, pattern *graph.Graph, free []int, step string) {
+	t.Helper()
+	avail := top.Graph.InducedSubgraph(free)
+	fidx, _ := u.Filter(avail.VertexBitset(), 0)
+	lidx, _ := lv.Candidates(0)
+	if len(lidx) != len(fidx) {
+		t.Fatalf("%s: live view kept %d candidates, Filter %d", step, len(lidx), len(fidx))
+	}
+	for j := range fidx {
+		if lidx[j] != fidx[j] {
+			t.Fatalf("%s candidate %d: live view index %d, Filter %d", step, j, lidx[j], fidx[j])
+		}
+	}
+	ms, keys := match.FindAllDedupedCappedKeys(pattern, avail, 0)
+	if len(ms) != len(lidx) {
+		t.Fatalf("%s: fresh search found %d classes, live view %d", step, len(ms), len(lidx))
+	}
+	for j, i := range lidx {
+		if u.Key(i) != keys[j] {
+			t.Fatalf("%s class %d: live-view key %q, search key %q", step, j, u.Key(i), keys[j])
+		}
+		got := u.Match(i)
+		for d := range ms[j].Data {
+			if got.Data[d] != ms[j].Data[d] || got.Pattern[d] != ms[j].Pattern[d] {
+				t.Fatalf("%s class %d: representative differs:\n got %v->%v\nwant %v->%v",
+					step, j, got.Pattern, got.Data, ms[j].Pattern, ms[j].Data)
+			}
+		}
+	}
+}
+
+// TestLiveViewChurnParityRandomized is the headline churn-parity
+// suite: >=500 seeded, interleaved allocate/release steps on the
+// DGX-A100 and on the 9-node 72-GPU cluster (whose masks span multiple
+// bitset words), with the live view, Universe.Filter, and a fresh
+// FindAllDedupedCapped search cross-checked byte-for-byte after every
+// single step.
+func TestLiveViewChurnParityRandomized(t *testing.T) {
+	cases := []struct {
+		name              string
+		top               *topology.Topology
+		steps             int
+		freeLow, freeHigh int
+	}{
+		// The DGX churns across its whole range; the cluster churns in
+		// a mostly-busy window (the realistic multi-tenant regime) so
+		// the per-step oracle search stays tractable while free masks
+		// still straddle the 64-bit word boundary.
+		{"dgx-a100", topology.DGXA100(), 500, 2, 8},
+		{"cluster-a100", topology.ClusterA100(9), 500, 8, 18},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pattern := appgraph.Ring(3)
+			u := match.BuildUniverse(pattern, tc.top.Graph, 0, 1)
+			if !u.Complete() {
+				t.Fatal("idle-state universe must be complete")
+			}
+			lv := match.NewLiveView(u, tc.top.Graph.VertexBitset())
+			rng := rand.New(rand.NewSource(99))
+
+			free := append([]int(nil), tc.top.GPUs()...)
+			var deltas [][]int // outstanding allocations, released in random order
+			takeFree := func(k int) []int {
+				out := make([]int, 0, k)
+				for len(out) < k {
+					i := rng.Intn(len(free))
+					out = append(out, free[i])
+					free[i] = free[len(free)-1]
+					free = free[:len(free)-1]
+				}
+				return out
+			}
+			// Drain the machine into the churn window before the
+			// measured steps (setup, not asserted per step).
+			for len(free) > tc.freeHigh {
+				k := 1 + rng.Intn(4)
+				if len(free)-k < tc.freeLow {
+					k = len(free) - tc.freeLow
+				}
+				d := takeFree(k)
+				deltas = append(deltas, d)
+				lv.Allocate(d)
+			}
+			for step := 0; step < tc.steps; step++ {
+				k := 1 + rng.Intn(3)
+				release := len(free)-k < tc.freeLow ||
+					(len(free)+1 <= tc.freeHigh && len(deltas) > 0 && rng.Intn(2) == 0)
+				if release {
+					i := rng.Intn(len(deltas))
+					d := deltas[i]
+					deltas[i] = deltas[len(deltas)-1]
+					deltas = deltas[:len(deltas)-1]
+					lv.Release(d)
+					free = append(free, d...)
+				} else {
+					d := takeFree(k)
+					deltas = append(deltas, d)
+					lv.Allocate(d)
+				}
+				liveViewChurnVerify(t, u, lv, tc.top, pattern, free, fmt.Sprintf("step %d", step))
+			}
+			// Full drain must restore the idle view exactly.
+			for _, d := range deltas {
+				lv.Release(d)
+				free = append(free, d...)
+			}
+			liveViewChurnVerify(t, u, lv, tc.top, pattern, free, "after drain")
+			if lv.Len() != u.Len() {
+				t.Fatalf("drained view holds %d live classes, universe %d", lv.Len(), u.Len())
+			}
+		})
 	}
 }

@@ -110,6 +110,7 @@ func (s *System) AllocatePattern(p *Pattern, sensitive bool) (*Lease, error) {
 	for _, g := range alloc.GPUs {
 		s.avail.RemoveVertex(g)
 	}
+	s.views.Allocate(alloc.GPUs)
 	s.nextID++
 	lease := &Lease{
 		ID:          s.nextID,

@@ -119,3 +119,75 @@ func TestSystemRandomizedInterleavingKeepsInducedSubgraph(t *testing.T) {
 		t.Fatalf("drained system has %d free GPUs, want %d", len(free), s.NumGPUs())
 	}
 }
+
+// TestSystemChurnLiveViewParity drives two Systems through the same
+// seeded >=500-step allocate/release interleaving: one running the
+// full pipeline (warmed universes + delta-maintained live views), one
+// stripped to plain per-decision searches. Every allocation must pick
+// identical GPU sets with identical scores, the induced-subgraph
+// invariant must hold throughout on the pipelined system, and at the
+// end the live views — not the filter path — must have served its
+// misses.
+func TestSystemChurnLiveViewParity(t *testing.T) {
+	fast, err := NewSystem("dgx-a100", "preserve", WithWarmShapes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NewSystem("dgx-a100", "preserve", WithoutCache(), WithoutUniverses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4242))
+	shapes := []string{"Ring", "Chain", "Star", "AllToAll"}
+	type pair struct{ fast, slow *Lease }
+	var live []pair
+	for step := 0; step < 500; step++ {
+		if len(live) > 0 && (rng.Intn(2) == 0 || len(fast.FreeGPUs()) < 2) {
+			i := rng.Intn(len(live))
+			if err := fast.Release(live[i].fast); err != nil {
+				t.Fatal(err)
+			}
+			if err := slow.Release(live[i].slow); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			checkAvailInvariant(t, fast, fmt.Sprintf("step %d release", step))
+			continue
+		}
+		maxK := 3
+		if free := len(fast.FreeGPUs()); free < maxK {
+			maxK = free
+		}
+		req := JobRequest{
+			NumGPUs:   1 + rng.Intn(maxK),
+			Shape:     shapes[rng.Intn(len(shapes))],
+			Sensitive: rng.Intn(2) == 0,
+		}
+		lf, err := fast.Allocate(req)
+		if err != nil {
+			t.Fatalf("step %d: pipelined allocate: %v", step, err)
+		}
+		ls, err := slow.Allocate(req)
+		if err != nil {
+			t.Fatalf("step %d: plain allocate: %v", step, err)
+		}
+		if fmt.Sprint(lf.GPUs) != fmt.Sprint(ls.GPUs) ||
+			lf.EffBW != ls.EffBW || lf.AggBW != ls.AggBW || lf.PreservedBW != ls.PreservedBW {
+			t.Fatalf("step %d (%+v): pipelined decision diverged:\n got gpus=%v eff=%v agg=%v pres=%v\nwant gpus=%v eff=%v agg=%v pres=%v",
+				step, req, lf.GPUs, lf.EffBW, lf.AggBW, lf.PreservedBW, ls.GPUs, ls.EffBW, ls.AggBW, ls.PreservedBW)
+		}
+		live = append(live, pair{lf, ls})
+		checkAvailInvariant(t, fast, fmt.Sprintf("step %d allocate", step))
+	}
+	st := fast.CacheStats()
+	if st.ViewServed == 0 || st.LiveViews == 0 {
+		t.Fatalf("churn was not served by live views: %+v", st)
+	}
+	if st.FilterServed != 0 {
+		t.Fatalf("churn fell back to %d full-universe scans: %+v", st.FilterServed, st)
+	}
+	if st.ViewRejected != 0 {
+		t.Fatalf("live views rejected %d decisions mid-churn: %+v", st.ViewRejected, st)
+	}
+}
