@@ -722,18 +722,63 @@ func BenchmarkAllocationDecisionCached(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocationDecisionParallel sweeps the worker-pool matcher
+// over 1/2/4/8 workers (the multi-core scaling curve; on a single-core
+// host the sub-benchmarks show parity, not speedup). CI pipes this and
+// BenchmarkUniverseBuildCluster through cmd/benchjson into
+// BENCH_matcher.json.
 func BenchmarkAllocationDecisionParallel(b *testing.B) {
 	top := topology.DGXV100()
 	scorer := score.NewScorer(effbw.TrainedFor(top))
-	p := policy.NewPreserve(scorer)
-	policy.SetParallelism(p, policy.DefaultParallelism())
 	avail := top.Graph.Without([]int{1, 6})
 	req := policy.Request{Pattern: appgraph.Ring(3), Sensitive: true}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := p.Allocate(avail, top, req); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := policy.NewPreserve(scorer)
+			policy.SetParallelism(p, workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Allocate(avail, top, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUniverseBuildCluster measures the one-time idle-state
+// universe build — the cold-start enumeration on the serving path of
+// every large machine — for Ring(3) on the 72-GPU cluster-a100
+// (~426K raw embeddings, 59,640 classes) at 1/2/4/8 workers under the
+// cost-estimated work-stealing partitioner. Per-run metrics:
+//
+//	classes         built universe size (must equal C(72,3))
+//	plan-imbalance  max/min per-worker claimed estimated cost of the
+//	                chunk plan under idealized claiming (1 = the dense-
+//	                root straggler is gone)
+//	slice-imbalance the same metric for the retired one-contiguous-
+//	                slice-per-worker partitioner, for comparison
+func BenchmarkUniverseBuildCluster(b *testing.B) {
+	top := topology.ClusterA100(9)
+	pattern := appgraph.Ring(3)
+	const wantClasses = 72 * 71 * 70 / 6
+	costs := match.NewSearcher(pattern, top.Graph).RootCosts()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var u *match.Universe
+			var bs *match.BuildStats
+			for i := 0; i < b.N; i++ {
+				u, bs = match.BuildUniverseStats(pattern, top.Graph, 0, workers)
+			}
+			if u.Len() != wantClasses {
+				b.Fatalf("universe holds %d classes, want %d", u.Len(), wantClasses)
+			}
+			b.ReportMetric(float64(u.Len()), "classes")
+			if workers > 1 {
+				b.ReportMetric(bs.Plan, "plan-imbalance")
+				b.ReportMetric(match.SliceImbalance(costs, workers), "slice-imbalance")
+			}
+		})
 	}
 }
 

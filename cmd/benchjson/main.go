@@ -1,0 +1,84 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document on stdout, so CI can archive benchmark numbers as a
+// machine-readable artifact (the matcher scaling curves land in
+// BENCH_matcher.json this way).
+//
+// Usage:
+//
+//	go test -run '^$' -bench Universe -benchtime=1x . | benchjson
+//
+// Every benchmark result line becomes one record with the benchmark
+// name, iteration count, and a metric map keyed by unit (ns/op plus
+// any b.ReportMetric extras such as plan-imbalance). Non-benchmark
+// lines (headers, PASS, ok) are ignored, so piping a whole `go test`
+// run through is fine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// parseLine parses one `go test -bench` result line, reporting ok =
+// false for anything that is not a benchmark result.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	// Shortest valid line: "BenchmarkX-8 100 5 ns/op" — name, runs,
+	// then value/unit pairs.
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Runs: runs, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+// parse reads a whole benchmark run, keeping result lines in input
+// order.
+func parse(in io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			out = append(out, r)
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

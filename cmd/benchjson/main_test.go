@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: mapa
+cpu: some cpu
+BenchmarkUniverseBuildCluster/workers=4-8         	       3	  41234567 ns/op	         1.25 plan-imbalance	     59640 classes
+BenchmarkAllocationDecisionParallel/workers=2-8   	    5000	    240000 ns/op
+PASS
+ok  	mapa	12.345s
+`
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkUniverseBuildCluster/workers=4-8" || r.Runs != 3 {
+		t.Fatalf("first result = %+v", r)
+	}
+	if r.Metrics["ns/op"] != 41234567 {
+		t.Errorf("ns/op = %v", r.Metrics["ns/op"])
+	}
+	if r.Metrics["plan-imbalance"] != 1.25 {
+		t.Errorf("plan-imbalance = %v", r.Metrics["plan-imbalance"])
+	}
+	if r.Metrics["classes"] != 59640 {
+		t.Errorf("classes = %v", r.Metrics["classes"])
+	}
+	if results[1].Metrics["ns/op"] != 240000 {
+		t.Errorf("second ns/op = %v", results[1].Metrics["ns/op"])
+	}
+}
+
+func TestParseRejectsNonBenchLines(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  	mapa	1.2s",
+		"goos: linux",
+		"Benchmark only-two-fields",
+		"BenchmarkX notanumber 5 ns/op",
+	} {
+		if r, ok := parseLine(line); ok {
+			t.Errorf("line %q parsed as %+v, want rejection", line, r)
+		}
+	}
+}

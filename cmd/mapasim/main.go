@@ -29,19 +29,20 @@ import (
 
 // options bundles the CLI configuration of one simulator run.
 type options struct {
-	topoName   string
-	policyName string
-	jobFile    string
-	n          int
-	seed       int64
-	maxGPUs    int
-	workers    int
-	cache      bool
-	universes  bool
-	liveviews  bool
-	warm       bool
-	cacheStats bool
-	verbose    bool
+	topoName     string
+	policyName   string
+	jobFile      string
+	n            int
+	seed         int64
+	maxGPUs      int
+	workers      int
+	buildWorkers int
+	cache        bool
+	universes    bool
+	liveviews    bool
+	warm         bool
+	cacheStats   bool
+	verbose      bool
 }
 
 func main() {
@@ -53,6 +54,7 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "generation seed when -jobs is empty")
 	flag.IntVar(&o.maxGPUs, "max-gpus", 5, "max GPUs per generated job")
 	flag.IntVar(&o.workers, "workers", 1, "parallel matcher/scoring workers for MAPA policies (<2 sequential)")
+	flag.IntVar(&o.buildWorkers, "buildworkers", 0, "workers for idle-state universe builds (cost-partitioned work stealing; 0 uses -workers)")
 	flag.BoolVar(&o.cache, "cache", true, "reuse candidate lists across recurring free-GPU states (tier 2)")
 	flag.BoolVar(&o.universes, "universes", true, "derive new-state candidates by filtering idle-state universes (tier 1)")
 	flag.BoolVar(&o.liveviews, "liveviews", true, "maintain per-shape candidate views incrementally from allocate/release deltas (tier 0)")
@@ -106,6 +108,7 @@ func run(o options) error {
 	cfg := sched.CompareConfig{
 		Mode:             sched.ModeRealRun,
 		Workers:          o.workers,
+		BuildWorkers:     o.buildWorkers,
 		DisableCache:     !o.cache,
 		DisableUniverses: !o.universes,
 		DisableLiveViews: !o.liveviews,
@@ -160,6 +163,17 @@ func run(o options) error {
 	if o.cacheStats && storeStats != nil {
 		fmt.Printf("universe store (shared): %d universes (%d incomplete), %d misses filter-served, %d rejected\n",
 			storeStats.Universes, storeStats.Incomplete, storeStats.FilterServed, storeStats.FilterRejected)
+		if len(storeStats.Builds) > 0 {
+			fmt.Printf("universe builds: %d shapes in %v total\n", len(storeStats.Builds), storeStats.BuildTime)
+			for _, bld := range storeStats.Builds {
+				state := "complete"
+				if !bld.Complete {
+					state = "incomplete"
+				}
+				fmt.Printf("  shape %dv/%de: %d classes (%s) in %v, workers=%d, plan imbalance %.2f, claimed %.2f\n",
+					bld.Vertices, bld.Edges, bld.Classes, state, bld.Duration, bld.Workers, bld.PlanImbalance, bld.CostImbalance)
+			}
+		}
 	}
 
 	if len(results) > 1 {

@@ -64,6 +64,18 @@ func TestRunWarmedWithCacheStats(t *testing.T) {
 	}
 }
 
+func TestRunBuildWorkersWarmed(t *testing.T) {
+	o := opts()
+	o.n = 15
+	o.maxGPUs = 4
+	o.buildWorkers = 4
+	o.warm = true
+	o.cacheStats = true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunJobFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "jobs.txt")
 	content := "1,vgg-16,2,Ring,true,100\n2,gmm,1,Star,false,100\n"

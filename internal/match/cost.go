@@ -1,0 +1,271 @@
+// Per-root subtree cost estimation and chunk planning for the parallel
+// enumeration. The PR 1 dispatcher handed out roots one at a time in
+// ascending vertex order, which balances *counts* but not *work*: a
+// dense root (say, a fully connected intra-node region of a multi-node
+// machine) spans a combinatorially larger search subtree than a sparse
+// one, so whichever worker claims it last becomes the straggler of the
+// whole universe build. The cost model below ranks roots by estimated
+// subtree size using only the adjacency-bitset index the Searcher
+// already holds, and the planner packs them into cost-descending chunks
+// that workers claim from a shared queue: expensive subtrees start
+// first (and alone), cheap ones are batched to keep claim contention
+// low.
+package match
+
+import (
+	"math"
+	"sort"
+
+	"mapa/internal/graph"
+)
+
+// chunksPerWorker sets the chunk granularity of the work-stealing
+// plan: more chunks per worker means finer rebalancing when estimates
+// are off, at the price of more claims on the shared queue. Claims are
+// one atomic increment each, so the granularity is cheap.
+const chunksPerWorker = 8
+
+// rootCosts estimates, for every eligible root (aligned with
+// Searcher.Roots), the size of the backtracking subtree anchored at
+// that root: the product of the candidate-frontier cardinalities along
+// the match order. Only the root's image is known before searching, so
+// frontiers are estimated from the index's degree data: a depth whose
+// earlier-neighbor set includes the root contributes the root's
+// degree, every additional earlier neighbor scales the frontier by the
+// mean-degree selectivity of one more adjacency mask, and depths with
+// no earlier neighbors (disconnected patterns) fall back to the whole
+// vertex set. Already-bound vertices are subtracted from each
+// frontier. The estimate is deterministic — pure arithmetic over the
+// immutable index — so every build of a (pattern, data) pair plans the
+// same chunks.
+func (sr *Searcher) rootCosts() []float64 {
+	pg := sr.pg
+	costs := make([]float64, len(sr.roots))
+	if pg == nil {
+		return costs
+	}
+	n := float64(pg.ix.Len())
+	degSum := 0
+	for p := 0; p < pg.ix.Len(); p++ {
+		degSum += pg.ix.Degree(p)
+	}
+	meanDeg := 1.0
+	if n > 0 {
+		meanDeg = float64(degSum) / n
+	}
+	for i, root := range sr.roots {
+		p, _ := pg.ix.PosOf(root)
+		rootDeg := float64(pg.ix.Degree(p))
+		cost := 1.0
+		for d := 1; d < pg.k; d++ {
+			frontier := n // no earlier neighbors: full vertex set
+			masks := len(pg.earlier[d])
+			if masks > 0 {
+				// The frontier is an intersection of adjacency masks;
+				// the root's own mask has known cardinality, each
+				// further mask keeps a meanDeg/n fraction under the
+				// independence approximation.
+				rooted := false
+				for _, j := range pg.earlier[d] {
+					if j == 0 {
+						rooted = true
+					}
+				}
+				if rooted {
+					frontier = rootDeg
+					masks--
+				} else {
+					frontier = meanDeg
+					masks--
+				}
+				for ; masks > 0; masks-- {
+					frontier *= meanDeg / n
+				}
+			}
+			frontier -= float64(d) // vertices already bound are unusable
+			if frontier < 1 {
+				frontier = 1
+			}
+			cost *= frontier
+		}
+		costs[i] = cost
+	}
+	return costs
+}
+
+// RootCosts returns the estimated enumeration cost of each root
+// subtree, aligned with Roots(). Exposed for partitioning tests and
+// the universe-build benchmarks.
+func (sr *Searcher) RootCosts() []float64 { return sr.rootCosts() }
+
+// EstimateBuildCost returns the estimated total enumeration cost of
+// pattern on data — the summed root subtree estimates. It compiles
+// only the adjacency index (no enumeration), so warm planners can
+// order shapes by expected build cost before paying for any build.
+func EstimateBuildCost(pattern, data *graph.Graph) float64 {
+	total := 0.0
+	for _, c := range NewSearcher(pattern, data).rootCosts() {
+		total += c
+	}
+	return total
+}
+
+// planChunks packs root indices into the work-stealing claim order:
+// indices sorted by estimated cost descending (ties by ascending index,
+// keeping the plan deterministic), then grouped into consecutive chunks
+// of roughly total/(workers*chunksPerWorker) cost each. Expensive roots
+// land in small (often singleton) chunks at the front of the queue so
+// they are claimed first; cheap roots are batched at the back. Every
+// root appears in exactly one chunk.
+func planChunks(costs []float64, workers int) [][]int {
+	n := len(costs)
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, n)
+	total := 0.0
+	for i, c := range costs {
+		order[i] = i
+		total += c
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if costs[order[a]] != costs[order[b]] {
+			return costs[order[a]] > costs[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	if workers < 1 {
+		workers = 1
+	}
+	nChunks := workers * chunksPerWorker
+	if nChunks > n {
+		nChunks = n
+	}
+	// Close each chunk at the next cumulative-cost quantile boundary
+	// (k+1)/nChunks of the total, rather than at a fixed per-chunk
+	// budget: quantiles spread float rounding across chunks, so a
+	// uniform-cost root set splits into equal-count chunks instead of
+	// drifting by one root per chunk. The epsilon absorbs accumulation
+	// error on exact boundaries.
+	var chunks [][]int
+	var cur []int
+	cum := 0.0
+	for _, i := range order {
+		cur = append(cur, i)
+		cum += costs[i]
+		if cum*float64(nChunks) >= total*float64(len(chunks)+1)*(1-1e-9) {
+			chunks = append(chunks, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		chunks = append(chunks, cur)
+	}
+	return chunks
+}
+
+// BuildStats is the dispatch accounting of one parallel enumeration:
+// how the estimated root costs were chunked and how much estimated
+// work each worker actually claimed. It exists so benchmarks can
+// report partitioner balance (the straggler metric) next to wall
+// time.
+type BuildStats struct {
+	// Workers is the goroutine count the dispatch ran with; Roots and
+	// Chunks describe the plan it claimed from.
+	Workers, Roots, Chunks int
+	// TotalCost is the summed estimated cost of every root.
+	TotalCost float64
+	// Plan is the chunk plan's idealized claimed-cost imbalance (see
+	// PlanImbalance) — the partitioner-quality metric, independent of
+	// how the host actually scheduled the goroutines.
+	Plan float64
+	// WorkerCost and WorkerRoots record, per worker, the estimated
+	// cost and root count actually claimed at runtime.
+	WorkerCost  []float64
+	WorkerRoots []int
+}
+
+// CostImbalance returns max/min of the per-worker claimed estimated
+// cost — 1.0 is a perfectly balanced build. A worker that claimed
+// nothing (possible when another drained the queue first, e.g. on a
+// single-core host) makes the ratio +Inf; callers report it as-is.
+func (bs *BuildStats) CostImbalance() float64 {
+	if bs == nil || len(bs.WorkerCost) == 0 {
+		return 1
+	}
+	return imbalance(bs.WorkerCost)
+}
+
+// imbalance returns max/min over per-worker loads, 1 for an all-zero
+// or empty load vector, +Inf when some but not all workers idled.
+func imbalance(load []float64) float64 {
+	if len(load) == 0 {
+		return 1
+	}
+	min, max := load[0], load[0]
+	for _, l := range load[1:] {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if min == 0 {
+		if max == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return max / min
+}
+
+// PlanImbalance simulates claiming the given chunk plan with `workers`
+// workers that each grab the next chunk the moment they go idle — the
+// idealized outcome of the shared-queue dispatch, independent of
+// runtime scheduling — and returns max/min of the per-worker claimed
+// cost. Deterministic, so benchmarks can compare partitioning
+// strategies on any host (the live WorkerCost degenerates on a
+// single-core container where one goroutine can drain the queue).
+func PlanImbalance(costs []float64, chunks [][]int, workers int) float64 {
+	if workers < 1 {
+		workers = 1
+	}
+	load := make([]float64, workers)
+	for _, ch := range chunks {
+		// Next claimant = the least-loaded worker (first such index),
+		// matching "grabs the next chunk the moment it goes idle".
+		w := 0
+		for i := 1; i < workers; i++ {
+			if load[i] < load[w] {
+				w = i
+			}
+		}
+		for _, i := range ch {
+			load[w] += costs[i]
+		}
+	}
+	return imbalance(load)
+}
+
+// SliceImbalance is PlanImbalance for the strategy the cost planner
+// replaced: one contiguous root slice per worker in ascending vertex
+// order, no stealing. Benchmarks report both to show the dense-root
+// straggler gone.
+func SliceImbalance(costs []float64, workers int) float64 {
+	n := len(costs)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return 1
+	}
+	load := make([]float64, workers)
+	for i, c := range costs {
+		load[i*workers/n] += c
+	}
+	return imbalance(load)
+}

@@ -1,0 +1,259 @@
+package match
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mapa/internal/graph"
+)
+
+// skewedGraph builds a data graph with one dense region and a sparse
+// tail: vertices 0..5 form a clique (the "fully connected intra-node
+// region"), and vertices 6..6+tail-1 hang off it in a chain, each also
+// linked to clique vertex 0. Root subtree sizes differ by orders of
+// magnitude between clique and tail roots.
+func skewedGraph(tail int) *graph.Graph {
+	g := graph.New()
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			g.MustAddEdge(u, v, 1, 0)
+		}
+	}
+	prev := 5
+	for i := 0; i < tail; i++ {
+		v := 6 + i
+		g.MustAddEdge(prev, v, 1, 0)
+		g.MustAddEdge(0, v, 1, 0)
+		prev = v
+	}
+	return g
+}
+
+// TestRootCostsRankDenseRoots pins the estimator's one job: a dense
+// root must cost more than a sparse one, so the work-stealing plan
+// claims it first instead of letting it serialize the tail of a build.
+func TestRootCostsRankDenseRoots(t *testing.T) {
+	data := skewedGraph(24)
+	sr := NewSearcher(ring(3), data)
+	costs := sr.RootCosts()
+	if len(costs) != len(sr.Roots()) {
+		t.Fatalf("costs len %d != roots len %d", len(costs), len(sr.Roots()))
+	}
+	byRoot := make(map[int]float64, len(costs))
+	for i, r := range sr.Roots() {
+		byRoot[r] = costs[i]
+	}
+	// Vertex 1 sits in the clique; vertex 10 is deep in the sparse
+	// tail. (Vertex 0 is denser still, but 1 suffices and avoids the
+	// hub's tail links.)
+	if byRoot[1] <= byRoot[10] {
+		t.Errorf("clique root cost %.1f should exceed tail root cost %.1f", byRoot[1], byRoot[10])
+	}
+	// The cost-descending chunk plan must beat one-contiguous-slice-
+	// per-worker on this skew — the dense-root straggler the refactor
+	// removes.
+	for _, workers := range []int{2, 4, 8} {
+		plan := PlanImbalance(costs, planChunks(costs, workers), workers)
+		slice := SliceImbalance(costs, workers)
+		if plan >= slice {
+			t.Errorf("workers=%d: plan imbalance %.3f not better than slice imbalance %.3f", workers, plan, slice)
+		}
+	}
+}
+
+// TestPlanChunksPartitionRoots checks the chunk plan is a true
+// partition — every root exactly once — is deterministic, and orders
+// chunks by descending cost.
+func TestPlanChunksPartitionRoots(t *testing.T) {
+	data := skewedGraph(24)
+	sr := NewSearcher(ring(3), data)
+	costs := sr.RootCosts()
+	for _, workers := range []int{1, 2, 4, 8} {
+		chunks := planChunks(costs, workers)
+		seen := make(map[int]bool)
+		prevMax := math.Inf(1)
+		for _, ch := range chunks {
+			if len(ch) == 0 {
+				t.Fatalf("workers=%d: empty chunk", workers)
+			}
+			chunkMax := 0.0
+			for _, i := range ch {
+				if seen[i] {
+					t.Fatalf("workers=%d: root index %d in two chunks", workers, i)
+				}
+				seen[i] = true
+				if costs[i] > chunkMax {
+					chunkMax = costs[i]
+				}
+			}
+			if chunkMax > prevMax {
+				t.Fatalf("workers=%d: chunk max cost %.1f after cheaper chunk %.1f", workers, chunkMax, prevMax)
+			}
+			prevMax = chunkMax
+		}
+		if len(seen) != len(costs) {
+			t.Fatalf("workers=%d: chunks cover %d roots, want %d", workers, len(seen), len(costs))
+		}
+		again := planChunks(costs, workers)
+		if fmt.Sprint(again) != fmt.Sprint(chunks) {
+			t.Fatalf("workers=%d: plan is not deterministic", workers)
+		}
+	}
+}
+
+// matchesEqual compares two match slices byte-for-byte (order,
+// Pattern, and Data all included).
+func matchesEqual(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if fmt.Sprint(a[i].Pattern) != fmt.Sprint(b[i].Pattern) ||
+			fmt.Sprint(a[i].Data) != fmt.Sprint(b[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelSparseVertexIDs drives the cost partitioner over a data
+// graph whose vertex IDs are sparse and non-contiguous (physical GPU
+// IDs survive removal, and multi-node IDs jump across bitset words):
+// Searcher.Roots must report real vertex IDs and the parallel output
+// must stay byte-identical to sequential at every worker count.
+func TestParallelSparseVertexIDs(t *testing.T) {
+	ids := []int{3, 7, 64, 65, 66, 130, 131, 200}
+	data := graph.New()
+	for a := 0; a < len(ids); a++ {
+		for b := a + 1; b < len(ids); b++ {
+			if (a+b)%3 != 0 { // drop some edges so degrees differ
+				data.MustAddEdge(ids[a], ids[b], 1, 0)
+			}
+		}
+	}
+	pattern := ring(3)
+	sr := NewSearcher(pattern, data)
+	prev := -1
+	for _, r := range sr.Roots() {
+		if !data.HasVertex(r) {
+			t.Fatalf("root %d is not a data vertex", r)
+		}
+		if r <= prev {
+			t.Fatalf("roots not ascending: %v", sr.Roots())
+		}
+		prev = r
+	}
+	wantM, wantK := FindAllDedupedCappedKeys(pattern, data, 0)
+	if len(wantM) == 0 {
+		t.Fatal("test graph has no matches — pick denser edges")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		gotM, gotK := FindAllDedupedParallelKeys(pattern, data, workers, 0)
+		if !matchesEqual(gotM, wantM) || fmt.Sprint(gotK) != fmt.Sprint(wantK) {
+			t.Fatalf("workers=%d: parallel output differs from sequential on sparse IDs", workers)
+		}
+	}
+}
+
+// TestZeroCandidateRoots covers roots whose candidate frontier is
+// empty: vertices that pass the first-position degree bound but whose
+// neighborhoods cannot extend to a full embedding. They must get a
+// cost, be dispatched, produce nothing, and leave the stitched output
+// byte-identical to sequential.
+func TestZeroCandidateRoots(t *testing.T) {
+	// Triangle {0,1,2}; vertex 3 bridges to 4 and 5 (degree 2 passes
+	// the triangle's degree bound) but no triangle goes through 3, 4,
+	// or 5.
+	data := graph.New()
+	data.MustAddEdge(0, 1, 1, 0)
+	data.MustAddEdge(1, 2, 1, 0)
+	data.MustAddEdge(0, 2, 1, 0)
+	data.MustAddEdge(3, 4, 1, 0)
+	data.MustAddEdge(3, 5, 1, 0)
+	data.MustAddEdge(4, 0, 1, 0)
+	data.MustAddEdge(5, 1, 1, 0)
+	pattern := ring(3)
+	sr := NewSearcher(pattern, data)
+	if len(sr.Roots()) < 4 {
+		t.Fatalf("want several eligible roots, got %v", sr.Roots())
+	}
+	if len(sr.RootCosts()) != len(sr.Roots()) {
+		t.Fatal("cost per root missing")
+	}
+	wantM, wantK := FindAllDedupedCappedKeys(pattern, data, 0)
+	if len(wantM) != 1 {
+		t.Fatalf("graph holds %d triangles, want 1", len(wantM))
+	}
+	for _, workers := range []int{2, 4} {
+		gotM, gotK := FindAllDedupedParallelKeys(pattern, data, workers, 0)
+		if !matchesEqual(gotM, wantM) || fmt.Sprint(gotK) != fmt.Sprint(wantK) {
+			t.Fatalf("workers=%d: zero-candidate roots broke parity", workers)
+		}
+	}
+}
+
+// TestCapTruncationMidChunk pins the capped parallel enumeration on a
+// graph large enough that chunks hold several roots (40 roots vs
+// 8-per-worker chunking), with caps chosen to land inside a chunk: the
+// truncated output must be the exact sequential prefix — the
+// completeness-cap guarantee the universe store relies on.
+func TestCapTruncationMidChunk(t *testing.T) {
+	data := complete(40)
+	pattern := ring(3)
+	sr := NewSearcher(pattern, data)
+	if n := len(sr.Roots()); n != 40 {
+		t.Fatalf("roots = %d, want 40", n)
+	}
+	for _, workers := range []int{2, 3, 4} {
+		if chunks := planChunks(sr.RootCosts(), workers); len(chunks) >= len(sr.Roots()) {
+			t.Fatalf("workers=%d: all chunks are singletons — cap cannot land mid-chunk", workers)
+		}
+	}
+	for _, max := range []int{1, 7, 53, 509, 2000} {
+		wantM, wantK := FindAllDedupedCappedKeys(pattern, data, max)
+		if len(wantM) != max {
+			t.Fatalf("max=%d: sequential returned %d", max, len(wantM))
+		}
+		for _, workers := range []int{2, 3, 4, 8} {
+			gotM, gotK := FindAllDedupedParallelKeys(pattern, data, workers, max)
+			if !matchesEqual(gotM, wantM) || fmt.Sprint(gotK) != fmt.Sprint(wantK) {
+				t.Fatalf("workers=%d max=%d: truncated prefix differs from sequential", workers, max)
+			}
+		}
+	}
+}
+
+// TestBuildStatsAccounting checks the dispatch accounting: every root
+// claimed exactly once across workers, claimed cost sums to the total,
+// and the plan metric is populated.
+func TestBuildStatsAccounting(t *testing.T) {
+	data := skewedGraph(24)
+	pattern := ring(3)
+	_, _, bs := FindAllDedupedParallelKeysStats(pattern, data, 4, 0, true)
+	if bs == nil {
+		t.Fatal("stats requested but nil")
+	}
+	sr := NewSearcher(pattern, data)
+	if bs.Roots != len(sr.Roots()) {
+		t.Fatalf("stats.Roots = %d, want %d", bs.Roots, len(sr.Roots()))
+	}
+	claimedRoots := 0
+	claimedCost := 0.0
+	for w := range bs.WorkerCost {
+		claimedRoots += bs.WorkerRoots[w]
+		claimedCost += bs.WorkerCost[w]
+	}
+	if claimedRoots != bs.Roots {
+		t.Fatalf("workers claimed %d roots, want %d", claimedRoots, bs.Roots)
+	}
+	if math.Abs(claimedCost-bs.TotalCost) > 1e-6*bs.TotalCost {
+		t.Fatalf("claimed cost %.3f != total %.3f", claimedCost, bs.TotalCost)
+	}
+	if bs.Plan < 1 {
+		t.Fatalf("plan imbalance %.3f < 1", bs.Plan)
+	}
+	if bs.Chunks < bs.Workers {
+		t.Fatalf("chunks %d < workers %d", bs.Chunks, bs.Workers)
+	}
+}

@@ -4,6 +4,12 @@
 // workers enumerate disjoint subtrees with no shared mutable state and
 // results are stitched back together in root order — byte-identical to
 // the sequential enumeration, just faster.
+//
+// Dispatch is cost-estimated work stealing (see cost.go): roots are
+// packed into cost-descending chunks and claimed from a shared queue,
+// so a dense root starts first instead of serializing the tail of the
+// build. Claim order never affects output — the stitch walks roots in
+// ascending order regardless of who enumerated them when.
 package match
 
 import (
@@ -106,36 +112,110 @@ func (sr *Searcher) EnumerateRoot(root int, fn func(Match) bool) {
 	sr.Session().Root(root, fn)
 }
 
-// forEachRoot runs fn(session, rootIndex, root) over all roots with
-// up to `workers` goroutines, handing out roots in ascending order —
-// the single dispatch loop every parallel entry point shares. Each
-// worker owns one Session for all its roots. A non-nil stop predicate
-// is polled before each claim; once it reports true, no further roots
-// are dispatched (in-flight roots finish), so dispatched roots always
-// form a contiguous prefix.
-func (sr *Searcher) forEachRoot(workers int, stop func() bool, fn func(se *Session, i int, root int)) {
-	n := len(sr.roots)
-	if workers > n {
-		workers = n
+// capTracker decides when a capped parallel enumeration may stop
+// dispatching roots. With cost-ordered claiming, completed roots no
+// longer form a contiguous prefix of enumeration order, so the PR 1
+// "dispatched prefix holds k*max classes" argument is replaced by an
+// explicit one: the tracker records per-root class counts as roots
+// finish and advances the boundary of the *contiguous completed
+// prefix* in root order. A class's raw embeddings map the first
+// match-order vertex to at most k distinct data vertices, so it
+// appears under at most k roots; once the contiguous prefix holds at
+// least k*max per-root classes it must contain the first max global
+// classes, and the in-order stitch is guaranteed to reach the cap
+// before any undispatched hole — the truncated output stays the exact
+// deterministic sequential prefix.
+type capTracker struct {
+	mu       sync.Mutex
+	stopAt   int64
+	classes  []int64
+	done     []bool
+	boundary int   // first root index not yet completed
+	prefix   int64 // summed classes of roots [0, boundary)
+	stopped  atomic.Bool
+}
+
+func newCapTracker(roots int, stopAt int64) *capTracker {
+	return &capTracker{
+		stopAt:  stopAt,
+		classes: make([]int64, roots),
+		done:    make([]bool, roots),
+	}
+}
+
+func (t *capTracker) stop() bool { return t.stopped.Load() }
+
+// complete records that root i finished with the given class count and
+// advances the contiguous-prefix boundary.
+func (t *capTracker) complete(i, classes int) {
+	t.mu.Lock()
+	t.done[i] = true
+	t.classes[i] = int64(classes)
+	for t.boundary < len(t.done) && t.done[t.boundary] {
+		t.prefix += t.classes[t.boundary]
+		t.boundary++
+	}
+	if t.prefix >= t.stopAt {
+		t.stopped.Store(true)
+	}
+	t.mu.Unlock()
+}
+
+// forEachRoot runs fn(session, rootIndex, root) over all roots with up
+// to `workers` goroutines — the single dispatch loop every parallel
+// entry point shares. Roots are claimed as cost-descending chunks from
+// a shared queue (see cost.go), each worker owning one Session for all
+// its roots. fn returns the root's class count for cap accounting. A
+// non-nil tracker is polled before each root; once it stops, no
+// further roots start (in-flight roots finish and are recorded). A
+// non-nil stats receives the dispatch accounting.
+func (sr *Searcher) forEachRoot(workers int, tr *capTracker, stats *BuildStats, fn func(se *Session, i int, root int) int) {
+	costs := sr.rootCosts()
+	chunks := planChunks(costs, workers)
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if stats != nil {
+		stats.Workers = workers
+		stats.Roots = len(sr.roots)
+		stats.Chunks = len(chunks)
+		for _, c := range costs {
+			stats.TotalCost += c
+		}
+		stats.Plan = PlanImbalance(costs, chunks, workers)
+		stats.WorkerCost = make([]float64, workers)
+		stats.WorkerRoots = make([]int, workers)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			se := sr.Session()
 			for {
-				if stop != nil && stop() {
+				if tr != nil && tr.stop() {
 					return
 				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				c := int(next.Add(1)) - 1
+				if c >= len(chunks) {
 					return
 				}
-				fn(se, i, sr.roots[i])
+				for _, i := range chunks[c] {
+					if tr != nil && tr.stop() {
+						return
+					}
+					n := fn(se, i, sr.roots[i])
+					if tr != nil {
+						tr.complete(i, n)
+					}
+					if stats != nil {
+						stats.WorkerCost[w] += costs[i]
+						stats.WorkerRoots[w]++
+					}
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -156,13 +236,14 @@ func FindAllParallel(pattern, data *graph.Graph, workers int) []Match {
 		return out
 	}
 	perRoot := make([][]Match, len(sr.roots))
-	sr.forEachRoot(workers, nil, func(se *Session, i, root int) {
+	sr.forEachRoot(workers, nil, nil, func(se *Session, i, root int) int {
 		var out []Match
 		se.Root(root, func(m Match) bool {
 			out = append(out, m.Clone())
 			return true
 		})
 		perRoot[i] = out
+		return 0
 	})
 	var all []Match
 	for _, ms := range perRoot {
@@ -187,30 +268,38 @@ func FindAllDedupedParallel(pattern, data *graph.Graph, workers int) []Match {
 // walks roots in order, so the output is identical to the sequential
 // capped enumeration.
 func FindAllDedupedParallelKeys(pattern, data *graph.Graph, workers, max int) ([]Match, []string) {
+	ms, keys, _ := FindAllDedupedParallelKeysStats(pattern, data, workers, max, false)
+	return ms, keys
+}
+
+// FindAllDedupedParallelKeysStats is FindAllDedupedParallelKeys that
+// additionally returns the dispatch accounting of the work-stealing
+// partitioner when withStats is set (nil on the sequential fallback or
+// when withStats is false) — the instrumentation behind the
+// universe-build benchmarks and Store build timings.
+func FindAllDedupedParallelKeysStats(pattern, data *graph.Graph, workers, max int, withStats bool) ([]Match, []string, *BuildStats) {
 	sr := NewSearcher(pattern, data)
 	if workers < 2 || len(sr.roots) < 2 {
-		return dedupedCappedKeys(sr.pg, pattern, max)
+		ms, keys := dedupedCappedKeys(sr.pg, pattern, max)
+		return ms, keys, nil
 	}
 	type keyed struct {
 		m   Match
 		key string
 	}
-	perRoot := make([][]keyed, len(sr.roots))
-	// classes over-counts distinct classes across roots by at most the
-	// pattern size k (a class's raw embeddings map the first match-
-	// order vertex to at most its k data vertices, so it appears under
-	// at most k roots). Once classes >= k*max, the already-dispatched
-	// roots — always a contiguous prefix — are guaranteed to contain
-	// the first max global classes, so dispatching further roots cannot
-	// change the truncated result: a deterministic early stop for the
-	// capped case.
-	var classes atomic.Int64
-	var stop func() bool
-	if max > 0 {
-		stopAt := int64(max) * int64(pattern.NumVertices())
-		stop = func() bool { return classes.Load() >= stopAt }
+	var stats *BuildStats
+	if withStats {
+		stats = &BuildStats{}
 	}
-	sr.forEachRoot(workers, stop, func(se *Session, i, root int) {
+	perRoot := make([][]keyed, len(sr.roots))
+	// A capped enumeration may stop dispatching once the contiguous
+	// completed prefix of roots holds k*max per-root classes — see
+	// capTracker for why that pins the exact sequential prefix.
+	var tr *capTracker
+	if max > 0 {
+		tr = newCapTracker(len(sr.roots), int64(max)*int64(pattern.NumVertices()))
+	}
+	sr.forEachRoot(workers, tr, stats, func(se *Session, i, root int) int {
 		ky := se.keyer(pattern)
 		local := make(map[string]bool)
 		var out []keyed
@@ -224,7 +313,7 @@ func FindAllDedupedParallelKeys(pattern, data *graph.Graph, workers, max int) ([
 			return true
 		})
 		perRoot[i] = out
-		classes.Add(int64(len(out)))
+		return len(out)
 	})
 	seen := make(map[string]bool)
 	var all []Match
@@ -238,11 +327,11 @@ func FindAllDedupedParallelKeys(pattern, data *graph.Graph, workers, max int) ([
 			all = append(all, km.m)
 			keys = append(keys, km.key)
 			if max > 0 && len(all) == max {
-				return all, keys
+				return all, keys, stats
 			}
 		}
 	}
-	return all, keys
+	return all, keys, stats
 }
 
 // CountEmbeddingsParallel is CountEmbeddings over the worker pool.
@@ -257,13 +346,14 @@ func CountEmbeddingsParallel(pattern, data *graph.Graph, workers int) int {
 		return n
 	}
 	var total atomic.Int64
-	sr.forEachRoot(workers, nil, func(se *Session, _, root int) {
+	sr.forEachRoot(workers, nil, nil, func(se *Session, _, root int) int {
 		n := 0
 		se.Root(root, func(Match) bool {
 			n++
 			return true
 		})
 		total.Add(int64(n))
+		return 0
 	})
 	return int(total.Load())
 }

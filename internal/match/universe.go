@@ -52,20 +52,29 @@ type Universe struct {
 // an incomplete universe cannot soundly answer mask filters, so
 // callers must fall back to searching. max <= 0 means unlimited.
 func BuildUniverse(pattern, data *graph.Graph, max, workers int) *Universe {
+	u, _ := BuildUniverseStats(pattern, data, max, workers)
+	return u
+}
+
+// BuildUniverseStats is BuildUniverse returning the parallel build's
+// work-stealing dispatch accounting alongside the universe (nil when
+// the build ran sequentially).
+func BuildUniverseStats(pattern, data *graph.Graph, max, workers int) (*Universe, *BuildStats) {
 	probe := 0
 	if max > 0 {
 		probe = max + 1 // one extra to detect truncation
 	}
 	var ms []Match
 	var keys []string
+	var bs *BuildStats
 	if workers > 1 {
-		ms, keys = FindAllDedupedParallelKeys(pattern, data, workers, probe)
+		ms, keys, bs = FindAllDedupedParallelKeysStats(pattern, data, workers, probe, true)
 	} else {
 		ms, keys = FindAllDedupedCappedKeys(pattern, data, probe)
 	}
 	capacity := graph.Capacity(data)
 	if max > 0 && len(ms) > max {
-		return &Universe{capacity: capacity, complete: false}
+		return &Universe{capacity: capacity, complete: false}, bs
 	}
 	u := &Universe{
 		matches:  ms,
@@ -84,7 +93,7 @@ func BuildUniverse(pattern, data *graph.Graph, max, workers int) *Universe {
 		}
 		u.sets[i] = b
 	}
-	return u
+	return u, bs
 }
 
 // Complete reports whether the universe holds every equivalence class.

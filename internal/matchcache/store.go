@@ -1,7 +1,9 @@
 package matchcache
 
 import (
+	"sort"
 	"sync"
+	"time"
 
 	"mapa/internal/graph"
 	"mapa/internal/match"
@@ -15,6 +17,34 @@ import (
 // bound caps both the one-time build cost and resident memory on large
 // machines.
 const DefaultUniverseCapacity = 200000
+
+// ShapeBuild records one universe build: the shape's size, the
+// resulting class count, which worker count built it, how long the
+// enumeration took, and the work-stealing partitioner's claimed-cost
+// imbalance (1 for sequential builds). Build timings sit on the
+// serving path of every cold start — a topology-aware allocator must
+// come up on daemon start before it can place anything — so the store
+// keeps them as first-class stats.
+type ShapeBuild struct {
+	// Vertices and Edges describe the canonical pattern built.
+	Vertices, Edges int
+	// Classes is the universe's deduplicated class count; Complete is
+	// false when the enumeration overflowed the store capacity.
+	Classes  int
+	Complete bool
+	// Workers is the worker count the build ran with; Duration the
+	// wall time of the enumeration.
+	Workers  int
+	Duration time.Duration
+	// CostImbalance is max/min of the per-worker claimed estimated
+	// cost (see match.BuildStats); 1 for sequential builds. On hosts
+	// with fewer cores than workers one goroutine can drain the queue
+	// (+Inf); PlanImbalance is the host-independent plan metric.
+	CostImbalance float64
+	// PlanImbalance is the chunk plan's idealized claimed-cost
+	// imbalance (match.PlanImbalance); 1 for sequential builds.
+	PlanImbalance float64
+}
 
 // StoreStats is a snapshot of the universe store's counters.
 type StoreStats struct {
@@ -30,6 +60,10 @@ type StoreStats struct {
 	// universe's — the one case where filtering could reorder the
 	// truncated candidate prefix).
 	FilterServed, FilterRejected uint64
+	// Builds records every universe enumeration in completion order;
+	// BuildTime is their summed wall time.
+	Builds    []ShapeBuild
+	BuildTime time.Duration
 }
 
 // universeSlot holds one canonical shape's universe, built at most
@@ -49,11 +83,12 @@ type universeSlot struct {
 // use and is designed to be shared across engines comparing policies
 // on the same machine.
 type Store struct {
-	mu        sync.Mutex
-	top       *topology.Topology
-	capacity  int
-	universes map[string]*universeSlot // canonical fingerprint -> slot
-	stats     StoreStats
+	mu           sync.Mutex
+	top          *topology.Topology
+	capacity     int
+	buildWorkers int
+	universes    map[string]*universeSlot // canonical fingerprint -> slot
+	stats        StoreStats
 }
 
 // NewStore returns a universe store for the topology. capacity bounds
@@ -75,6 +110,29 @@ func (s *Store) Bound(top *topology.Topology) bool {
 	return s != nil && s.top == top
 }
 
+// SetBuildWorkers sets a floor on the worker count of every universe
+// build this store runs, whichever layer triggers it: an on-demand
+// build from a sequential decision path still enumerates with n
+// workers. n < 2 restores caller-supplied worker counts only. Safe to
+// call concurrently with builds; it affects builds that start after
+// the call.
+func (s *Store) SetBuildWorkers(n int) {
+	s.mu.Lock()
+	s.buildWorkers = n
+	s.mu.Unlock()
+}
+
+// effectiveWorkers resolves a caller-supplied worker count against the
+// store's build-worker floor.
+func (s *Store) effectiveWorkers(workers int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.buildWorkers > workers {
+		return s.buildWorkers
+	}
+	return workers
+}
+
 // slot returns the canonical shape's slot, creating it (unbuilt) on
 // first sight. The universe itself is built outside the store lock.
 func (s *Store) slot(ci *canonInfo, pattern *graph.Graph) *universeSlot {
@@ -89,17 +147,46 @@ func (s *Store) slot(ci *canonInfo, pattern *graph.Graph) *universeSlot {
 }
 
 // universe returns the built universe for the canonical shape,
-// building it on first use with the given worker count.
+// building it on first use with the given worker count subject to the
+// store's build-worker floor. Decision paths (FilteredEntry,
+// Views.Entry) come through here; Warm resolves the floor once for its
+// whole budget and uses universeWith directly.
 func (s *Store) universe(ci *canonInfo, pattern *graph.Graph, workers int) *universeSlot {
+	return s.universeWith(ci, pattern, s.effectiveWorkers(workers))
+}
+
+// universeWith builds the canonical shape's universe on first use with
+// exactly the given worker count, recording the build's timing and
+// partitioner balance. Concurrent callers for the same shape converge
+// on one build via the slot's once; callers for distinct shapes build
+// independently — the concurrency Warm exploits.
+func (s *Store) universeWith(ci *canonInfo, pattern *graph.Graph, workers int) *universeSlot {
 	sl := s.slot(ci, pattern)
 	sl.once.Do(func() {
-		sl.u = match.BuildUniverse(sl.pattern, s.top.Graph, s.capacity, workers)
+		start := time.Now()
+		u, bs := match.BuildUniverseStats(sl.pattern, s.top.Graph, s.capacity, workers)
+		build := ShapeBuild{
+			Vertices:      sl.pattern.NumVertices(),
+			Edges:         sl.pattern.NumEdges(),
+			Classes:       u.Len(),
+			Complete:      u.Complete(),
+			Workers:       workers,
+			Duration:      time.Since(start),
+			CostImbalance: bs.CostImbalance(), // nil-safe: 1 for sequential builds
+			PlanImbalance: 1,
+		}
+		if bs != nil {
+			build.PlanImbalance = bs.Plan
+		}
+		sl.u = u
 		s.mu.Lock()
-		if sl.u.Complete() {
+		if u.Complete() {
 			s.stats.Universes++
 		} else {
 			s.stats.Incomplete++
 		}
+		s.stats.Builds = append(s.stats.Builds, build)
+		s.stats.BuildTime += build.Duration
 		s.mu.Unlock()
 	})
 	return sl
@@ -109,10 +196,92 @@ func (s *Store) universe(ci *canonInfo, pattern *graph.Graph, workers int) *univ
 // init-time enumeration MAPA pays once per shape instead of on the
 // first decision. It returns how many complete universes the store now
 // holds for the requested shapes (already-warm shapes count).
+//
+// With workers > 1 (after applying the SetBuildWorkers floor) distinct
+// shapes build concurrently under one bounded worker budget: up to
+// `workers` enumeration goroutines in total, split statically between
+// concurrent shape builds and each build's internal work-stealing
+// pool. Shapes are queued in descending estimated build cost (the same
+// root cost model the partitioner plans with, summed — no enumeration
+// needed), so the dominant shape starts at t=0 instead of landing on
+// the tail after the budget has drained to a single sequential worker.
+// The store stays fully usable while warming runs — a concurrent
+// FilteredEntry or Views.Entry for a shape being warmed blocks only on
+// that shape's build (sync.Once), and any other shape is unaffected —
+// so callers may serve decisions before Warm returns.
 func (s *Store) Warm(workers int, patterns ...*graph.Graph) int {
+	workers = s.effectiveWorkers(workers)
+	// The budget splits over *distinct* universes, so collapse the
+	// request to one representative per canonical shape first — warm
+	// sets routinely carry isomorphic duplicates (Ring(3) and
+	// AllToAll(3) are the same canonical triangle), and counting them
+	// as separate builds would starve every real build's pool.
+	infos := make([]*canonInfo, len(patterns))
+	var uniq []int
+	seen := make(map[string]bool, len(patterns))
+	for i, p := range patterns {
+		infos[i] = canon.info(p)
+		if !seen[infos[i].canon] {
+			seen[infos[i].canon] = true
+			uniq = append(uniq, i)
+		}
+	}
+	if workers < 2 || len(uniq) < 2 {
+		for _, i := range uniq {
+			s.universeWith(infos[i], patterns[i], workers)
+		}
+	} else {
+		// Order the queue by estimated build cost, most expensive
+		// first.
+		type costed struct {
+			idx  int
+			cost float64
+		}
+		queue := make([]costed, len(uniq))
+		for j, i := range uniq {
+			queue[j] = costed{idx: i, cost: match.EstimateBuildCost(patterns[i], s.top.Graph)}
+		}
+		sort.SliceStable(queue, func(a, b int) bool { return queue[a].cost > queue[b].cost })
+		uniq = uniq[:0]
+		for _, q := range queue {
+			uniq = append(uniq, q.idx)
+		}
+		// Split the worker budget: `builds` shapes in flight, each
+		// enumerating with workers/builds goroutines — the first
+		// workers%builds warm workers take one extra, so the whole
+		// requested budget is in use (universeWith applies no further
+		// floor).
+		builds := workers
+		if builds > len(uniq) {
+			builds = len(uniq)
+		}
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < builds; w++ {
+			inner := workers / builds
+			if w < workers%builds {
+				inner++
+			}
+			wg.Add(1)
+			go func(inner int) {
+				defer wg.Done()
+				for i := range next {
+					s.universeWith(infos[i], patterns[i], inner)
+				}
+			}(inner)
+		}
+		for _, i := range uniq {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	// Count per requested pattern (duplicates included), preserving the
+	// sequential Warm's return semantics; every universe is already
+	// built, so these lookups only read slots.
 	n := 0
-	for _, p := range patterns {
-		if sl := s.universe(canon.info(p), p, workers); sl.u.Complete() {
+	for i, p := range patterns {
+		if sl := s.universeWith(infos[i], p, 1); sl.u.Complete() {
 			n++
 		}
 	}
@@ -172,9 +341,12 @@ func (s *Store) FilteredEntry(pattern, avail *graph.Graph, maxCandidates, worker
 	return ent, order, true
 }
 
-// Stats returns a snapshot of the store's counters.
+// Stats returns a snapshot of the store's counters. The Builds slice
+// is copied, so the snapshot stays stable while builds continue.
 func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	out := s.stats
+	out.Builds = append([]ShapeBuild(nil), s.stats.Builds...)
+	return out
 }

@@ -171,6 +171,152 @@ func TestTruncatedFilterRejectedForRemappedShape(t *testing.T) {
 	}
 }
 
+// TestWarmConcurrentShapesMatchSequential pins the concurrent Warm
+// semantics: building distinct shapes in parallel under one worker
+// budget must produce exactly the universes a sequential warm builds,
+// count included.
+func TestWarmConcurrentShapesMatchSequential(t *testing.T) {
+	top := topology.DGXV100()
+	shapes := appgraph.AllShapes(5)
+	seq := NewStore(top, 0)
+	wantN := seq.Warm(1, shapes...)
+	con := NewStore(top, 0)
+	if gotN := con.Warm(4, shapes...); gotN != wantN {
+		t.Fatalf("concurrent Warm built %d complete universes, sequential %d", gotN, wantN)
+	}
+	seqStats, conStats := seq.Stats(), con.Stats()
+	if conStats.Universes != seqStats.Universes || conStats.Incomplete != seqStats.Incomplete {
+		t.Fatalf("concurrent stats %+v, sequential %+v", conStats, seqStats)
+	}
+	if len(conStats.Builds) != len(seqStats.Builds) {
+		t.Fatalf("concurrent ran %d builds, sequential %d", len(conStats.Builds), len(seqStats.Builds))
+	}
+	// Every shape must serve the same candidate prefix from both
+	// stores on a common availability state.
+	avail := top.Graph.Without([]int{1, 6})
+	for _, p := range shapes {
+		if p.NumVertices() > avail.NumVertices() {
+			continue
+		}
+		a, _, okA := seq.FilteredEntry(p, avail, 0, 1)
+		b, _, okB := con.FilteredEntry(p, avail, 0, 1)
+		if okA != okB {
+			t.Fatalf("shape %dv: serve disagreement seq=%v con=%v", p.NumVertices(), okA, okB)
+		}
+		if !okA {
+			continue
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("shape %dv: %d vs %d candidates", p.NumVertices(), a.Len(), b.Len())
+		}
+		for i := 0; i < a.Len(); i++ {
+			if a.Key(i) != b.Key(i) {
+				t.Fatalf("shape %dv candidate %d: keys diverge", p.NumVertices(), i)
+			}
+		}
+	}
+}
+
+// TestWarmRacesWithReaders interleaves a concurrent Warm with
+// FilteredEntry and NewViews/Entry readers on the same store — the
+// new concurrent-warm contract: the store serves soundly at every
+// point while warming is in flight (a reader needing a shape mid-build
+// blocks on that shape only), and Warm's return still means every
+// requested universe is resident. Run under -race in CI.
+func TestWarmRacesWithReaders(t *testing.T) {
+	top := topology.DGXV100()
+	s := NewStore(top, 0)
+	shapes := appgraph.AllShapes(5)
+	pattern := appgraph.Ring(3)
+	avail := top.Graph.Without([]int{0, 5})
+	wantMs, wantKeys := match.FindAllDedupedCappedKeys(pattern, avail, 0)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Warm(4, shapes...)
+	}()
+	for i := 0; i < 20; i++ {
+		ent, _, ok := s.FilteredEntry(pattern, avail, 0, 1)
+		if !ok {
+			t.Errorf("iter %d: FilteredEntry declined during warm", i)
+			break
+		}
+		if ent.Len() != len(wantMs) {
+			t.Errorf("iter %d: %d candidates, want %d", i, ent.Len(), len(wantMs))
+			break
+		}
+		views := s.NewViews()
+		vent, _, ok := views.Entry(pattern, top.Graph, 0, 1)
+		if !ok {
+			t.Errorf("iter %d: Views.Entry declined during warm", i)
+			break
+		}
+		if vent.Len() == 0 {
+			t.Errorf("iter %d: empty view entry", i)
+			break
+		}
+		if i%5 == 0 {
+			s.Stats()
+		}
+	}
+	<-done
+	// After Warm returns every requested shape is resident: no new
+	// builds for any of them.
+	universes := s.Stats().Universes
+	for _, p := range shapes {
+		s.FilteredEntry(p, top.Graph, 0, 1)
+	}
+	if got := s.Stats().Universes; got != universes {
+		t.Fatalf("post-warm reads built %d more universes", got-universes)
+	}
+	for i, k := range wantKeys {
+		ent, _, _ := s.FilteredEntry(pattern, avail, 0, 1)
+		if ent.Key(i) != k {
+			t.Fatalf("candidate %d key diverged after warm", i)
+		}
+		break
+	}
+}
+
+// TestSetBuildWorkersFloorsOnDemandBuilds: a store with a build-worker
+// floor must run even sequential-caller builds with the parallel
+// work-stealing enumeration — and record so in the build stats.
+func TestSetBuildWorkersFloorsOnDemandBuilds(t *testing.T) {
+	top := topology.DGXV100()
+	s := NewStore(top, 0)
+	s.SetBuildWorkers(4)
+	pattern := appgraph.Ring(3)
+	// workers=1 caller (a sequential decision path) triggers the build.
+	if _, _, ok := s.FilteredEntry(pattern, top.Graph, 0, 1); !ok {
+		t.Fatal("store declined")
+	}
+	st := s.Stats()
+	if len(st.Builds) != 1 {
+		t.Fatalf("builds = %d, want 1", len(st.Builds))
+	}
+	if st.Builds[0].Workers != 4 {
+		t.Fatalf("build ran with %d workers, want floor of 4", st.Builds[0].Workers)
+	}
+	if st.BuildTime <= 0 {
+		t.Fatal("build time not recorded")
+	}
+	if st.Builds[0].PlanImbalance < 1 {
+		t.Fatalf("plan imbalance %.3f < 1", st.Builds[0].PlanImbalance)
+	}
+	// The floored build must stay byte-identical to sequential.
+	wantMs, wantKeys := match.FindAllDedupedCappedKeys(pattern, top.Graph, 0)
+	ent, _, _ := s.FilteredEntry(pattern, top.Graph, 0, 1)
+	if ent.Len() != len(wantMs) {
+		t.Fatalf("%d candidates, want %d", ent.Len(), len(wantMs))
+	}
+	for i := range wantKeys {
+		if ent.Key(i) != wantKeys[i] {
+			t.Fatalf("candidate %d key diverged", i)
+		}
+	}
+}
+
 func TestStoreBound(t *testing.T) {
 	top := topology.DGXV100()
 	s := NewStore(top, 0)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"mapa/internal/effbw"
 	"mapa/internal/graph"
@@ -42,6 +43,13 @@ type CompareConfig struct {
 	// search partitioning of match.FindAllParallel); < 2 keeps the
 	// sequential matcher. Decisions are identical either way.
 	Workers int
+	// BuildWorkers floors the worker count of every idle-state
+	// universe build the shared store runs (warmed or on demand),
+	// independent of decision parallelism: the cost-estimated
+	// work-stealing build is what keeps one-time cold enumerations off
+	// the critical path on large machines. Unset, builds use Workers.
+	// Built universes are byte-identical at any worker count.
+	BuildWorkers int
 	// DisableCache turns off the per-engine tier-2 filtered-view
 	// cache, forcing a fresh candidate derivation for every decision.
 	DisableCache bool
@@ -71,11 +79,17 @@ func ComparePoliciesConfig(top *topology.Topology, policyNames []string, jobList
 }
 
 // PipelineStats bundles one engine's per-policy match-pipeline
-// counters: the tier-2 filtered-view cache and the tier-0 live views
-// (disabled tiers report zeros).
+// counters: the tier-2 filtered-view cache, the tier-0 live views
+// (disabled tiers report zeros), and the per-shape universe build
+// timings of the tier-1 store as of this policy's run completing.
+// Builds accumulate in the store shared across the comparison, so a
+// later policy's snapshot includes shapes first built by an earlier
+// one; BuildTime is their summed wall time.
 type PipelineStats struct {
-	Cache matchcache.Stats
-	Views matchcache.ViewStats
+	Cache     matchcache.Stats
+	Views     matchcache.ViewStats
+	Builds    []matchcache.ShapeBuild
+	BuildTime time.Duration
 }
 
 // ComparePoliciesInstrumented is ComparePoliciesConfig returning the
@@ -87,8 +101,15 @@ func ComparePoliciesInstrumented(top *topology.Topology, policyNames []string, j
 	var store *matchcache.Store
 	if !cfg.DisableUniverses {
 		store = matchcache.NewStore(top, matchcache.DefaultUniverseCapacity)
+		if cfg.BuildWorkers > 1 {
+			store.SetBuildWorkers(cfg.BuildWorkers)
+		}
 		if len(cfg.WarmPatterns) > 0 {
-			store.Warm(cfg.Workers, cfg.WarmPatterns...)
+			warmWorkers := cfg.Workers
+			if cfg.BuildWorkers > warmWorkers {
+				warmWorkers = cfg.BuildWorkers
+			}
+			store.Warm(warmWorkers, cfg.WarmPatterns...)
 		}
 	}
 	out := make(map[string]RunResult, len(policyNames))
@@ -118,6 +139,11 @@ func ComparePoliciesInstrumented(top *topology.Topology, policyNames []string, j
 			ps.Cache = e.Cache.Stats()
 		}
 		ps.Views = e.Views.Stats()
+		if store != nil {
+			ss := store.Stats()
+			ps.Builds = ss.Builds
+			ps.BuildTime = ss.BuildTime
+		}
 		pipeStats[name] = ps
 	}
 	if store == nil {

@@ -225,6 +225,41 @@ func TestPreserveBeatsBaselineAtTail(t *testing.T) {
 	t.Logf("Table 3 excerpt:\n%s", FormatTable3(rows))
 }
 
+// TestPipelineStatsSurfaceBuildTimings: a warmed comparison must
+// surface the shared store's per-shape universe build records through
+// every policy's PipelineStats, with the BuildWorkers floor applied.
+func TestPipelineStatsSurfaceBuildTimings(t *testing.T) {
+	top := topology.DGXV100()
+	cfg := CompareConfig{
+		Mode:         ModeFixed,
+		BuildWorkers: 4,
+		WarmPatterns: appgraph.AllShapes(4),
+	}
+	_, pipeStats, storeStats, err := ComparePoliciesInstrumented(top, []string{"baseline", "preserve"}, smallMix(20, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if storeStats == nil || len(storeStats.Builds) == 0 {
+		t.Fatalf("store stats carry no builds: %+v", storeStats)
+	}
+	for _, b := range storeStats.Builds {
+		// Warm splits the 4-worker budget between concurrent shape
+		// builds and each build's pool; every build records its actual
+		// (positive, within-budget) worker count.
+		if b.Workers < 1 || b.Workers > 4 {
+			t.Fatalf("build recorded %d workers, want within the 4-worker budget: %+v", b.Workers, b)
+		}
+		if b.Duration <= 0 {
+			t.Fatalf("build without a duration: %+v", b)
+		}
+	}
+	for name, ps := range pipeStats {
+		if len(ps.Builds) == 0 || ps.BuildTime <= 0 {
+			t.Fatalf("policy %s pipeline stats carry no build timings: %+v", name, ps)
+		}
+	}
+}
+
 func TestTable3Errors(t *testing.T) {
 	if _, err := Table3(map[string]RunResult{}, "baseline"); err == nil {
 		t.Error("missing baseline should error")

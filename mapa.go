@@ -26,6 +26,7 @@ package mapa
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"mapa/internal/appgraph"
 	"mapa/internal/effbw"
@@ -90,15 +91,16 @@ type Lease struct {
 // hardware-graph state: Allocate removes GPUs, Release restores them
 // (Sec. 3.6 of the paper). System is safe for concurrent use.
 type System struct {
-	mu     sync.Mutex
-	top    *topology.Topology
-	alloc  policy.Allocator
-	avail  *graph.Graph
-	cache  *matchcache.Cache
-	store  *matchcache.Store
-	views  *matchcache.Views
-	leases map[int][]int
-	nextID int
+	mu       sync.Mutex
+	top      *topology.Topology
+	alloc    policy.Allocator
+	avail    *graph.Graph
+	cache    *matchcache.Cache
+	store    *matchcache.Store
+	views    *matchcache.Views
+	leases   map[int][]int
+	nextID   int
+	warmDone chan struct{} // closed when background warming finishes; nil otherwise
 }
 
 // SystemOption configures a System at construction.
@@ -106,7 +108,9 @@ type SystemOption func(*systemConfig)
 
 type systemConfig struct {
 	workers          int
+	buildWorkers     int
 	warmMaxGPUs      int
+	backgroundWarm   bool
 	disableCache     bool
 	disableUniverses bool
 	disableLiveViews bool
@@ -117,6 +121,27 @@ type systemConfig struct {
 // the sequential matcher's.
 func WithWorkers(n int) SystemOption {
 	return func(c *systemConfig) { c.workers = n }
+}
+
+// WithBuildWorkers makes every idle-state universe build — warmed at
+// construction or triggered on demand by a first decision for a shape —
+// run the work-stealing parallel enumeration with n goroutines, even
+// when decisions themselves stay sequential. Universe builds are the
+// one-time cold-start cost on the serving path of large machines, so
+// they get their own knob; unset, builds use the WithWorkers count.
+// Built universes are byte-identical at any worker count.
+func WithBuildWorkers(n int) SystemOption {
+	return func(c *systemConfig) { c.buildWorkers = n }
+}
+
+// WithBackgroundWarming makes the WithWarmShapes precomputation run in
+// a background goroutine instead of blocking NewSystem, so the first
+// decisions overlap the warm-up: a decision needing a not-yet-warmed
+// shape builds that shape's universe on demand (the build is shared
+// with the warmer — never run twice), and every other shape keeps
+// warming behind it. WaitWarm blocks until warming completes.
+func WithBackgroundWarming() SystemOption {
+	return func(c *systemConfig) { c.backgroundWarm = true }
 }
 
 // WithWarmShapes precomputes the idle-state match universes for every
@@ -198,9 +223,25 @@ func NewSystem(topologyName, policyName string, opts ...SystemOption) (*System, 
 	}
 	if !cfg.disableUniverses {
 		s.store = matchcache.NewStore(top, matchcache.DefaultUniverseCapacity)
+		if cfg.buildWorkers > 1 {
+			s.store.SetBuildWorkers(cfg.buildWorkers)
+		}
 		policy.AttachUniverses(alloc, s.store)
 		if cfg.warmMaxGPUs > 1 {
-			s.store.Warm(cfg.workers, warmPatterns(cfg.warmMaxGPUs, top.NumGPUs())...)
+			warmWorkers := cfg.workers
+			if cfg.buildWorkers > warmWorkers {
+				warmWorkers = cfg.buildWorkers
+			}
+			shapes := warmPatterns(cfg.warmMaxGPUs, top.NumGPUs())
+			if cfg.backgroundWarm {
+				s.warmDone = make(chan struct{})
+				go func(done chan struct{}) {
+					defer close(done)
+					s.store.Warm(warmWorkers, shapes...)
+				}(s.warmDone)
+			} else {
+				s.store.Warm(warmWorkers, shapes...)
+			}
 		}
 		if !cfg.disableLiveViews {
 			// Tier 0: the System's allocate/release deltas keep
@@ -214,6 +255,17 @@ func NewSystem(topologyName, policyName string, opts ...SystemOption) (*System, 
 	return s, nil
 }
 
+// WaitWarm blocks until the WithBackgroundWarming precomputation has
+// finished (returning immediately when warming was synchronous, never
+// requested, or already done). Decisions never require it — unwarmed
+// shapes build on demand — but callers that want the full warm set
+// resident before a traffic spike can park on it.
+func (s *System) WaitWarm() {
+	if s.warmDone != nil {
+		<-s.warmDone
+	}
+}
+
 // CacheStats reports the match-pipeline counters of a System: the
 // tier-2 filtered-view cache (hits/misses/evictions) and the tier-1
 // idle-state universe store (universes built, miss decisions served by
@@ -225,6 +277,9 @@ type CacheStats struct {
 	// Tier 1: idle-state universe store.
 	Universes, UniversesIncomplete int
 	FilterServed, FilterRejected   uint64
+	// UniverseBuildTime is the summed wall time of every idle-state
+	// universe enumeration the store has run (warmed or on demand).
+	UniverseBuildTime time.Duration
 	// Tier 0: delta-maintained live views.
 	LiveViews                int
 	ViewServed, ViewRejected uint64
@@ -243,6 +298,7 @@ func (s *System) CacheStats() CacheStats {
 		ss := s.store.Stats()
 		out.Universes, out.UniversesIncomplete = ss.Universes, ss.Incomplete
 		out.FilterServed, out.FilterRejected = ss.FilterServed, ss.FilterRejected
+		out.UniverseBuildTime = ss.BuildTime
 	}
 	if s.views != nil {
 		vs := s.views.Stats()

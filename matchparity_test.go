@@ -227,6 +227,46 @@ func TestSystemWarmedServesFirstDecisionByFilter(t *testing.T) {
 	}
 }
 
+// TestSystemBackgroundWarmingParity verifies the overlap option: a
+// System built with WithBackgroundWarming serves decisions immediately
+// (on-demand builds share the warmer's sync.Once — never duplicated),
+// WaitWarm parks until the warm set is resident, and every decision is
+// byte-identical to a synchronously warmed System's.
+func TestSystemBackgroundWarmingParity(t *testing.T) {
+	sync1, err := NewSystem("dgx-v100", "preserve", WithWarmShapes(5), WithBuildWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := NewSystem("dgx-v100", "preserve", WithWarmShapes(5), WithBuildWorkers(4), WithBackgroundWarming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decide while warming may still be in flight.
+	req := JobRequest{NumGPUs: 4, Shape: "Ring", Sensitive: true}
+	lSync, err := sync1.Allocate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lBg, err := bg.Allocate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(lBg.GPUs) != fmt.Sprint(lSync.GPUs) {
+		t.Fatalf("background-warmed system allocated %v, synchronous %v", lBg.GPUs, lSync.GPUs)
+	}
+	bg.WaitWarm()
+	bg.WaitWarm() // idempotent
+	stSync, stBg := sync1.CacheStats(), bg.CacheStats()
+	if stBg.Universes != stSync.Universes {
+		t.Fatalf("after WaitWarm %d universes, synchronous warm %d", stBg.Universes, stSync.Universes)
+	}
+	if stBg.UniverseBuildTime <= 0 || stSync.UniverseBuildTime <= 0 {
+		t.Fatalf("universe build time not surfaced: bg=%v sync=%v", stBg.UniverseBuildTime, stSync.UniverseBuildTime)
+	}
+	// WaitWarm on a system without background warming returns at once.
+	sync1.WaitWarm()
+}
+
 // liveViewChurnVerify asserts the three-way byte-identity the live
 // views guarantee: the delta-maintained candidate list, the
 // full-universe mask filter, and a fresh deduplicated search on the
