@@ -840,6 +840,76 @@ func BenchmarkAllocationDecisionColdMissFiltered(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocationDecisionScored measures the steady-state warmed
+// allocation decision on the 72-GPU cluster — Ring(3), whose idle
+// universe holds 59,640 candidate classes, with 2 GPUs busy so ~57k
+// candidates stay live — for each MAPA selection order, in two modes:
+//
+//	table    decisions served by the precomputed score table over the
+//	         live view: per candidate, pure lookups plus O(k) Eq. 3
+//	         delta arithmetic; zero dynamic Scorer evaluations
+//	         (score.Evaluations), zero searches, zero universe scans.
+//	dynamic  score tables disabled: each decision materializes the live
+//	         candidate entry and scores every candidate dynamically —
+//	         the pre-table behavior this PR replaces.
+//
+// The four policy variants cover all four table selection strategies
+// (fully static order, EffBW-primary group, PreservedBW-primary
+// streaming argmax, AggBW-primary group). Decisions are byte-identical
+// across modes; CI archives the numbers in BENCH_matcher.json via
+// cmd/benchjson.
+func BenchmarkAllocationDecisionScored(b *testing.B) {
+	top := topology.ClusterA100(9)
+	pattern := appgraph.Ring(3)
+	scorer := score.NewScorer(effbw.TrainedFor(top))
+	busy := []int{1, 6}
+	avail := top.Graph.Without(busy)
+	variants := []struct {
+		name      string
+		mk        func() policy.Allocator
+		sensitive bool
+	}{
+		{"greedy", func() policy.Allocator { return policy.NewGreedy(scorer) }, true},
+		{"preserve-sensitive", func() policy.Allocator { return policy.NewPreserve(scorer) }, true},
+		{"preserve-insensitive", func() policy.Allocator { return policy.NewPreserve(scorer) }, false},
+		{"preserve-aggbw-sensitive", func() policy.Allocator { return policy.NewPreserveAggBW(scorer) }, true},
+	}
+	for _, mode := range []string{"table", "dynamic"} {
+		store := matchcache.NewStore(top, 0)
+		if mode == "dynamic" {
+			store.SetScoreTables(false)
+		}
+		store.Warm(1, pattern)
+		views := store.NewViews()
+		views.Allocate(busy)
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("mode=%s/policy=%s", mode, v.name), func(b *testing.B) {
+				p := v.mk()
+				policy.AttachUniverses(p, store)
+				policy.AttachViews(p, views)
+				req := policy.Request{Pattern: pattern, Sensitive: v.sensitive}
+				// Pay the one-time per-(table, model) order sort and
+				// per-state memoizations before timing: steady state is
+				// the regime under measurement.
+				if _, err := p.Allocate(avail, top, req); err != nil {
+					b.Fatal(err)
+				}
+				evals := score.Evaluations()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Allocate(avail, top, req); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if d := score.Evaluations() - evals; mode == "table" && d != 0 {
+					b.Fatalf("table mode ran %d dynamic score evaluations, want 0", d)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkNCCLDecompose measures the ring-channel analysis on a
 // 5-GPU allocation.
 func BenchmarkNCCLDecompose(b *testing.B) {

@@ -40,6 +40,7 @@ type options struct {
 	cache        bool
 	universes    bool
 	liveviews    bool
+	scoretables  bool
 	warm         bool
 	cacheStats   bool
 	verbose      bool
@@ -58,6 +59,7 @@ func main() {
 	flag.BoolVar(&o.cache, "cache", true, "reuse candidate lists across recurring free-GPU states (tier 2)")
 	flag.BoolVar(&o.universes, "universes", true, "derive new-state candidates by filtering idle-state universes (tier 1)")
 	flag.BoolVar(&o.liveviews, "liveviews", true, "maintain per-shape candidate views incrementally from allocate/release deltas (tier 0)")
+	flag.BoolVar(&o.scoretables, "scoretables", true, "precompute per-shape score tables so warmed decisions select by table lookups + O(k) arithmetic")
 	flag.BoolVar(&o.warm, "warm", false, "prewarm idle-state universes for every shape up to -max-gpus before scheduling")
 	flag.BoolVar(&o.cacheStats, "cachestats", false, "print match-pipeline hit/miss/eviction/filter counters per policy")
 	flag.BoolVar(&o.verbose, "v", false, "print the per-job log")
@@ -106,12 +108,13 @@ func run(o options) error {
 		policies = sched.PaperPolicies()
 	}
 	cfg := sched.CompareConfig{
-		Mode:             sched.ModeRealRun,
-		Workers:          o.workers,
-		BuildWorkers:     o.buildWorkers,
-		DisableCache:     !o.cache,
-		DisableUniverses: !o.universes,
-		DisableLiveViews: !o.liveviews,
+		Mode:               sched.ModeRealRun,
+		Workers:            o.workers,
+		BuildWorkers:       o.buildWorkers,
+		DisableCache:       !o.cache,
+		DisableUniverses:   !o.universes,
+		DisableLiveViews:   !o.liveviews,
+		DisableScoreTables: !o.scoretables,
 	}
 	if o.warm && o.universes {
 		cfg.WarmPatterns = warmPatterns(top, o.maxGPUs)
@@ -137,8 +140,8 @@ func run(o options) error {
 				fmt.Printf("  match cache: %d hits, %d misses, %d evictions, %d entries in %d shards\n",
 					cs.Hits, cs.Misses, cs.Evictions, cs.Entries, cs.Shards)
 				vs := ps.Views
-				fmt.Printf("  live views: %d views, %d misses view-served, %d rejected\n",
-					vs.Views, vs.Served, vs.Rejected)
+				fmt.Printf("  live views: %d views, %d misses view-served (%d by score table), %d rejected\n",
+					vs.Views, vs.Served, vs.TableServed, vs.Rejected)
 			}
 		}
 		if o.verbose {
@@ -164,14 +167,19 @@ func run(o options) error {
 		fmt.Printf("universe store (shared): %d universes (%d incomplete), %d misses filter-served, %d rejected\n",
 			storeStats.Universes, storeStats.Incomplete, storeStats.FilterServed, storeStats.FilterRejected)
 		if len(storeStats.Builds) > 0 {
-			fmt.Printf("universe builds: %d shapes in %v total\n", len(storeStats.Builds), storeStats.BuildTime)
+			fmt.Printf("universe builds: %d shapes in %v total; %d score tables in %v\n",
+				len(storeStats.Builds), storeStats.BuildTime, storeStats.Tables, storeStats.TableTime)
 			for _, bld := range storeStats.Builds {
 				state := "complete"
 				if !bld.Complete {
 					state = "incomplete"
 				}
-				fmt.Printf("  shape %dv/%de: %d classes (%s) in %v, workers=%d, plan imbalance %.2f, claimed %.2f\n",
-					bld.Vertices, bld.Edges, bld.Classes, state, bld.Duration, bld.Workers, bld.PlanImbalance, bld.CostImbalance)
+				plan := "static"
+				if bld.Calibrated {
+					plan = "calibrated"
+				}
+				fmt.Printf("  shape %dv/%de: %d classes (%s) in %v, workers=%d, %s plan imbalance %.2f, claimed %.2f\n",
+					bld.Vertices, bld.Edges, bld.Classes, state, bld.Duration, bld.Workers, plan, bld.PlanImbalance, bld.CostImbalance)
 			}
 		}
 	}

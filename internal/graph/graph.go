@@ -264,6 +264,34 @@ func (g *Graph) InducedSubgraph(vs []int) *Graph {
 	return s
 }
 
+// WeightWithout returns the total edge weight of the subgraph obtained
+// by removing the given vertices — Without(vs).TotalWeight() without
+// materializing the copy. All edge weights in this repository are
+// integral link bandwidths (see topology.LinkType.Bandwidth), so the
+// float64 sum is exact and independent of iteration order, making the
+// value bit-identical to the materializing form.
+func (g *Graph) WeightWithout(vs []int) float64 {
+	if len(vs) == 0 {
+		return g.TotalWeight()
+	}
+	gone := make(map[int]bool, len(vs))
+	for _, v := range vs {
+		gone[v] = true
+	}
+	var w float64
+	for u, nbrs := range g.adj {
+		if gone[u] {
+			continue
+		}
+		for v, e := range nbrs {
+			if u < v && !gone[v] {
+				w += e.Weight
+			}
+		}
+	}
+	return w
+}
+
 // Without returns a copy of g with the given vertices (and their
 // incident edges) removed. It is the remainder graph G \ M used for
 // Preserved Bandwidth (Eq. 3 in the paper).

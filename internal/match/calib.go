@@ -1,0 +1,119 @@
+// Adaptive cost calibration for the work-stealing universe builds. The
+// static per-root estimate (cost.go) is pure arithmetic over degree
+// data — good enough to kill the dense-root straggler, but blind to
+// how pruning actually plays out on a given (topology, shape) pair.
+// Every instrumented parallel build already measures each root
+// subtree's enumeration wall time (BuildStats.RootSeconds); the
+// calibration folds those measurements into a per-key EWMA and hands
+// them back as the plan costs of the next build of the same key, so
+// repeated builds on one machine tighten the chunk plan toward the
+// true work distribution. Only the plan changes — enumeration output is
+// byte-identical under any cost vector.
+package match
+
+import (
+	"sync"
+
+	"mapa/internal/graph"
+)
+
+// DefaultCalibrationAlpha is the EWMA weight of the newest observation.
+const DefaultCalibrationAlpha = 0.5
+
+// CostCalibration accumulates measured per-root build costs per key (a
+// (topology, canonical shape) pair in the store's usage) and serves the
+// calibrated cost vector for the next build. Safe for concurrent use.
+type CostCalibration struct {
+	mu    sync.Mutex
+	alpha float64
+	byKey map[string][]float64
+}
+
+// NewCostCalibration returns a calibration with the given EWMA weight
+// for new observations; out-of-range alphas fall back to
+// DefaultCalibrationAlpha.
+func NewCostCalibration(alpha float64) *CostCalibration {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultCalibrationAlpha
+	}
+	return &CostCalibration{alpha: alpha, byKey: make(map[string][]float64)}
+}
+
+// defaultCalibration is the process-wide calibration the universe
+// stores feed: measured timings from any store's build of a (topology,
+// shape) pair tighten every later build of that pair in the process.
+var defaultCalibration = NewCostCalibration(DefaultCalibrationAlpha)
+
+// DefaultCostCalibration returns the process-wide build calibration.
+func DefaultCostCalibration() *CostCalibration { return defaultCalibration }
+
+// Observe folds one build's measured per-root costs into the key's
+// EWMA. A measurement whose length disagrees with the stored vector
+// (the root set changed) replaces it outright.
+func (c *CostCalibration) Observe(key string, measured []float64) {
+	if c == nil || len(measured) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ewma, ok := c.byKey[key]
+	if !ok || len(ewma) != len(measured) {
+		c.byKey[key] = append([]float64(nil), measured...)
+		return
+	}
+	for i, m := range measured {
+		ewma[i] = (1-c.alpha)*ewma[i] + c.alpha*m
+	}
+}
+
+// Calibrated returns the key's calibrated cost vector when one exists
+// and is aligned with static (same root count); otherwise it returns
+// static unchanged with ok=false. The returned slice is a copy — the
+// planner may keep it past later Observes.
+func (c *CostCalibration) Calibrated(key string, static []float64) (costs []float64, ok bool) {
+	if c == nil {
+		return static, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ewma, found := c.byKey[key]
+	if !found || len(ewma) != len(static) {
+		return static, false
+	}
+	return append([]float64(nil), ewma...), true
+}
+
+// BuildUniverseCalibrated is BuildUniverseStats with the chunk plan
+// drawn from the calibration's measured per-root costs for key (static
+// estimate on first sight), and the build's own measurements folded
+// back in afterwards. The universe is byte-identical to BuildUniverse
+// at any calibration state; only the work-stealing plan tightens.
+// Sequential builds (workers < 2) neither use nor feed the calibration.
+func BuildUniverseCalibrated(pattern, data *graph.Graph, max, workers int, cal *CostCalibration, key string) (*Universe, *BuildStats) {
+	probe := 0
+	if max > 0 {
+		probe = max + 1 // one extra to detect truncation
+	}
+	var ms []Match
+	var keys []string
+	var bs *BuildStats
+	if workers > 1 {
+		sr := NewSearcher(pattern, data)
+		if cal != nil {
+			if costs, ok := cal.Calibrated(key, sr.RootCosts()); ok {
+				sr.SetCosts(costs)
+			}
+		}
+		ms, keys, bs = dedupedParallelOn(sr, pattern, workers, probe, true)
+		// Only complete builds feed the calibration: a cap-stopped
+		// enumeration leaves zero RootSeconds for every root it never
+		// ran, and adopting those zeros would teach the planner that
+		// genuinely expensive roots are free.
+		if cal != nil && bs != nil && len(bs.RootSeconds) > 0 && !(max > 0 && len(ms) > max) {
+			cal.Observe(key, bs.RootSeconds)
+		}
+	} else {
+		ms, keys = FindAllDedupedCappedKeys(pattern, data, probe)
+	}
+	return assembleUniverse(data, ms, keys, max), bs
+}

@@ -1,0 +1,117 @@
+package match
+
+import (
+	"testing"
+
+	"mapa/internal/graph"
+)
+
+func TestCostCalibrationEWMA(t *testing.T) {
+	c := NewCostCalibration(0.5)
+	c.Observe("k", []float64{8, 2})
+	got, ok := c.Calibrated("k", []float64{1, 1})
+	if !ok || got[0] != 8 || got[1] != 2 {
+		t.Fatalf("first observation should be adopted outright, got %v ok=%v", got, ok)
+	}
+	c.Observe("k", []float64{4, 4})
+	got, ok = c.Calibrated("k", []float64{1, 1})
+	if !ok || got[0] != 6 || got[1] != 3 {
+		t.Fatalf("EWMA(0.5) after {8,2},{4,4} = %v, want {6,3}", got)
+	}
+	// Length change (root set changed): replace, don't blend.
+	c.Observe("k", []float64{1, 2, 3})
+	if got, ok = c.Calibrated("k", []float64{0, 0, 0}); !ok || got[1] != 2 {
+		t.Fatalf("resized observation should replace, got %v ok=%v", got, ok)
+	}
+	// Unknown key or mismatched length falls back to the static costs.
+	static := []float64{5, 5}
+	if got, ok = c.Calibrated("other", static); ok || &got[0] != &static[0] {
+		t.Fatal("unknown key must return the static slice with ok=false")
+	}
+	if got, ok = c.Calibrated("k", static); ok {
+		t.Fatalf("length mismatch must fall back to static, got %v", got)
+	}
+	// The returned calibrated vector is a copy: mutating it must not
+	// corrupt the stored EWMA.
+	got, _ = c.Calibrated("k", []float64{0, 0, 0})
+	got[0] = -1
+	if again, _ := c.Calibrated("k", []float64{0, 0, 0}); again[0] == -1 {
+		t.Fatal("Calibrated must return a copy")
+	}
+}
+
+// TestCalibratedPlanNoWorseThanStatic is the acceptance check for the
+// adaptive calibration: when the measured per-root costs diverge from
+// the static estimate, planning from the calibrated costs must yield a
+// work-stealing plan whose imbalance — evaluated against the measured
+// truth — is no worse than the static plan's.
+func TestCalibratedPlanNoWorseThanStatic(t *testing.T) {
+	// Static estimate: uniform. Measured truth: one dominant root (the
+	// dense-subtree case the estimator can misjudge).
+	static := make([]float64, 16)
+	measured := make([]float64, 16)
+	for i := range static {
+		static[i] = 1
+		measured[i] = 1
+	}
+	measured[3] = 10
+	measured[11] = 8
+
+	c := NewCostCalibration(1)
+	c.Observe("k", measured)
+	calibrated, ok := c.Calibrated("k", static)
+	if !ok {
+		t.Fatal("calibration not served")
+	}
+	const workers = 4
+	staticPlan := PlanImbalance(measured, planChunks(static, workers), workers)
+	calibratedPlan := PlanImbalance(measured, planChunks(calibrated, workers), workers)
+	if calibratedPlan > staticPlan {
+		t.Fatalf("calibrated plan imbalance %.3f worse than static %.3f", calibratedPlan, staticPlan)
+	}
+	// With the dominant roots isolated into their own chunks the
+	// idealized claim spreads the uniform tail across the other
+	// workers: loads {10, 8, 7, 7}, imbalance 10/7.
+	if calibratedPlan > 10.0/7+1e-9 {
+		t.Fatalf("calibrated plan imbalance %.3f: dominant roots not isolated", calibratedPlan)
+	}
+}
+
+// TestBuildUniverseCalibratedByteIdentical pins that calibration only
+// moves the chunk plan: a calibrated rebuild emits the exact universe
+// of the uncalibrated build, and the second build reports Calibrated.
+func TestBuildUniverseCalibratedByteIdentical(t *testing.T) {
+	data := graph.New()
+	for v := 0; v < 12; v++ {
+		for u := v + 1; u < 12; u++ {
+			if (v+u)%3 != 0 {
+				data.MustAddEdge(v, u, float64(12+(v+u)%4), 0)
+			}
+		}
+	}
+	pattern := ringPatternBW(4)
+	want := BuildUniverse(pattern, data, 0, 1)
+
+	cal := NewCostCalibration(0.5)
+	first, bs1 := BuildUniverseCalibrated(pattern, data, 0, 4, cal, "k")
+	if bs1 == nil || bs1.Calibrated {
+		t.Fatalf("first build must plan from the static estimate, stats %+v", bs1)
+	}
+	if len(bs1.RootSeconds) == 0 {
+		t.Fatal("instrumented build must record per-root timings")
+	}
+	second, bs2 := BuildUniverseCalibrated(pattern, data, 0, 4, cal, "k")
+	if bs2 == nil || !bs2.Calibrated {
+		t.Fatalf("second build must plan from calibrated costs, stats %+v", bs2)
+	}
+	for _, u := range []*Universe{first, second} {
+		if u.Len() != want.Len() {
+			t.Fatalf("calibrated build holds %d classes, want %d", u.Len(), want.Len())
+		}
+		for i := 0; i < want.Len(); i++ {
+			if u.Key(i) != want.Key(i) {
+				t.Fatalf("class %d: key %q, want %q — calibration must not reorder output", i, u.Key(i), want.Key(i))
+			}
+		}
+	}
+}

@@ -183,6 +183,13 @@ type BuildStats struct {
 	// cost and root count actually claimed at runtime.
 	WorkerCost  []float64
 	WorkerRoots []int
+	// RootSeconds records each root subtree's measured enumeration wall
+	// time, aligned with Roots() — the feedback signal of the EWMA cost
+	// calibration. Roots skipped by a cap stop keep zero.
+	RootSeconds []float64
+	// Calibrated reports whether the plan was chunked from calibrated
+	// (measured) costs rather than the static degree-product estimate.
+	Calibrated bool
 }
 
 // CostImbalance returns max/min of the per-worker claimed estimated

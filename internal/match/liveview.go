@@ -31,6 +31,18 @@ import (
 //
 // A LiveView tracks one availability-state stream and is not safe for
 // concurrent use; callers (matchcache.Views) serialize access.
+//
+// A weighted view (NewWeightedLiveView) additionally maintains the
+// state side of the Eq. 3 delta decomposition on the same deltas: the
+// total edge weight of the current free set and, per GPU, the weight of
+// its edges into the free set, so
+//
+//	PreservedBW(S) = totalFree − Σ_{g∈S} incident[g] + internal(S)
+//
+// is O(k) arithmetic per candidate with zero graph walks (internal(S)
+// is the candidate's static constant, precomputed in score.Table). All
+// link bandwidths are integral, so the incrementally maintained sums
+// are exact and allocate/release are exact inverses.
 type LiveView struct {
 	u        *Universe
 	postings [][]int32 // data vertex ID -> ascending embedding indices containing it
@@ -38,6 +50,149 @@ type LiveView struct {
 	avail    graph.Bitset
 	live     graph.Bitset // embedding indices with blocked == 0
 	liveLen  int
+
+	// bw is the view's own bandwidth accounting (weighted views only).
+	// The accounting is shape-independent, so callers maintaining many
+	// views over one availability stream (matchcache.Views) keep ONE
+	// shared BandwidthAccounting beside unweighted views instead.
+	bw *BandwidthAccounting
+}
+
+// wedge is one weighted adjacency entry of the bandwidth accounting.
+type wedge struct {
+	to int32
+	w  float64
+}
+
+// BandwidthAccounting is the state side of the Eq. 3 delta
+// decomposition for one availability stream: the total edge weight of
+// the current free set and, per GPU, the weight of its edges into the
+// free set, maintained incrementally on the same allocate/release
+// GPU-set deltas the posting lists consume. It depends only on the
+// machine graph and the free set — not on any shape — so one instance
+// can price candidates for every pattern tracked on the stream. All
+// link bandwidths are integral, so the incrementally maintained sums
+// are exact and Allocate/Release are exact inverses. Not safe for
+// concurrent use; callers serialize access.
+type BandwidthAccounting struct {
+	totalFree float64   // summed weight of edges with both endpoints free
+	incident  []float64 // vertex -> summed weight of its edges into the free set
+	wadj      [][]wedge // vertex -> weighted adjacency, for delta updates
+	avail     graph.Bitset
+}
+
+// NewBandwidthAccounting sweeps data's edges once and returns the
+// accounting for the given initial free set. Vertices at or beyond
+// capacity are ignored (mirroring LiveView's posting lists); capacity
+// is normally graph.Capacity(data) — the universes' convention.
+func NewBandwidthAccounting(data *graph.Graph, free graph.Bitset, capacity int) *BandwidthAccounting {
+	a := &BandwidthAccounting{
+		incident: make([]float64, capacity),
+		wadj:     make([][]wedge, capacity),
+		avail:    graph.NewBitset(capacity),
+	}
+	for v := 0; v < capacity; v++ {
+		if free.Has(v) {
+			a.avail.Set(v)
+		}
+	}
+	for _, e := range data.Edges() {
+		if e.U >= capacity || e.V >= capacity {
+			continue
+		}
+		a.wadj[e.U] = append(a.wadj[e.U], wedge{to: int32(e.V), w: e.Weight})
+		a.wadj[e.V] = append(a.wadj[e.V], wedge{to: int32(e.U), w: e.Weight})
+		if a.avail.Has(e.U) {
+			a.incident[e.V] += e.Weight
+		}
+		if a.avail.Has(e.V) {
+			a.incident[e.U] += e.Weight
+		}
+		if a.avail.Has(e.U) && a.avail.Has(e.V) {
+			a.totalFree += e.Weight
+		}
+	}
+	return a
+}
+
+// Allocate marks the given vertices unavailable. Each vertex g leaving
+// the free set subtracts its incident-to-free weight from the total
+// (incident[g] never includes g itself — graphs have no self-loops)
+// and removes g from its neighbors' incident sums. Out-of-capacity
+// vertices are ignored; allocating an already-unavailable vertex
+// panics, mirroring LiveView.
+func (a *BandwidthAccounting) Allocate(gpus []int) {
+	for _, g := range gpus {
+		if g < 0 || g >= len(a.wadj) {
+			continue
+		}
+		if !a.avail.Has(g) {
+			panic(fmt.Sprintf("match: BandwidthAccounting.Allocate(%d): vertex already unavailable", g))
+		}
+		a.allocateOne(g)
+	}
+}
+
+// allocateOne applies one vertex's allocation delta; the caller has
+// already validated g's range and availability.
+func (a *BandwidthAccounting) allocateOne(g int) {
+	a.avail.Unset(g)
+	a.totalFree -= a.incident[g]
+	for _, e := range a.wadj[g] {
+		a.incident[e.to] -= e.w
+	}
+}
+
+// Release marks the given vertices available again — the exact inverse
+// of Allocate: incident[g] was maintained all along, so adding it back
+// restores the total bit for bit before the neighbors regain g.
+func (a *BandwidthAccounting) Release(gpus []int) {
+	for _, g := range gpus {
+		if g < 0 || g >= len(a.wadj) {
+			continue
+		}
+		if a.avail.Has(g) {
+			panic(fmt.Sprintf("match: BandwidthAccounting.Release(%d): vertex already available", g))
+		}
+		a.releaseOne(g)
+	}
+}
+
+// releaseOne applies one vertex's release delta — the exact inverse of
+// allocateOne; the caller has already validated g's range and
+// unavailability.
+func (a *BandwidthAccounting) releaseOne(g int) {
+	a.avail.Set(g)
+	a.totalFree += a.incident[g]
+	for _, e := range a.wadj[g] {
+		a.incident[e.to] += e.w
+	}
+}
+
+// FreeWeight returns the total edge weight of the tracked free set —
+// the availability graph's TotalWeight, maintained incrementally.
+func (a *BandwidthAccounting) FreeWeight() float64 { return a.totalFree }
+
+// FreeIncidentWeight returns the summed weight of GPU g's edges into
+// the tracked free set. Out-of-capacity vertices report zero.
+func (a *BandwidthAccounting) FreeIncidentWeight(g int) float64 {
+	if g < 0 || g >= len(a.incident) {
+		return 0
+	}
+	return a.incident[g]
+}
+
+// PreservedBW evaluates Eq. 3 for allocating the given GPU set out of
+// the tracked free state: the candidate's static internal-edge weight
+// plus the delta-maintained state terms, O(k) arithmetic in total. The
+// GPU set must lie inside the free set (candidates served from a live
+// set always do).
+func (a *BandwidthAccounting) PreservedBW(internal float64, gpus []int) float64 {
+	var drop float64
+	for _, g := range gpus {
+		drop += a.incident[g]
+	}
+	return a.totalFree - drop + internal
 }
 
 // NewLiveView builds the live view of u on an initial availability
@@ -80,6 +235,19 @@ func NewLiveView(u *Universe, free graph.Bitset) *LiveView {
 	return lv
 }
 
+// NewWeightedLiveView is NewLiveView with its own bandwidth
+// accounting: data must be the graph the universe was built on (the
+// full machine's hardware graph), supplying the edge weights the view
+// maintains incrementally. Building additionally costs one pass over
+// data's edges. Callers tracking many shapes on one availability
+// stream should instead keep one shared NewBandwidthAccounting beside
+// unweighted views — the accounting is shape-independent.
+func NewWeightedLiveView(u *Universe, free graph.Bitset, data *graph.Graph) *LiveView {
+	lv := NewLiveView(u, free)
+	lv.bw = NewBandwidthAccounting(data, free, u.Capacity())
+	return lv
+}
+
 // Universe returns the universe the view is maintained over.
 func (lv *LiveView) Universe() *Universe { return lv.u }
 
@@ -105,6 +273,9 @@ func (lv *LiveView) Allocate(gpus []int) {
 			panic(fmt.Sprintf("match: LiveView.Allocate(%d): vertex already unavailable", g))
 		}
 		lv.avail.Unset(g)
+		if lv.bw != nil {
+			lv.bw.allocateOne(g)
+		}
 		for _, i := range lv.postings[g] {
 			lv.blocked[i]++
 			if lv.blocked[i] == 1 {
@@ -127,6 +298,9 @@ func (lv *LiveView) Release(gpus []int) {
 			panic(fmt.Sprintf("match: LiveView.Release(%d): vertex already available", g))
 		}
 		lv.avail.Set(g)
+		if lv.bw != nil {
+			lv.bw.releaseOne(g)
+		}
 		for _, i := range lv.postings[g] {
 			lv.blocked[i]--
 			if lv.blocked[i] == 0 {
@@ -157,4 +331,38 @@ func (lv *LiveView) Candidates(max int) (idx []int, truncated bool) {
 		return len(idx) < n
 	})
 	return idx, truncated
+}
+
+// ForEachLive invokes fn for every live embedding index in enumeration
+// order. Return false from fn to stop early.
+func (lv *LiveView) ForEachLive(fn func(i int) bool) {
+	lv.live.ForEach(fn)
+}
+
+// Live reports whether embedding index i is currently live.
+func (lv *LiveView) Live(i int) bool { return lv.live.Has(i) }
+
+// Weighted reports whether the view maintains its own bandwidth
+// accounting.
+func (lv *LiveView) Weighted() bool { return lv.bw != nil }
+
+// FreeWeight returns the total edge weight of the tracked free set —
+// the availability graph's TotalWeight, maintained incrementally.
+// Weighted views only.
+func (lv *LiveView) FreeWeight() float64 { return lv.bw.FreeWeight() }
+
+// FreeIncidentWeight returns the summed weight of GPU g's hardware
+// edges into the tracked free set. Weighted views only; out-of-capacity
+// vertices report zero.
+func (lv *LiveView) FreeIncidentWeight(g int) float64 {
+	return lv.bw.FreeIncidentWeight(g)
+}
+
+// PreservedBW evaluates Eq. 3 for allocating the given GPU set out of
+// the tracked free state: the candidate's static internal-edge weight
+// plus the view's delta-maintained state terms, O(k) arithmetic in
+// total. The GPU set must lie inside the free set (candidates served
+// from the live set always do). Weighted views only.
+func (lv *LiveView) PreservedBW(internal float64, gpus []int) float64 {
+	return lv.bw.PreservedBW(internal, gpus)
 }

@@ -1,0 +1,207 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"mapa/internal/graph"
+)
+
+// ringPatternBW builds a k-ring pattern for the bandwidth tests.
+func ringPatternBW(k int) *graph.Graph {
+	g := graph.New()
+	for v := 0; v < k; v++ {
+		g.MustAddEdge(v, (v+1)%k, 1, 0)
+	}
+	return g
+}
+
+// checkBWOracle asserts the weighted view's delta-maintained accounting
+// against a from-scratch recomputation on the induced free subgraph:
+// FreeWeight must equal the induced subgraph's total weight, every
+// vertex's FreeIncidentWeight its summed edges into the free set, and
+// PreservedBW the exact remainder weight after removing a candidate.
+// All weights are integral, so every comparison is exact equality.
+func checkBWOracle(t *testing.T, lv *LiveView, data *graph.Graph, free []int, step string) {
+	t.Helper()
+	avail := data.InducedSubgraph(free)
+	if got, want := lv.FreeWeight(), avail.TotalWeight(); got != want {
+		t.Fatalf("%s: FreeWeight = %g, induced subgraph weighs %g", step, got, want)
+	}
+	inFree := make(map[int]bool, len(free))
+	for _, g := range free {
+		inFree[g] = true
+	}
+	for _, v := range data.Vertices() {
+		var want float64
+		for _, e := range data.IncidentEdges(v) {
+			if inFree[e.Other(v)] {
+				want += e.Weight
+			}
+		}
+		if got := lv.FreeIncidentWeight(v); got != want {
+			t.Fatalf("%s: FreeIncidentWeight(%d) = %g, want %g", step, v, got, want)
+		}
+	}
+	// Every live candidate's Eq. 3 must equal the remainder weight.
+	lv.ForEachLive(func(i int) bool {
+		gpus := lv.Universe().Match(i).DataVertices()
+		var internal float64
+		for a, g := range gpus {
+			for _, h := range gpus[a+1:] {
+				internal += data.Weight(g, h)
+			}
+		}
+		if got, want := lv.PreservedBW(internal, gpus), avail.WeightWithout(gpus); got != want {
+			t.Fatalf("%s: PreservedBW(%v) = %g, want %g", step, gpus, got, want)
+		}
+		return true
+	})
+}
+
+// TestWeightedLiveViewChurnOracle churns a weighted view through seeded
+// allocate/release interleavings and cross-checks the bandwidth
+// accounting against the from-scratch oracle after every step,
+// finishing with a drain that must restore the idle sums bit for bit.
+func TestWeightedLiveViewChurnOracle(t *testing.T) {
+	data := graph.New()
+	// An irregular weighted graph: ring + chords with mixed integral
+	// weights.
+	for v := 0; v < 10; v++ {
+		data.MustAddEdge(v, (v+1)%10, float64(12+(v%3)*13), 0)
+	}
+	data.MustAddEdge(0, 5, 50, 0)
+	data.MustAddEdge(2, 7, 25, 0)
+	data.MustAddEdge(3, 8, 20, 0)
+	pattern := ringPatternBW(3)
+	u := BuildUniverse(pattern, data, 0, 1)
+	lv := NewWeightedLiveView(u, data.VertexBitset(), data)
+
+	idleTotal := lv.FreeWeight()
+	if idleTotal != data.TotalWeight() {
+		t.Fatalf("idle FreeWeight = %g, want %g", idleTotal, data.TotalWeight())
+	}
+	rng := rand.New(rand.NewSource(17))
+	free := append([]int(nil), data.Vertices()...)
+	var deltas [][]int
+	for step := 0; step < 300; step++ {
+		if len(free) >= 3 && (len(deltas) == 0 || rng.Intn(2) == 0) {
+			k := 1 + rng.Intn(3)
+			d := make([]int, 0, k)
+			for len(d) < k && len(free) > 0 {
+				i := rng.Intn(len(free))
+				d = append(d, free[i])
+				free[i] = free[len(free)-1]
+				free = free[:len(free)-1]
+			}
+			deltas = append(deltas, d)
+			lv.Allocate(d)
+		} else if len(deltas) > 0 {
+			i := rng.Intn(len(deltas))
+			d := deltas[i]
+			deltas[i] = deltas[len(deltas)-1]
+			deltas = deltas[:len(deltas)-1]
+			lv.Release(d)
+			free = append(free, d...)
+		}
+		checkBWOracle(t, lv, data, free, "churn step")
+	}
+	for _, d := range deltas {
+		lv.Release(d)
+		free = append(free, d...)
+	}
+	if lv.FreeWeight() != idleTotal {
+		t.Fatalf("drained FreeWeight = %g, want idle %g (delta accounting must invert exactly)",
+			lv.FreeWeight(), idleTotal)
+	}
+	checkBWOracle(t, lv, data, free, "after drain")
+}
+
+// TestUnweightedLiveViewReportsUnweighted pins the constructor split:
+// NewLiveView maintains no bandwidth accounting.
+func TestUnweightedLiveViewReportsUnweighted(t *testing.T) {
+	data := graph.New()
+	data.MustAddEdge(0, 1, 25, 0)
+	data.MustAddEdge(1, 2, 12, 0)
+	u := BuildUniverse(ringPatternBW(3), data, 0, 1)
+	if lv := NewLiveView(u, data.VertexBitset()); lv.Weighted() {
+		t.Fatal("NewLiveView must not enable bandwidth accounting")
+	}
+	if lv := NewWeightedLiveView(u, data.VertexBitset(), data); !lv.Weighted() {
+		t.Fatal("NewWeightedLiveView must enable bandwidth accounting")
+	}
+}
+
+// FuzzLiveViewBandwidth fuzzes the freeIncidentWeight delta accounting
+// against the recompute-from-scratch oracle: a random sparse-ID
+// weighted graph, a random allocate/revert/release stream, and after
+// every operation the maintained totals must equal the induced
+// subgraph's, exactly (integral weights).
+func FuzzLiveViewBandwidth(f *testing.F) {
+	f.Add(int64(1), uint8(3), []byte{1, 2, 3, 4, 5, 6})
+	f.Add(int64(7), uint8(4), []byte{0, 0, 1, 9, 200, 3, 17})
+	f.Add(int64(42), uint8(2), []byte{255, 128, 64, 32, 16, 8})
+	f.Fuzz(func(t *testing.T, seed int64, kRaw uint8, ops []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		// Sparse vertex IDs with random integral weights.
+		data := graph.New()
+		ids := rng.Perm(40)[:12]
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				if rng.Intn(3) == 0 {
+					data.MustAddEdge(ids[i], ids[j], float64(1+rng.Intn(50)), 0)
+				}
+			}
+		}
+		if data.NumVertices() < 4 {
+			t.Skip("too sparse")
+		}
+		k := int(kRaw%3) + 2
+		pattern := ringPatternBW(k)
+		u := BuildUniverse(pattern, data, 0, 1)
+		lv := NewWeightedLiveView(u, data.VertexBitset(), data)
+
+		verts := data.Vertices()
+		freeSet := make(map[int]bool, len(verts))
+		for _, v := range verts {
+			freeSet[v] = true
+		}
+		freeList := func() []int {
+			var out []int
+			for _, v := range verts {
+				if freeSet[v] {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		check := func(step string) {
+			avail := data.InducedSubgraph(freeList())
+			if got, want := lv.FreeWeight(), avail.TotalWeight(); got != want {
+				t.Fatalf("%s: FreeWeight = %g, want %g", step, got, want)
+			}
+			for _, v := range verts {
+				var want float64
+				for _, e := range data.IncidentEdges(v) {
+					if freeSet[e.Other(v)] {
+						want += e.Weight
+					}
+				}
+				if got := lv.FreeIncidentWeight(v); got != want {
+					t.Fatalf("%s: FreeIncidentWeight(%d) = %g, want %g", step, v, got, want)
+				}
+			}
+		}
+		for _, op := range ops {
+			v := verts[int(op)%len(verts)]
+			if freeSet[v] {
+				lv.Allocate([]int{v})
+				freeSet[v] = false
+			} else {
+				lv.Release([]int{v})
+				freeSet[v] = true
+			}
+			check("after op")
+		}
+	})
+}

@@ -15,6 +15,7 @@ package match
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mapa/internal/graph"
 )
@@ -26,6 +27,27 @@ import (
 type Searcher struct {
 	pg    *program
 	roots []int
+	costs []float64 // optional plan-cost override (SetCosts); nil = static estimate
+}
+
+// SetCosts overrides the static per-root cost estimate the
+// work-stealing planner chunks by — the hook the EWMA calibration uses
+// to feed measured enumeration times back into the plan. costs must be
+// aligned with Roots(); a mismatched length is ignored. Only the chunk
+// plan changes: enumeration output is byte-identical under any costs.
+func (sr *Searcher) SetCosts(costs []float64) {
+	if len(costs) == len(sr.roots) {
+		sr.costs = costs
+	}
+}
+
+// planCosts returns the per-root costs the dispatcher plans with: the
+// SetCosts override when present, the static estimate otherwise.
+func (sr *Searcher) planCosts() []float64 {
+	if sr.costs != nil {
+		return sr.costs
+	}
+	return sr.rootCosts()
 }
 
 // NewSearcher compiles pattern against data. The result is never nil;
@@ -170,7 +192,7 @@ func (t *capTracker) complete(i, classes int) {
 // further roots start (in-flight roots finish and are recorded). A
 // non-nil stats receives the dispatch accounting.
 func (sr *Searcher) forEachRoot(workers int, tr *capTracker, stats *BuildStats, fn func(se *Session, i int, root int) int) {
-	costs := sr.rootCosts()
+	costs := sr.planCosts()
 	chunks := planChunks(costs, workers)
 	if workers > len(chunks) {
 		workers = len(chunks)
@@ -185,6 +207,8 @@ func (sr *Searcher) forEachRoot(workers int, tr *capTracker, stats *BuildStats, 
 		stats.Plan = PlanImbalance(costs, chunks, workers)
 		stats.WorkerCost = make([]float64, workers)
 		stats.WorkerRoots = make([]int, workers)
+		stats.RootSeconds = make([]float64, len(sr.roots))
+		stats.Calibrated = sr.costs != nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -205,7 +229,17 @@ func (sr *Searcher) forEachRoot(workers int, tr *capTracker, stats *BuildStats, 
 					if tr != nil && tr.stop() {
 						return
 					}
+					var start time.Time
+					if stats != nil {
+						start = time.Now()
+					}
 					n := fn(se, i, sr.roots[i])
+					if stats != nil {
+						// Per-root wall time feeds the EWMA cost
+						// calibration; each RootSeconds slot is written
+						// by exactly one worker.
+						stats.RootSeconds[i] = time.Since(start).Seconds()
+					}
 					if tr != nil {
 						tr.complete(i, n)
 					}
@@ -278,7 +312,12 @@ func FindAllDedupedParallelKeys(pattern, data *graph.Graph, workers, max int) ([
 // when withStats is false) — the instrumentation behind the
 // universe-build benchmarks and Store build timings.
 func FindAllDedupedParallelKeysStats(pattern, data *graph.Graph, workers, max int, withStats bool) ([]Match, []string, *BuildStats) {
-	sr := NewSearcher(pattern, data)
+	return dedupedParallelOn(NewSearcher(pattern, data), pattern, workers, max, withStats)
+}
+
+// dedupedParallelOn is the FindAllDedupedParallelKeysStats body over an
+// already-compiled (and possibly cost-calibrated) Searcher.
+func dedupedParallelOn(sr *Searcher, pattern *graph.Graph, workers, max int, withStats bool) ([]Match, []string, *BuildStats) {
 	if workers < 2 || len(sr.roots) < 2 {
 		ms, keys := dedupedCappedKeys(sr.pg, pattern, max)
 		return ms, keys, nil

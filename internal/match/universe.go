@@ -72,9 +72,15 @@ func BuildUniverseStats(pattern, data *graph.Graph, max, workers int) (*Universe
 	} else {
 		ms, keys = FindAllDedupedCappedKeys(pattern, data, probe)
 	}
+	return assembleUniverse(data, ms, keys, max), bs
+}
+
+// assembleUniverse packages an enumeration (probed one past max) into a
+// Universe, marking it incomplete when the cap overflowed.
+func assembleUniverse(data *graph.Graph, ms []Match, keys []string, max int) *Universe {
 	capacity := graph.Capacity(data)
 	if max > 0 && len(ms) > max {
-		return &Universe{capacity: capacity, complete: false}, bs
+		return &Universe{capacity: capacity, complete: false}
 	}
 	u := &Universe{
 		matches:  ms,
@@ -93,7 +99,7 @@ func BuildUniverseStats(pattern, data *graph.Graph, max, workers int) (*Universe
 		}
 		u.sets[i] = b
 	}
-	return u, bs
+	return u
 }
 
 // Complete reports whether the universe holds every equivalence class.

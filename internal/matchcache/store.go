@@ -7,6 +7,7 @@ import (
 
 	"mapa/internal/graph"
 	"mapa/internal/match"
+	"mapa/internal/score"
 	"mapa/internal/topology"
 )
 
@@ -44,6 +45,12 @@ type ShapeBuild struct {
 	// PlanImbalance is the chunk plan's idealized claimed-cost
 	// imbalance (match.PlanImbalance); 1 for sequential builds.
 	PlanImbalance float64
+	// Calibrated reports whether the build's chunk plan came from
+	// measured per-root timings of an earlier build of this (topology,
+	// shape) pair (the process-wide EWMA calibration) rather than the
+	// static degree-product estimate. Always false for sequential
+	// builds.
+	Calibrated bool
 }
 
 // StoreStats is a snapshot of the universe store's counters.
@@ -64,16 +71,29 @@ type StoreStats struct {
 	// BuildTime is their summed wall time.
 	Builds    []ShapeBuild
 	BuildTime time.Duration
+	// Tables counts score tables built (the static-metric
+	// precomputation behind the table-served selection path);
+	// TableTime is their summed build wall time.
+	Tables    int
+	TableTime time.Duration
 }
 
 // universeSlot holds one canonical shape's universe, built at most
-// once. pattern and patternFP record the shape the universe's matches
-// are expressed in; isomorphic requests remap through the canonizer.
+// once, and its lazily built score table. pattern and patternFP record
+// the shape the universe's matches are expressed in; isomorphic
+// requests remap through the canonizer.
 type universeSlot struct {
 	once      sync.Once
 	u         *match.Universe
 	pattern   *graph.Graph
 	patternFP string
+
+	// table is the shape's precomputed static score table, built at
+	// most once — during Warm, or on first use by the table-served
+	// selection path — and only for complete universes with tables
+	// enabled. nil otherwise.
+	tableOnce sync.Once
+	table     *score.Table
 }
 
 // Store is the tier-1 idle-state universe store: one complete
@@ -85,8 +105,10 @@ type universeSlot struct {
 type Store struct {
 	mu           sync.Mutex
 	top          *topology.Topology
+	graphFP      string // structural fingerprint of top.Graph, for calibration keys
 	capacity     int
 	buildWorkers int
+	tablesOff    bool
 	universes    map[string]*universeSlot // canonical fingerprint -> slot
 	stats        StoreStats
 }
@@ -98,7 +120,12 @@ func NewStore(top *topology.Topology, capacity int) *Store {
 		capacity = DefaultUniverseCapacity
 	}
 	return &Store{
-		top:       top,
+		top: top,
+		// Measured root costs are a function of the data graph's
+		// structure, so the calibration keys by graph content — not by
+		// topology name, which distinct graphs can share (e.g.
+		// different MIG splits of one machine).
+		graphFP:   top.Graph.Fingerprint(),
 		capacity:  capacity,
 		universes: make(map[string]*universeSlot),
 	}
@@ -133,6 +160,51 @@ func (s *Store) effectiveWorkers(workers int) int {
 	return workers
 }
 
+// SetScoreTables enables or disables score-table precomputation (on by
+// default). With tables off, no slot ever builds one and the
+// table-served selection path declines, so policies fall back to the
+// entry-materializing tiers — the knob behind mapa.WithoutScoreTables
+// and the table-vs-dynamic benchmarks. Intended to be set before the
+// store serves decisions; a table already built stays built but is no
+// longer handed out.
+func (s *Store) SetScoreTables(enabled bool) {
+	s.mu.Lock()
+	s.tablesOff = !enabled
+	s.mu.Unlock()
+}
+
+// scoreTablesEnabled reports whether the store may build and serve
+// score tables.
+func (s *Store) scoreTablesEnabled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.tablesOff
+}
+
+// ensureTable returns the slot's score table, building it on first use
+// with up to `workers` goroutines. It returns nil — and the table-served
+// path falls back — when tables are disabled or the slot's universe is
+// incomplete. The build runs outside the store lock; concurrent callers
+// for one shape converge on a single build via the slot's once.
+func (s *Store) ensureTable(sl *universeSlot, workers int) *score.Table {
+	if !s.scoreTablesEnabled() {
+		return nil
+	}
+	sl.tableOnce.Do(func() {
+		if !sl.u.Complete() {
+			return
+		}
+		start := time.Now()
+		sl.table = score.BuildTable(s.top, sl.pattern, sl.u, workers)
+		elapsed := time.Since(start)
+		s.mu.Lock()
+		s.stats.Tables++
+		s.stats.TableTime += elapsed
+		s.mu.Unlock()
+	})
+	return sl.table
+}
+
 // slot returns the canonical shape's slot, creating it (unbuilt) on
 // first sight. The universe itself is built outside the store lock.
 func (s *Store) slot(ci *canonInfo, pattern *graph.Graph) *universeSlot {
@@ -157,14 +229,20 @@ func (s *Store) universe(ci *canonInfo, pattern *graph.Graph, workers int) *univ
 
 // universeWith builds the canonical shape's universe on first use with
 // exactly the given worker count, recording the build's timing and
-// partitioner balance. Concurrent callers for the same shape converge
-// on one build via the slot's once; callers for distinct shapes build
-// independently — the concurrency Warm exploits.
+// partitioner balance. Parallel builds plan their chunks from the
+// process-wide EWMA cost calibration — measured per-root timings of any
+// earlier build of this (topology, shape) pair — and feed their own
+// timings back, so repeated builds tighten the work-stealing plan.
+// Concurrent callers for the same shape converge on one build via the
+// slot's once; callers for distinct shapes build independently — the
+// concurrency Warm exploits.
 func (s *Store) universeWith(ci *canonInfo, pattern *graph.Graph, workers int) *universeSlot {
 	sl := s.slot(ci, pattern)
 	sl.once.Do(func() {
 		start := time.Now()
-		u, bs := match.BuildUniverseStats(sl.pattern, s.top.Graph, s.capacity, workers)
+		calKey := s.graphFP + "|" + ci.canon
+		u, bs := match.BuildUniverseCalibrated(sl.pattern, s.top.Graph, s.capacity, workers,
+			match.DefaultCostCalibration(), calKey)
 		build := ShapeBuild{
 			Vertices:      sl.pattern.NumVertices(),
 			Edges:         sl.pattern.NumEdges(),
@@ -177,6 +255,7 @@ func (s *Store) universeWith(ci *canonInfo, pattern *graph.Graph, workers int) *
 		}
 		if bs != nil {
 			build.PlanImbalance = bs.Plan
+			build.Calibrated = bs.Calibrated
 		}
 		sl.u = u
 		s.mu.Lock()
@@ -275,6 +354,18 @@ func (s *Store) Warm(workers int, patterns ...*graph.Graph) int {
 		}
 		close(next)
 		wg.Wait()
+	}
+	// Warm the score tables of the complete universes just built, under
+	// the same worker budget: tables are per-candidate pure functions,
+	// so one shape at a time with the full budget utilizes it best, and
+	// link mixes shared across shapes (same GPU sets) are decomposed
+	// once via the process-wide memo.
+	if s.scoreTablesEnabled() {
+		for _, i := range uniq {
+			if sl := s.universeWith(infos[i], patterns[i], 1); sl.u.Complete() {
+				s.ensureTable(sl, workers)
+			}
+		}
 	}
 	// Count per requested pattern (duplicates included), preserving the
 	// sequential Warm's return semantics; every universe is already

@@ -1,0 +1,119 @@
+package matchcache
+
+import (
+	"testing"
+
+	"mapa/internal/graph"
+	"mapa/internal/match"
+	"mapa/internal/score"
+	"mapa/internal/topology"
+)
+
+func tableRing(k int) *graph.Graph {
+	g := graph.New()
+	for v := 0; v < k; v++ {
+		g.MustAddEdge(v, (v+1)%k, 1, 0)
+	}
+	return g
+}
+
+// TestWarmBuildsScoreTables: Warm must leave each complete shape with a
+// built score table (counted in the stats), and SelectLive must serve
+// from it with the counters advancing.
+func TestWarmBuildsScoreTables(t *testing.T) {
+	top := topology.DGXV100()
+	s := NewStore(top, 0)
+	ring := tableRing(3)
+	s.Warm(2, ring, tableRing(4))
+	st := s.Stats()
+	if st.Tables != 2 || st.TableTime <= 0 {
+		t.Fatalf("Warm built %d tables in %v, want 2 in > 0", st.Tables, st.TableTime)
+	}
+
+	v := s.NewViews()
+	called := false
+	ok := v.SelectLive(ring, top.Graph, 0, 1, func(lv *match.LiveView, bw *match.BandwidthAccounting, tbl *score.Table, order []int, truncated bool) {
+		called = true
+		if bw == nil {
+			t.Error("SelectLive must hand out the stream's bandwidth accounting")
+		} else if bw.FreeWeight() != top.Graph.TotalWeight() {
+			t.Errorf("idle FreeWeight = %g, want %g", bw.FreeWeight(), top.Graph.TotalWeight())
+		}
+		if tbl == nil || tbl.Len() != lv.Universe().Len() {
+			t.Errorf("table misaligned with universe")
+		}
+		if order != nil {
+			t.Errorf("structurally identical request needs no remap, got %v", order)
+		}
+		if truncated {
+			t.Error("unlimited cap cannot truncate")
+		}
+	})
+	if !ok || !called {
+		t.Fatalf("SelectLive declined a warmed shape (ok=%v called=%v)", ok, called)
+	}
+	if vs := v.Stats(); vs.Served != 1 || vs.TableServed != 1 {
+		t.Fatalf("SelectLive counters: %+v", vs)
+	}
+}
+
+// TestSelectLiveDisabledAndOutOfSync: tables off, or a mask that
+// disagrees with the tracked stream, must decline without touching the
+// Served/Rejected counters (the caller falls through to Entry, which
+// applies and counts the same rules).
+func TestSelectLiveDisabledAndOutOfSync(t *testing.T) {
+	top := topology.DGXV100()
+	ring := tableRing(3)
+
+	off := NewStore(top, 0)
+	off.SetScoreTables(false)
+	off.Warm(1, ring)
+	if st := off.Stats(); st.Tables != 0 {
+		t.Fatalf("tables-disabled store built %d tables", st.Tables)
+	}
+	v := off.NewViews()
+	if v.SelectLive(ring, top.Graph, 0, 1, func(*match.LiveView, *match.BandwidthAccounting, *score.Table, []int, bool) {}) {
+		t.Fatal("SelectLive must decline with tables disabled")
+	}
+	if vs := v.Stats(); vs.Served != 0 || vs.Rejected != 0 {
+		t.Fatalf("declined SelectLive must not count: %+v", vs)
+	}
+
+	on := NewStore(top, 0)
+	on.Warm(1, ring)
+	v2 := on.NewViews()
+	// Mask out of sync: the view tracks an idle machine but the request
+	// claims GPU 0 is busy.
+	stale := top.Graph.Without([]int{0})
+	if v2.SelectLive(ring, stale, 0, 1, func(*match.LiveView, *match.BandwidthAccounting, *score.Table, []int, bool) {}) {
+		t.Fatal("SelectLive must decline an out-of-sync mask")
+	}
+	if vs := v2.Stats(); vs.Served != 0 || vs.Rejected != 0 {
+		t.Fatalf("declined SelectLive must not count: %+v", vs)
+	}
+}
+
+// TestStoreBuildCalibration: a parallel store build feeds the
+// process-wide EWMA calibration, so a later store's build of the same
+// (topology, shape) pair plans from measured costs and reports
+// Calibrated.
+func TestStoreBuildCalibration(t *testing.T) {
+	top := topology.DGXA100()
+	shape := tableRing(3)
+
+	first := NewStore(top, 0)
+	first.SetBuildWorkers(4)
+	first.Warm(4, shape)
+	// Seeded: at least one parallel build observed. A fresh store of the
+	// same topology must now plan the same shape from the calibration.
+	second := NewStore(top, 0)
+	second.SetBuildWorkers(4)
+	second.Warm(4, shape)
+	st := second.Stats()
+	if len(st.Builds) != 1 {
+		t.Fatalf("second store ran %d builds, want 1", len(st.Builds))
+	}
+	if !st.Builds[0].Calibrated {
+		t.Fatalf("second build of a measured shape must be calibrated: %+v", st.Builds[0])
+	}
+}

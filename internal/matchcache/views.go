@@ -5,6 +5,7 @@ import (
 
 	"mapa/internal/graph"
 	"mapa/internal/match"
+	"mapa/internal/score"
 	"mapa/internal/topology"
 )
 
@@ -20,14 +21,22 @@ type ViewStats struct {
 	// for a structurally different build of the shape) and handed down
 	// to the filter path.
 	Served, Rejected uint64
+	// TableServed counts the subset of Served decisions answered by the
+	// table-served selection path (SelectLive): candidate scores read
+	// from the shape's precomputed score table plus O(k) delta
+	// arithmetic, with zero dynamic score.Scorer evaluations.
+	TableServed uint64
 }
 
 // viewSlot is one canonical shape's live view, tagged with the
 // structural fingerprint of the pattern its universe was built from so
-// truncated candidate lists obey the same serving rule as Filter.
+// truncated candidate lists obey the same serving rule as Filter, and
+// carrying its universe slot so the table path can reach the shape's
+// score table.
 type viewSlot struct {
 	lv        *match.LiveView
 	patternFP string
+	usl       *universeSlot
 }
 
 // Views is tier 0 of the match pipeline: per-shape live candidate
@@ -62,17 +71,29 @@ type Views struct {
 	free  graph.Bitset // tracked free mask, capacity = full machine
 	slots map[string]*viewSlot
 	stats ViewStats
+
+	// bw is the stream's shared Eq. 3 bandwidth accounting, maintained
+	// once per delta and read by every shape's table-served selection —
+	// the accounting is shape-independent, so it lives here rather than
+	// inside each slot's view. nil when the store was created with
+	// score tables disabled (nothing would read it).
+	bw *match.BandwidthAccounting
 }
 
 // NewViews returns a live-view set over the store's universes,
 // tracking a fresh availability stream that starts with the whole
 // machine free.
 func (s *Store) NewViews() *Views {
-	return &Views{
+	free := s.top.Graph.VertexBitset()
+	v := &Views{
 		store: s,
-		free:  s.top.Graph.VertexBitset(),
+		free:  free,
 		slots: make(map[string]*viewSlot),
 	}
+	if s.scoreTablesEnabled() {
+		v.bw = match.NewBandwidthAccounting(s.top.Graph, free, graph.Capacity(s.top.Graph))
+	}
+	return v
 }
 
 // Bound reports whether the view set serves exactly this topology
@@ -94,6 +115,9 @@ func (v *Views) Allocate(gpus []int) {
 	for _, g := range gpus {
 		v.free.Unset(g)
 	}
+	if v.bw != nil {
+		v.bw.Allocate(gpus)
+	}
 	for _, sl := range v.slots {
 		sl.lv.Allocate(gpus)
 	}
@@ -109,6 +133,9 @@ func (v *Views) Release(gpus []int) {
 	defer v.mu.Unlock()
 	for _, g := range gpus {
 		v.free.Set(g)
+	}
+	if v.bw != nil {
+		v.bw.Release(gpus)
 	}
 	for _, sl := range v.slots {
 		sl.lv.Release(gpus)
@@ -144,15 +171,9 @@ func (v *Views) Entry(pattern, avail *graph.Graph, maxCandidates, workers int) (
 	if !mask.SubsetOf(v.free) || !v.free.SubsetOf(mask) {
 		return reject()
 	}
-	sl, seen := v.slots[ci.canon]
-	if !seen {
-		usl := v.store.universe(ci, pattern, workers)
-		if !usl.u.Complete() {
-			return reject()
-		}
-		sl = &viewSlot{lv: match.NewLiveView(usl.u, v.free), patternFP: usl.patternFP}
-		v.slots[ci.canon] = sl
-		v.stats.Views++
+	sl, ok2 := v.ensureSlot(ci, pattern, workers)
+	if !ok2 {
+		return reject()
 	}
 	idx, truncated := sl.lv.Candidates(maxCandidates)
 	if truncated && sl.patternFP != ci.exact {
@@ -173,6 +194,78 @@ func (v *Views) Entry(pattern, avail *graph.Graph, maxCandidates, workers int) (
 	order = canon.remap(sl.patternFP, ci, u.Order())
 	v.stats.Served++
 	return ent, order, true
+}
+
+// ensureSlot returns the canonical shape's live view slot, creating it
+// (and, on first sight, building the shape's universe) under the view
+// lock. ok is false when the universe overflowed its capacity. Slots
+// are unweighted: the stream's Eq. 3 bandwidth accounting is
+// shape-independent and lives once on the Views (v.bw), not per slot.
+func (v *Views) ensureSlot(ci *canonInfo, pattern *graph.Graph, workers int) (*viewSlot, bool) {
+	sl, seen := v.slots[ci.canon]
+	if seen {
+		return sl, true
+	}
+	usl := v.store.universe(ci, pattern, workers)
+	if !usl.u.Complete() {
+		return nil, false
+	}
+	sl = &viewSlot{
+		lv:        match.NewLiveView(usl.u, v.free),
+		patternFP: usl.patternFP,
+		usl:       usl,
+	}
+	v.slots[ci.canon] = sl
+	v.stats.Views++
+	return sl, true
+}
+
+// SelectLive serves a decision straight off the shape's live view and
+// precomputed score table, without materializing a candidate entry: sel
+// runs under the view lock with the delta-maintained live view, the
+// stream's shared Eq. 3 bandwidth accounting (current for the tracked
+// state), the shape's score table, the order remap for isomorphic
+// builds (nil when the request shape is structurally identical), and
+// whether the candidate cap truncates the live set — everything a
+// policy needs to run its selection as table lookups plus O(k)
+// arithmetic.
+//
+// SelectLive returns false — without invoking sel, and without counting
+// a rejection, since the caller falls through to Entry which applies
+// (and counts) the same rules — when the view layer cannot answer:
+// score tables disabled, availability stream out of sync, incomplete
+// universe, or a truncating cap for a structurally different build of
+// the shape (a foreign enumeration-order prefix, the same soundness
+// rule as Entry and Filter). On true, the decision is counted as
+// Served and TableServed.
+func (v *Views) SelectLive(pattern, avail *graph.Graph, maxCandidates, workers int, sel func(lv *match.LiveView, bw *match.BandwidthAccounting, tbl *score.Table, order []int, truncated bool)) bool {
+	if v == nil || v.bw == nil || !v.store.scoreTablesEnabled() {
+		return false
+	}
+	ci := canon.info(pattern)
+	mask := avail.VertexBitset()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !mask.SubsetOf(v.free) || !v.free.SubsetOf(mask) {
+		return false
+	}
+	sl, ok := v.ensureSlot(ci, pattern, workers)
+	if !ok {
+		return false
+	}
+	truncated := maxCandidates > 0 && sl.lv.Len() > maxCandidates
+	if truncated && sl.patternFP != ci.exact {
+		return false
+	}
+	tbl := v.store.ensureTable(sl.usl, workers)
+	if tbl == nil {
+		return false
+	}
+	order := canon.remap(sl.patternFP, ci, sl.lv.Universe().Order())
+	v.stats.Served++
+	v.stats.TableServed++
+	sel(sl.lv, v.bw, tbl, order, truncated)
+	return true
 }
 
 // Stats returns a snapshot of the view set's counters. A nil view set

@@ -199,9 +199,35 @@ func (t *TopoAware) Allocate(avail *graph.Graph, top *topology.Topology, req Req
 	return Allocation{}, ErrNoAllocation
 }
 
+// metric identifies one MAPA score dimension inside a policy's
+// selection order.
+type metric int
+
+const (
+	metricAggBW metric = iota
+	metricEffBW
+	metricPreservedBW
+)
+
+// metricOf extracts the named dimension from a score bundle.
+func metricOf(s score.Scores, m metric) float64 {
+	switch m {
+	case metricAggBW:
+		return s.AggBW
+	case metricEffBW:
+		return s.EffBW
+	default:
+		return s.PreservedBW
+	}
+}
+
 // mapaPolicy is the shared pattern-match-then-select skeleton of the
-// MAPA policies (Fig. 7). better decides whether candidate b beats
-// current best a for the given request.
+// MAPA policies (Fig. 7). rank names the request's selection order —
+// primary metric, then secondary — from which both the dynamic
+// comparator (better) and the table-served selection derive, so the
+// two paths apply one definition of the total order. AggBW and EffBW
+// are state-independent (precomputable per candidate at universe build
+// time); PreservedBW is the one state-dependent dimension.
 type mapaPolicy struct {
 	name          string
 	scorer        *score.Scorer
@@ -210,7 +236,18 @@ type mapaPolicy struct {
 	cache         *matchcache.Cache
 	store         *matchcache.Store
 	views         *matchcache.Views
-	better        func(req Request, a, b score.Scores) bool
+	rank          func(req Request) [2]metric
+}
+
+// better reports whether score bundle b strictly precedes a under the
+// request's selection order: primary metric descending, then secondary
+// metric descending.
+func (p *mapaPolicy) better(req Request, a, b score.Scores) bool {
+	r := p.rank(req)
+	if av, bv := metricOf(a, r[0]), metricOf(b, r[0]); bv != av {
+		return bv > av
+	}
+	return metricOf(b, r[1]) > metricOf(a, r[1])
 }
 
 func (p *mapaPolicy) Name() string { return p.name }
@@ -218,6 +255,15 @@ func (p *mapaPolicy) Name() string { return p.name }
 func (p *mapaPolicy) Allocate(avail *graph.Graph, top *topology.Topology, req Request) (Allocation, error) {
 	if err := validate(avail, req); err != nil {
 		return Allocation{}, err
+	}
+	// Warmed fast path: the shape's live view plus its precomputed
+	// score table answer the decision with table lookups and O(k)
+	// arithmetic — no entry materialization, no dynamic score
+	// evaluations — byte-identical to every path below.
+	if p.views.Bound(top) {
+		if alloc, err, served := p.allocateScored(avail, top, req); served {
+			return alloc, err
+		}
 	}
 	if p.cache.Bound(top) {
 		return p.allocateCached(avail, top, req)
@@ -230,6 +276,7 @@ func (p *mapaPolicy) Allocate(avail *graph.Graph, top *topology.Topology, req Re
 	}
 	sr := match.NewSearcher(req.Pattern, avail)
 	ky := match.NewKeyer(req.Pattern, sr.Order())
+	led := score.NewLedger(avail)
 	seen := make(map[string]bool)
 	var best Allocation
 	found := false
@@ -240,8 +287,13 @@ func (p *mapaPolicy) Allocate(avail *graph.Graph, top *topology.Topology, req Re
 			return true
 		}
 		seen[key] = true
-		cand := scoreAllocation(p.scorer, avail, top, req, m.Clone())
-		cand.key = key
+		mc := m.Clone()
+		cand := Allocation{
+			GPUs:   mc.DataVertices(),
+			Match:  mc,
+			Scores: p.scorer.ScoreLedger(top, req.Pattern, avail, mc, led),
+			key:    key,
+		}
 		if !found || p.beats(req, best, cand) {
 			best = cand
 			found = true
@@ -349,11 +401,15 @@ func (p *mapaPolicy) selectFromEntry(ent *matchcache.Entry, order []int, avail *
 	if ent.Len() == 0 {
 		return Allocation{}, ErrNoAllocation
 	}
+	// One bandwidth ledger prices Eq. 3 for the whole fill: candidates
+	// share the availability graph, so each one costs O(k²) arithmetic
+	// instead of an O(V+E) graph sweep.
+	led := score.NewLedger(avail)
 	scores := ent.Scores(p.scorer, p.workers, func(_ int, m match.Match) score.Scores {
 		if order != nil {
 			m = match.Match{Pattern: order, Data: m.Data}
 		}
-		return p.scorer.Score(top, req.Pattern, avail, m)
+		return p.scorer.ScoreLedger(top, req.Pattern, avail, m, led)
 	})
 	best := 0
 	for i := 1; i < ent.Len(); i++ {
@@ -386,18 +442,17 @@ func lexLess(a, b []int) bool {
 }
 
 // NewGreedy returns MAPA with the Greedy selection policy: maximum
-// Aggregated Bandwidth (Eq. 1), ignoring sensitivity.
+// Aggregated Bandwidth (Eq. 1), ignoring sensitivity. Both selection
+// metrics are state-independent, so the table-served path answers
+// Greedy decisions from a precomputed selection order alone.
 func NewGreedy(s *score.Scorer) Allocator {
 	sc := orDefault(s)
 	return &mapaPolicy{
 		name:          "greedy",
 		scorer:        sc,
 		maxCandidates: DefaultMaxCandidates,
-		better: func(_ Request, a, b score.Scores) bool {
-			if b.AggBW != a.AggBW {
-				return b.AggBW > a.AggBW
-			}
-			return b.EffBW > a.EffBW
+		rank: func(Request) [2]metric {
+			return [2]metric{metricAggBW, metricEffBW}
 		},
 	}
 }
@@ -411,17 +466,11 @@ func NewPreserve(s *score.Scorer) Allocator {
 		name:          "preserve",
 		scorer:        sc,
 		maxCandidates: DefaultMaxCandidates,
-		better: func(req Request, a, b score.Scores) bool {
+		rank: func(req Request) [2]metric {
 			if req.Sensitive {
-				if b.EffBW != a.EffBW {
-					return b.EffBW > a.EffBW
-				}
-				return b.PreservedBW > a.PreservedBW
+				return [2]metric{metricEffBW, metricPreservedBW}
 			}
-			if b.PreservedBW != a.PreservedBW {
-				return b.PreservedBW > a.PreservedBW
-			}
-			return b.EffBW > a.EffBW
+			return [2]metric{metricPreservedBW, metricEffBW}
 		},
 	}
 }
@@ -435,11 +484,8 @@ func NewEffBWOnly(s *score.Scorer) Allocator {
 		name:          "effbw-only",
 		scorer:        sc,
 		maxCandidates: DefaultMaxCandidates,
-		better: func(_ Request, a, b score.Scores) bool {
-			if b.EffBW != a.EffBW {
-				return b.EffBW > a.EffBW
-			}
-			return b.PreservedBW > a.PreservedBW
+		rank: func(Request) [2]metric {
+			return [2]metric{metricEffBW, metricPreservedBW}
 		},
 	}
 }
@@ -454,17 +500,11 @@ func NewPreserveAggBW(s *score.Scorer) Allocator {
 		name:          "preserve-aggbw",
 		scorer:        sc,
 		maxCandidates: DefaultMaxCandidates,
-		better: func(req Request, a, b score.Scores) bool {
+		rank: func(req Request) [2]metric {
 			if req.Sensitive {
-				if b.AggBW != a.AggBW {
-					return b.AggBW > a.AggBW
-				}
-				return b.PreservedBW > a.PreservedBW
+				return [2]metric{metricAggBW, metricPreservedBW}
 			}
-			if b.PreservedBW != a.PreservedBW {
-				return b.PreservedBW > a.PreservedBW
-			}
-			return b.AggBW > a.AggBW
+			return [2]metric{metricPreservedBW, metricAggBW}
 		},
 	}
 }

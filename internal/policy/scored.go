@@ -1,0 +1,197 @@
+// Table-served selection: the warmed fast path of the MAPA policies.
+//
+// With a live view (tier 0) and the shape's precomputed score table in
+// place, a steady-state decision never materializes a candidate entry
+// and never calls score.Scorer dynamically. Eq. 1 (AggBW) and Eq. 2
+// (EffBW) are state-independent — pure table lookups — and Eq. 3
+// decomposes into the view's delta-maintained state terms plus the
+// candidate's static internal-edge constant, O(k) arithmetic:
+//
+//	PreservedBW(S) = totalFreeWeight − Σ_{g∈S} freeIncidentWeight(g) + internal(S)
+//
+// Selection exploits how much of each policy's total order is static:
+//
+//   - Greedy's entire order (AggBW, EffBW, GPU set, key) is
+//     state-independent, so its winner is the first LIVE candidate in
+//     the precomputed sorted order — no arithmetic at all.
+//   - EffBW- and AggBW-primary orders (sensitive Preserve and the
+//     ablations) have a static primary: the first live candidate in the
+//     primary-sorted order pins the winning score group, and only that
+//     group's members need the O(k) Eq. 3 tie-break.
+//   - PreservedBW-primary orders (insensitive Preserve) stream an
+//     argmax over the live set with O(k) arithmetic per candidate.
+//
+// Every strategy applies the same total order as the dynamic comparator
+// — primary, secondary, lexicographic GPU set, canonical key — so
+// decisions are byte-identical to the scoring paths (all link
+// bandwidths are integral, making the delta-maintained sums exact).
+package policy
+
+import (
+	"mapa/internal/graph"
+	"mapa/internal/match"
+	"mapa/internal/score"
+	"mapa/internal/topology"
+)
+
+// allocateScored serves the decision from the shape's live view and
+// score table. served is false when the view layer cannot answer —
+// tables disabled, stream out of sync, incomplete universe, or a
+// truncating cap for a foreign build of the shape — and the caller
+// falls through to the entry-materializing tiers.
+func (p *mapaPolicy) allocateScored(avail *graph.Graph, top *topology.Topology, req Request) (alloc Allocation, err error, served bool) {
+	served = p.views.SelectLive(req.Pattern, avail, p.maxCandidates, p.workers,
+		func(lv *match.LiveView, bw *match.BandwidthAccounting, tbl *score.Table, order []int, truncated bool) {
+			best, ok := p.pickScored(lv, bw, tbl, req, truncated)
+			if !ok {
+				err = ErrNoAllocation
+				return
+			}
+			alloc = p.scoredAllocation(bw, tbl, order, best)
+		})
+	return alloc, err, served
+}
+
+// pickScored selects the winning universe index among the live
+// candidates, dispatching on how static the request's selection order
+// is. ok is false when no candidate is live.
+func (p *mapaPolicy) pickScored(lv *match.LiveView, bw *match.BandwidthAccounting, tbl *score.Table, req Request, truncated bool) (int, bool) {
+	if lv.Len() == 0 {
+		return 0, false
+	}
+	mt := tbl.ForModel(p.scorer.Model)
+	if truncated {
+		// A binding cap admits only the first maxCandidates live
+		// candidates in enumeration order — the exact prefix the entry
+		// paths would materialize — so the static orders (which ignore
+		// enumeration order) do not apply; stream the capped prefix.
+		return p.scoredArgmax(lv, bw, tbl, mt, req, p.maxCandidates), true
+	}
+	r := p.rank(req)
+	switch r[0] {
+	case metricAggBW:
+		ord := mt.AggOrder()
+		if r[1] == metricEffBW {
+			// Greedy: AggOrder embodies the full total order, so the
+			// first live candidate is the winner outright.
+			return firstLive(lv, ord), true
+		}
+		return p.scoredGroupArgmax(lv, bw, tbl, mt, req, ord, tbl.AggBW), true
+	case metricEffBW:
+		return p.scoredGroupArgmax(lv, bw, tbl, mt, req, mt.EffOrder(), mt.EffBW), true
+	default:
+		return p.scoredArgmax(lv, bw, tbl, mt, req, 0), true
+	}
+}
+
+// firstLive returns the first live candidate in the given order. The
+// caller guarantees at least one candidate is live.
+func firstLive(lv *match.LiveView, ord []int32) int {
+	for _, i := range ord {
+		if lv.Live(int(i)) {
+			return int(i)
+		}
+	}
+	panic("policy: no live candidate despite non-empty live view")
+}
+
+// scoredScores assembles the full score bundle of candidate i from the
+// table and the stream's bandwidth accounting.
+func scoredScores(bw *match.BandwidthAccounting, tbl *score.Table, mt *score.ModelTable, i int) score.Scores {
+	return score.Scores{
+		AggBW:       tbl.AggBW(i),
+		EffBW:       mt.EffBW(i),
+		PreservedBW: bw.PreservedBW(tbl.Internal(i), tbl.GPUs(i)),
+		Mix:         tbl.Mix(i),
+	}
+}
+
+// scoredBeats reports whether candidate j strictly precedes candidate i
+// (with score bundle si) in the policy's total order — the exact
+// comparator of mapaPolicy.beats over table-derived values.
+func (p *mapaPolicy) scoredBeats(bw *match.BandwidthAccounting, tbl *score.Table, mt *score.ModelTable, req Request, i int, si score.Scores, j int) (bool, score.Scores) {
+	sj := scoredScores(bw, tbl, mt, j)
+	if p.better(req, si, sj) {
+		return true, sj
+	}
+	if p.better(req, sj, si) {
+		return false, sj
+	}
+	if lexLess(tbl.GPUs(j), tbl.GPUs(i)) {
+		return true, sj
+	}
+	if lexLess(tbl.GPUs(i), tbl.GPUs(j)) {
+		return false, sj
+	}
+	u := tbl.Universe()
+	return u.Key(j) < u.Key(i), sj
+}
+
+// scoredArgmax streams the live candidates in enumeration order —
+// truncated to the first max when max > 0, matching the entry paths'
+// capped prefix — and returns the argmax under the policy's total
+// order, O(k) arithmetic per candidate.
+func (p *mapaPolicy) scoredArgmax(lv *match.LiveView, bw *match.BandwidthAccounting, tbl *score.Table, mt *score.ModelTable, req Request, max int) int {
+	best := -1
+	var bestScores score.Scores
+	n := 0
+	lv.ForEachLive(func(i int) bool {
+		if best < 0 {
+			best, bestScores = i, scoredScores(bw, tbl, mt, i)
+		} else if wins, si := p.scoredBeats(bw, tbl, mt, req, best, bestScores, i); wins {
+			best, bestScores = i, si
+		}
+		n++
+		return max <= 0 || n < max
+	})
+	return best
+}
+
+// scoredGroupArgmax serves a static-primary order: ord is sorted by the
+// primary metric descending, so the first live candidate in it pins the
+// winning primary value, and the winner is the argmax — under the full
+// total order — among the live members of that contiguous equal-primary
+// run. Only the run's members pay the O(k) Eq. 3 arithmetic.
+func (p *mapaPolicy) scoredGroupArgmax(lv *match.LiveView, bw *match.BandwidthAccounting, tbl *score.Table, mt *score.ModelTable, req Request, ord []int32, primary func(i int) float64) int {
+	j0 := 0
+	for ; j0 < len(ord); j0++ {
+		if lv.Live(int(ord[j0])) {
+			break
+		}
+	}
+	if j0 == len(ord) {
+		panic("policy: no live candidate despite non-empty live view")
+	}
+	best := int(ord[j0])
+	bestScores := scoredScores(bw, tbl, mt, best)
+	v0 := primary(best)
+	for j := j0 + 1; j < len(ord) && primary(int(ord[j])) == v0; j++ {
+		i := int(ord[j])
+		if !lv.Live(i) {
+			continue
+		}
+		if wins, si := p.scoredBeats(bw, tbl, mt, req, best, bestScores, i); wins {
+			best, bestScores = i, si
+		}
+	}
+	return best
+}
+
+// scoredAllocation packages the winning candidate exactly like
+// selectFromEntry: GPU set cloned, match re-expressed through the
+// isomorphic order remap when present, scores assembled from the table
+// and the view's bandwidth accounting.
+func (p *mapaPolicy) scoredAllocation(bw *match.BandwidthAccounting, tbl *score.Table, order []int, best int) Allocation {
+	u := tbl.Universe()
+	m := u.Match(best)
+	if order != nil {
+		m = match.Match{Pattern: order, Data: m.Data}
+	}
+	mt := tbl.ForModel(p.scorer.Model)
+	return Allocation{
+		GPUs:   append([]int(nil), tbl.GPUs(best)...),
+		Match:  m.Clone(),
+		Scores: scoredScores(bw, tbl, mt, best),
+		key:    u.Key(best),
+	}
+}

@@ -60,8 +60,14 @@ type CompareConfig struct {
 	// DisableLiveViews turns off the tier-0 delta-maintained live
 	// views, so misses are answered by mask-filtering the universe per
 	// decision instead of from incrementally maintained candidate
-	// lists.
+	// lists. Table-served selection rides on the views, so this
+	// disables it too.
 	DisableLiveViews bool
+	// DisableScoreTables turns off score-table precomputation on the
+	// shared store: warmed decisions materialize candidate entries and
+	// score them dynamically instead of running the table-served
+	// streaming argmax. Decisions are byte-identical either way.
+	DisableScoreTables bool
 	// WarmPatterns are job shapes whose idle-state universes are
 	// precomputed before any engine runs — the init-time enumeration
 	// paid once for the whole comparison instead of on first use.
@@ -86,10 +92,15 @@ func ComparePoliciesConfig(top *topology.Topology, policyNames []string, jobList
 // later policy's snapshot includes shapes first built by an earlier
 // one; BuildTime is their summed wall time.
 type PipelineStats struct {
-	Cache     matchcache.Stats
-	Views     matchcache.ViewStats
+	Cache matchcache.Stats
+	Views matchcache.ViewStats
+	// Builds/BuildTime mirror the shared store's universe enumerations;
+	// Tables/TableTime its score-table precomputations (zero with
+	// tables disabled).
 	Builds    []matchcache.ShapeBuild
 	BuildTime time.Duration
+	Tables    int
+	TableTime time.Duration
 }
 
 // ComparePoliciesInstrumented is ComparePoliciesConfig returning the
@@ -103,6 +114,11 @@ func ComparePoliciesInstrumented(top *topology.Topology, policyNames []string, j
 		store = matchcache.NewStore(top, matchcache.DefaultUniverseCapacity)
 		if cfg.BuildWorkers > 1 {
 			store.SetBuildWorkers(cfg.BuildWorkers)
+		}
+		if cfg.DisableScoreTables || cfg.DisableLiveViews {
+			// Tables are served only through the live views, so with
+			// views disabled warming them would be dead weight.
+			store.SetScoreTables(false)
 		}
 		if len(cfg.WarmPatterns) > 0 {
 			warmWorkers := cfg.Workers
@@ -143,6 +159,8 @@ func ComparePoliciesInstrumented(top *topology.Topology, policyNames []string, j
 			ss := store.Stats()
 			ps.Builds = ss.Builds
 			ps.BuildTime = ss.BuildTime
+			ps.Tables = ss.Tables
+			ps.TableTime = ss.TableTime
 		}
 		pipeStats[name] = ps
 	}

@@ -16,12 +16,20 @@
 // links and makes the predictor's inputs consistent with its training
 // distribution; scoring by the raw pattern-edge mix is available as
 // UsedLinkMix for the paper-literal ablation.
+//
+// Beyond the per-match evaluators, the package provides the static side
+// of the warmed fast path: Table precomputes every state-independent
+// metric of an idle-state universe (Eq. 1, the Eq. 2 link mix and
+// prediction, and the Eq. 3 internal-edge constant) so that steady-state
+// selection needs no dynamic Score calls at all — see Table and the
+// Evaluations counter.
 package score
 
 import (
-	"strconv"
-	"strings"
+	"container/list"
+	"encoding/binary"
 	"sync"
+	"sync/atomic"
 
 	"mapa/internal/effbw"
 	"mapa/internal/graph"
@@ -29,6 +37,18 @@ import (
 	"mapa/internal/ncclsim"
 	"mapa/internal/topology"
 )
+
+// evaluations counts every dynamic metric evaluation (Scorer.Score /
+// Scorer.ScoreLedger call) — the telemetry behind Evaluations().
+var evaluations atomic.Uint64
+
+// Evaluations returns the cumulative number of dynamic score
+// evaluations (Scorer.Score and Scorer.ScoreLedger calls) this process
+// has run. Like match.Searches and match.Filters it exists so tests can
+// prove a decision path's cost class: a table-served warmed decision
+// performs zero dynamic evaluations — every metric is either a
+// precomputed lookup or O(k) delta arithmetic.
+func Evaluations() uint64 { return evaluations.Load() }
 
 // AggregatedBandwidth computes Eq. 1: the sum of the weights of the
 // data-graph edges that are images of pattern edges, Σ w(e) for
@@ -50,20 +70,186 @@ func UsedLinkMix(pattern, hw *graph.Graph, m match.Match) effbw.LinkCounts {
 
 // PreservedBandwidth computes Eq. 3: the total weight of the subgraph
 // of hw induced by the vertices not in the allocation. allocated may
-// be any vertex set; vertices absent from hw are ignored.
+// be any vertex set; vertices absent from hw are ignored. The value is
+// computed by a single edge sweep (graph.WeightWithout) instead of
+// materializing hw.Without(allocated) — identical to the materializing
+// form bit for bit, since link bandwidths are integral.
 func PreservedBandwidth(hw *graph.Graph, allocated []int) float64 {
-	return hw.Without(allocated).TotalWeight()
+	return hw.WeightWithout(allocated)
+}
+
+// Ledger is the per-decision bandwidth accounting of one availability
+// graph: its total free weight and each vertex's incident free weight,
+// computed once per decision so Eq. 3 for every candidate costs O(k²)
+// arithmetic instead of an O(V+E) graph sweep per candidate.
+//
+// For an allocation S of the availability graph F:
+//
+//	PreservedBW(S) = W(F) − Σ_{g∈S} incident(g) + internal(S)
+//
+// where incident(g) sums g's edges into F (counting S–S edges twice
+// across the Σ) and internal(S) adds them back once. All weights are
+// integral link bandwidths, so the result is bit-identical to
+// PreservedBandwidth. A Ledger is immutable after construction and safe
+// for concurrent use.
+type Ledger struct {
+	hw       *graph.Graph
+	total    float64
+	incident map[int]float64
+}
+
+// NewLedger sweeps hw's edges once and returns its bandwidth ledger.
+func NewLedger(hw *graph.Graph) *Ledger {
+	l := &Ledger{
+		hw:       hw,
+		incident: make(map[int]float64, hw.NumVertices()),
+	}
+	for _, e := range hw.Edges() {
+		l.total += e.Weight
+		l.incident[e.U] += e.Weight
+		l.incident[e.V] += e.Weight
+	}
+	return l
+}
+
+// Preserved computes Eq. 3 for an allocation of the ledger's graph.
+func (l *Ledger) Preserved(gpus []int) float64 {
+	var drop, internal float64
+	for i, g := range gpus {
+		drop += l.incident[g]
+		for _, h := range gpus[i+1:] {
+			internal += l.hw.Weight(g, h)
+		}
+	}
+	return l.total - drop + internal
+}
+
+// mixShards is the shard count of the process-wide allocation-mix memo.
+// Power of two so the hash folds with a mask.
+const mixShards = 64
+
+// mixShard is one lock-striped slice of a topology's mix memo. Keys
+// pack the GPU set into bitset words (8 raw bytes per uint64) instead
+// of the former per-GPU decimal rendering, and lock striping replaces
+// the former single global mutex.
+type mixShard struct {
+	mu sync.Mutex
+	m  map[string]effbw.LinkCounts
+}
+
+// topoMixes is one topology instance's sharded mix memo.
+type topoMixes struct {
+	top    *topology.Topology
+	shards [mixShards]mixShard
+}
+
+// maxMixTopologies bounds how many topology instances the process-wide
+// mix registry tracks at once. Topologies are keyed by *instance*, not
+// by name — distinct graphs can share a name (e.g. different MIG
+// splits of one machine all render as "name+MIG"), and a name-keyed
+// memo would serve one split's ring channels to another — and
+// constructors mint fresh instances per call, so the registry evicts
+// least-recently-used instances past the bound: a long-running process
+// creating Systems forever stays bounded, while every live System
+// (whose topology pointer it keeps touching) stays memoized. Evicted
+// mixes are merely recomputed.
+const maxMixTopologies = 16
+
+// mixRegistry is the process-wide per-topology-instance mix registry.
+var mixRegistry struct {
+	mu  sync.Mutex
+	m   map[*topology.Topology]*list.Element // -> element holding *topoMixes
+	lru *list.List                           // front = most recently used
+}
+
+// mixesOf returns the topology instance's mix memo, creating it on
+// first sight and evicting the least recently used instance past the
+// registry bound.
+func mixesOf(top *topology.Topology) *topoMixes {
+	r := &mixRegistry
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = make(map[*topology.Topology]*list.Element)
+		r.lru = list.New()
+	}
+	if el, ok := r.m[top]; ok {
+		r.lru.MoveToFront(el)
+		return el.Value.(*topoMixes)
+	}
+	tm := &topoMixes{top: top}
+	r.m[top] = r.lru.PushFront(tm)
+	for r.lru.Len() > maxMixTopologies {
+		last := r.lru.Back()
+		r.lru.Remove(last)
+		delete(r.m, last.Value.(*topoMixes).top)
+	}
+	return tm
+}
+
+// mixSetKey renders a GPU set as a compact byte-string key and returns
+// it with its FNV-1a hash for shard selection.
+func mixSetKey(gpus []int) (string, uint64) {
+	maxID := 0
+	for _, g := range gpus {
+		if g > maxID {
+			maxID = g
+		}
+	}
+	words := make([]uint64, maxID/64+1)
+	for _, g := range gpus {
+		if g >= 0 {
+			words[g/64] |= 1 << (uint(g) % 64)
+		}
+	}
+	buf := make([]byte, 0, 8*len(words))
+	for _, w := range words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return string(buf), h
+}
+
+// allocationMix returns the memoized ring-channel link mix of the GPU
+// set on the topology, decomposing it on first sight. The mix is a
+// pure function of (topology, GPU set) — independent of any scorer,
+// model, or availability state — so the memo is shared by every Scorer
+// and every Table build on a topology instance: a mix decomposed while
+// warming a score table is never decomposed again by a dynamic
+// decision, and vice versa.
+func allocationMix(top *topology.Topology, gpus []int) effbw.LinkCounts {
+	set, h := mixSetKey(gpus)
+	sh := &mixesOf(top).shards[h%mixShards]
+	sh.mu.Lock()
+	if mix, ok := sh.m[set]; ok {
+		sh.mu.Unlock()
+		return mix
+	}
+	sh.mu.Unlock()
+	mix := effbw.MixFromDecomposition(top, ncclsim.Decompose(top, gpus))
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[string]effbw.LinkCounts)
+	}
+	sh.m[set] = mix
+	sh.mu.Unlock()
+	return mix
 }
 
 // Scorer evaluates all three MAPA metrics for candidate matches
-// against one effective-bandwidth model. It memoizes the per-subset
-// ring-channel analysis, which depends only on (topology, GPU set).
-// Scorer is safe for concurrent use.
+// against one effective-bandwidth model. The per-subset ring-channel
+// analysis — a function of (topology, GPU set) only — is memoized in a
+// process-wide sharded cache. Scorer is safe for concurrent use.
 type Scorer struct {
 	Model *effbw.Model
-
-	mu       sync.Mutex
-	mixCache map[string]effbw.LinkCounts
 }
 
 // NewScorer returns a Scorer using the given Eq. 2 model. A nil model
@@ -72,7 +258,7 @@ func NewScorer(m *effbw.Model) *Scorer {
 	if m == nil {
 		m = effbw.PaperModel()
 	}
-	return &Scorer{Model: m, mixCache: make(map[string]effbw.LinkCounts)}
+	return &Scorer{Model: m}
 }
 
 // Scores bundles every metric MAPA considers for one match.
@@ -85,30 +271,9 @@ type Scores struct {
 
 // AllocationMix returns the (x, y, z) mix of the links the collective
 // library's ring channels would traverse on the given allocation,
-// memoized per GPU set.
+// memoized per (topology instance, GPU set) across the whole process.
 func (s *Scorer) AllocationMix(top *topology.Topology, gpus []int) effbw.LinkCounts {
-	key := mixKey(top.Name, gpus)
-	s.mu.Lock()
-	if mix, ok := s.mixCache[key]; ok {
-		s.mu.Unlock()
-		return mix
-	}
-	s.mu.Unlock()
-	mix := effbw.MixFromDecomposition(top, ncclsim.Decompose(top, gpus))
-	s.mu.Lock()
-	s.mixCache[key] = mix
-	s.mu.Unlock()
-	return mix
-}
-
-func mixKey(name string, gpus []int) string {
-	var b strings.Builder
-	b.WriteString(name)
-	for _, g := range gpus {
-		b.WriteByte(':')
-		b.WriteString(strconv.Itoa(g))
-	}
-	return b.String()
+	return allocationMix(top, gpus)
 }
 
 // Score evaluates the match of pattern into hw on the given machine.
@@ -116,16 +281,34 @@ func mixKey(name string, gpus []int) string {
 // analysis; if nil, the EffBW prediction falls back to the literal
 // pattern-edge mix.
 func (s *Scorer) Score(top *topology.Topology, pattern, hw *graph.Graph, m match.Match) Scores {
+	return s.score(top, pattern, hw, m, nil)
+}
+
+// ScoreLedger is Score with Eq. 3 answered from a precomputed Ledger of
+// hw — the per-decision fast path when many candidates share one
+// availability graph. The ledger must have been built from hw.
+func (s *Scorer) ScoreLedger(top *topology.Topology, pattern, hw *graph.Graph, m match.Match, led *Ledger) Scores {
+	return s.score(top, pattern, hw, m, led)
+}
+
+func (s *Scorer) score(top *topology.Topology, pattern, hw *graph.Graph, m match.Match, led *Ledger) Scores {
+	evaluations.Add(1)
 	var mix effbw.LinkCounts
 	if top != nil {
 		mix = s.AllocationMix(top, m.DataVertices())
 	} else {
 		mix = UsedLinkMix(pattern, hw, m)
 	}
+	var preserved float64
+	if led != nil {
+		preserved = led.Preserved(m.DataVertices())
+	} else {
+		preserved = PreservedBandwidth(hw, m.DataVertices())
+	}
 	return Scores{
 		AggBW:       AggregatedBandwidth(pattern, hw, m),
 		EffBW:       s.Model.Predict(mix),
-		PreservedBW: PreservedBandwidth(hw, m.DataVertices()),
+		PreservedBW: preserved,
 		Mix:         mix,
 	}
 }

@@ -107,13 +107,14 @@ type System struct {
 type SystemOption func(*systemConfig)
 
 type systemConfig struct {
-	workers          int
-	buildWorkers     int
-	warmMaxGPUs      int
-	backgroundWarm   bool
-	disableCache     bool
-	disableUniverses bool
-	disableLiveViews bool
+	workers            int
+	buildWorkers       int
+	warmMaxGPUs        int
+	backgroundWarm     bool
+	disableCache       bool
+	disableUniverses   bool
+	disableLiveViews   bool
+	disableScoreTables bool
 }
 
 // WithWorkers makes MAPA policies enumerate and score candidate
@@ -171,9 +172,21 @@ func WithoutUniverses() SystemOption {
 // WithoutLiveViews disables the tier-0 delta-maintained live views:
 // miss decisions fall back to mask-filtering the idle-state universe
 // per decision instead of reading an incrementally maintained
-// candidate list.
+// candidate list. Table-served selection rides on the live views, so
+// this disables it too.
 func WithoutLiveViews() SystemOption {
 	return func(c *systemConfig) { c.disableLiveViews = true }
+}
+
+// WithoutScoreTables disables score-table precomputation: warmed-shape
+// decisions fall back to materializing a candidate entry and scoring it
+// dynamically (the pre-table behavior) instead of running the streaming
+// argmax over precomputed static metrics plus O(k) delta-maintained
+// Eq. 3 arithmetic. Decisions are byte-identical either way; the knob
+// exists for memory-constrained deployments and for benchmarking the
+// table path against dynamic scoring.
+func WithoutScoreTables() SystemOption {
+	return func(c *systemConfig) { c.disableScoreTables = true }
 }
 
 // warmPatterns builds the canonical warm set, clamped to the machine
@@ -225,6 +238,12 @@ func NewSystem(topologyName, policyName string, opts ...SystemOption) (*System, 
 		s.store = matchcache.NewStore(top, matchcache.DefaultUniverseCapacity)
 		if cfg.buildWorkers > 1 {
 			s.store.SetBuildWorkers(cfg.buildWorkers)
+		}
+		if cfg.disableScoreTables || cfg.disableLiveViews {
+			// Score tables are served only through the live views'
+			// SelectLive path, so with views off they would be warmed
+			// dead weight.
+			s.store.SetScoreTables(false)
 		}
 		policy.AttachUniverses(alloc, s.store)
 		if cfg.warmMaxGPUs > 1 {
@@ -280,9 +299,19 @@ type CacheStats struct {
 	// UniverseBuildTime is the summed wall time of every idle-state
 	// universe enumeration the store has run (warmed or on demand).
 	UniverseBuildTime time.Duration
+	// ScoreTables counts precomputed static score tables built (one per
+	// warmed or table-served shape); TableBuildTime is their summed
+	// build wall time.
+	ScoreTables    int
+	TableBuildTime time.Duration
 	// Tier 0: delta-maintained live views.
 	LiveViews                int
 	ViewServed, ViewRejected uint64
+	// TableServed is the subset of ViewServed decisions answered by the
+	// table-served selection path: precomputed static metrics plus O(k)
+	// delta-maintained Eq. 3 arithmetic, zero dynamic score
+	// evaluations.
+	TableServed uint64
 }
 
 // CacheStats returns a snapshot of the system's match-pipeline
@@ -299,11 +328,13 @@ func (s *System) CacheStats() CacheStats {
 		out.Universes, out.UniversesIncomplete = ss.Universes, ss.Incomplete
 		out.FilterServed, out.FilterRejected = ss.FilterServed, ss.FilterRejected
 		out.UniverseBuildTime = ss.BuildTime
+		out.ScoreTables, out.TableBuildTime = ss.Tables, ss.TableTime
 	}
 	if s.views != nil {
 		vs := s.views.Stats()
 		out.LiveViews = vs.Views
 		out.ViewServed, out.ViewRejected = vs.Served, vs.Rejected
+		out.TableServed = vs.TableServed
 	}
 	return out
 }

@@ -144,34 +144,57 @@ func TestCachedAndParallelMatchSequentialAllocations(t *testing.T) {
 	}
 }
 
-// TestSystemSteadyStateUsesCache verifies the live-allocator wiring:
-// an allocate/release cycle returns to a previously seen availability
-// state and the next identical request hits the cache.
+// TestSystemSteadyStateUsesCache verifies the live-allocator wiring of
+// the two steady-state fast paths: by default, allocate/release cycling
+// is served entirely by the table path (precomputed score tables over
+// the live views — zero dynamic score evaluations); with score tables
+// disabled, a cycle returning to a previously seen availability state
+// hits the tier-2 cache instead. Decisions are identical either way.
 func TestSystemSteadyStateUsesCache(t *testing.T) {
-	s, err := NewSystem("dgx-v100", "preserve")
+	cycle := func(t *testing.T, s *System) *Lease {
+		t.Helper()
+		req := JobRequest{NumGPUs: 3, Shape: "Ring", Sensitive: true}
+		var first *Lease
+		for i := 0; i < 5; i++ {
+			l, err := s.Allocate(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first == nil {
+				first = l
+			} else if fmt.Sprint(l.GPUs) != fmt.Sprint(first.GPUs) {
+				t.Fatalf("iteration %d allocated %v, first %v — decisions must be reproducible", i, l.GPUs, first.GPUs)
+			}
+			if err := s.Release(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return first
+	}
+
+	tabled, err := NewSystem("dgx-v100", "preserve")
 	if err != nil {
 		t.Fatal(err)
 	}
-	req := JobRequest{NumGPUs: 3, Shape: "Ring", Sensitive: true}
-	var first *Lease
-	for i := 0; i < 5; i++ {
-		l, err := s.Allocate(req)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if first == nil {
-			first = l
-		} else {
-			if fmt.Sprint(l.GPUs) != fmt.Sprint(first.GPUs) {
-				t.Fatalf("iteration %d allocated %v, first %v — decisions must be reproducible", i, l.GPUs, first.GPUs)
-			}
-		}
-		if err := s.Release(l); err != nil {
-			t.Fatal(err)
-		}
+	lt := cycle(t, tabled)
+	if st := tabled.CacheStats(); st.TableServed == 0 || st.ScoreTables == 0 {
+		t.Fatalf("steady-state cycling was not table-served: %+v", st)
 	}
-	if st := s.CacheStats(); st.Hits == 0 {
+
+	cached, err := NewSystem("dgx-v100", "preserve", WithoutScoreTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := cycle(t, cached)
+	if st := cached.CacheStats(); st.Hits == 0 {
 		t.Fatalf("steady-state cycling produced no cache hits: %+v", st)
+	}
+	if st := cached.CacheStats(); st.TableServed != 0 || st.ScoreTables != 0 {
+		t.Fatalf("WithoutScoreTables still built or served tables: %+v", st)
+	}
+	if fmt.Sprint(lt.GPUs) != fmt.Sprint(lc.GPUs) ||
+		lt.EffBW != lc.EffBW || lt.AggBW != lc.AggBW || lt.PreservedBW != lc.PreservedBW {
+		t.Fatalf("table-served and cache-served decisions diverged:\n table: %+v\n cache: %+v", lt, lc)
 	}
 }
 

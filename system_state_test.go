@@ -184,6 +184,14 @@ func TestSystemChurnLiveViewParity(t *testing.T) {
 	if st.ViewServed == 0 || st.LiveViews == 0 {
 		t.Fatalf("churn was not served by live views: %+v", st)
 	}
+	// The fast system's slow twin scored every candidate dynamically,
+	// so the 500-step byte-parity above is also the system-level
+	// table-vs-dynamic-scoring check — provided the fast side really
+	// took the table path.
+	if st.TableServed != st.ViewServed || st.ScoreTables == 0 {
+		t.Fatalf("churn was not table-served (%d of %d view-served, %d tables): %+v",
+			st.TableServed, st.ViewServed, st.ScoreTables, st)
+	}
 	if st.FilterServed != 0 {
 		t.Fatalf("churn fell back to %d full-universe scans: %+v", st.FilterServed, st)
 	}
