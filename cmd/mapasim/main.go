@@ -44,6 +44,9 @@ type options struct {
 	warm         bool
 	cacheStats   bool
 	verbose      bool
+	faultProb    float64
+	faultDown    float64
+	faultSeed    int64
 }
 
 func main() {
@@ -62,6 +65,9 @@ func main() {
 	flag.BoolVar(&o.scoretables, "scoretables", true, "precompute per-shape score tables so warmed decisions select by table lookups + O(k) arithmetic")
 	flag.BoolVar(&o.warm, "warm", false, "prewarm idle-state universes for every shape up to -max-gpus before scheduling")
 	flag.BoolVar(&o.cacheStats, "cachestats", false, "print match-pipeline hit/miss/eviction/filter counters per policy")
+	flag.Float64Var(&o.faultProb, "faults", 0, "per-completion probability a free GPU faults (0 disables fault churn)")
+	flag.Float64Var(&o.faultDown, "fault-down", 300, "seconds a faulted GPU stays unallocatable before recovering")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed of the fault/recovery process")
 	flag.BoolVar(&o.verbose, "v", false, "print the per-job log")
 	flag.Parse()
 
@@ -118,6 +124,9 @@ func run(o options) error {
 	}
 	if o.warm && o.universes {
 		cfg.WarmPatterns = warmPatterns(top, o.maxGPUs)
+	}
+	if o.faultProb > 0 {
+		cfg.Faults = &sched.FaultPlan{Seed: o.faultSeed, FailProb: o.faultProb, Down: o.faultDown}
 	}
 	results, pipeStats, storeStats, err := sched.ComparePoliciesInstrumented(top, policies, jobList, cfg)
 	if err != nil {

@@ -14,13 +14,24 @@ import (
 // The structure inverts the universe: for every data vertex it holds a
 // posting list of the embedding indices whose vertex set contains it,
 // and for every embedding a counter of how many of its vertices are
-// currently unavailable. Allocating k GPUs walks exactly k posting
+// currently unusable. Allocating k GPUs walks exactly k posting
 // lists incrementing counters (and vice versa for a release), so the
 // maintenance cost scales with the allocate/release delta — the sum of
 // the touched posting lists — not with |universe| the way
 // Universe.Filter does. An embedding is live exactly when its blocked
 // counter is zero; live indices are additionally mirrored in a bitset
 // so Candidates serves the list with a word-wise scan.
+//
+// Health is a second mask layered on the same machinery: a GPU marked
+// unhealthy (MarkUnhealthy) stays visible in the view but becomes
+// unusable — a topology delta, processed as one posting-list walk just
+// like an allocation delta — and RestoreHealth reverses it. A vertex
+// is usable exactly when it is free AND healthy, and the blocked
+// counters track unusable vertices, so allocation deltas on an
+// unhealthy GPU (allocating it is impossible, but a lease taken before
+// the failure may still release it) adjust only the free mask, never
+// the counters: the two masks commute and every interleaving of
+// allocation and health events lands in the same state.
 //
 // Order is preserved by construction: posting-list maintenance never
 // reorders anything, and the live bitset iterates in ascending
@@ -45,9 +56,10 @@ import (
 // are exact and allocate/release are exact inverses.
 type LiveView struct {
 	u        *Universe
-	postings [][]int32 // data vertex ID -> ascending embedding indices containing it
-	blocked  []int32   // embedding index -> count of its vertices currently unavailable
-	avail    graph.Bitset
+	postings [][]int32    // data vertex ID -> ascending embedding indices containing it
+	blocked  []int32      // embedding index -> count of its vertices currently unusable
+	avail    graph.Bitset // free set (allocation state)
+	healthy  graph.Bitset // health mask (topology state); usable = avail AND healthy
 	live     graph.Bitset // embedding indices with blocked == 0
 	liveLen  int
 
@@ -66,19 +78,30 @@ type wedge struct {
 
 // BandwidthAccounting is the state side of the Eq. 3 delta
 // decomposition for one availability stream: the total edge weight of
-// the current free set and, per GPU, the weight of its edges into the
-// free set, maintained incrementally on the same allocate/release
-// GPU-set deltas the posting lists consume. It depends only on the
-// machine graph and the free set — not on any shape — so one instance
-// can price candidates for every pattern tracked on the stream. All
-// link bandwidths are integral, so the incrementally maintained sums
-// are exact and Allocate/Release are exact inverses. Not safe for
-// concurrent use; callers serialize access.
+// the current usable set and, per GPU, the weight of its edges into
+// the usable set, maintained incrementally on the same
+// allocate/release GPU-set deltas the posting lists consume. It
+// depends only on the machine graph and the usable set — not on any
+// shape — so one instance can price candidates for every pattern
+// tracked on the stream. All link bandwidths are integral, so the
+// incrementally maintained sums are exact and Allocate/Release are
+// exact inverses. Not safe for concurrent use; callers serialize
+// access.
+//
+// Like LiveView, the accounting layers a health mask over the free
+// mask: a vertex contributes to the sums exactly when it is free AND
+// healthy, so MarkUnhealthy on a free GPU applies the same O(degree)
+// delta an allocation would, and the Eq. 3 terms price exactly the
+// bandwidth a new job could still draw on. UpdateEdge additionally
+// absorbs link-degradation events — a weight-only topology delta —
+// in O(degree), keeping the sums byte-identical to an accounting
+// rebuilt from the mutated graph.
 type BandwidthAccounting struct {
-	totalFree float64   // summed weight of edges with both endpoints free
-	incident  []float64 // vertex -> summed weight of its edges into the free set
-	wadj      [][]wedge // vertex -> weighted adjacency, for delta updates
-	avail     graph.Bitset
+	totalFree float64      // summed weight of edges with both endpoints usable
+	incident  []float64    // vertex -> summed weight of its edges into the usable set
+	wadj      [][]wedge    // vertex -> weighted adjacency, for delta updates
+	avail     graph.Bitset // free set
+	healthy   graph.Bitset // health mask; usable = avail AND healthy
 }
 
 // NewBandwidthAccounting sweeps data's edges once and returns the
@@ -90,7 +113,9 @@ func NewBandwidthAccounting(data *graph.Graph, free graph.Bitset, capacity int) 
 		incident: make([]float64, capacity),
 		wadj:     make([][]wedge, capacity),
 		avail:    graph.NewBitset(capacity),
+		healthy:  graph.NewBitset(capacity),
 	}
+	a.healthy.Fill(capacity)
 	for v := 0; v < capacity; v++ {
 		if free.Has(v) {
 			a.avail.Set(v)
@@ -134,12 +159,33 @@ func (a *BandwidthAccounting) Allocate(gpus []int) {
 }
 
 // allocateOne applies one vertex's allocation delta; the caller has
-// already validated g's range and availability.
+// already validated g's range and availability. The weight delta fires
+// only when g was usable — an unhealthy vertex already left the sums
+// when it failed.
 func (a *BandwidthAccounting) allocateOne(g int) {
 	a.avail.Unset(g)
+	if a.healthy.Has(g) {
+		a.dropUsable(g)
+	}
+}
+
+// dropUsable removes a vertex leaving the usable set from the sums:
+// incident[g] never includes g itself — graphs have no self-loops —
+// and every vertex's incident sum loses g's edge weight.
+func (a *BandwidthAccounting) dropUsable(g int) {
 	a.totalFree -= a.incident[g]
 	for _, e := range a.wadj[g] {
 		a.incident[e.to] -= e.w
+	}
+}
+
+// addUsable is the exact inverse of dropUsable: incident[g] was
+// maintained all along, so adding it back restores the total bit for
+// bit before the neighbors regain g.
+func (a *BandwidthAccounting) addUsable(g int) {
+	a.totalFree += a.incident[g]
+	for _, e := range a.wadj[g] {
+		a.incident[e.to] += e.w
 	}
 }
 
@@ -160,21 +206,126 @@ func (a *BandwidthAccounting) Release(gpus []int) {
 
 // releaseOne applies one vertex's release delta — the exact inverse of
 // allocateOne; the caller has already validated g's range and
-// unavailability.
+// unavailability. A released-but-unhealthy vertex rejoins only the
+// free mask, not the sums.
 func (a *BandwidthAccounting) releaseOne(g int) {
 	a.avail.Set(g)
-	a.totalFree += a.incident[g]
-	for _, e := range a.wadj[g] {
-		a.incident[e.to] += e.w
+	if a.healthy.Has(g) {
+		a.addUsable(g)
 	}
 }
 
-// FreeWeight returns the total edge weight of the tracked free set —
-// the availability graph's TotalWeight, maintained incrementally.
+// MarkUnhealthy marks the given vertices unhealthy: each one leaves
+// the usable set (and the Eq. 3 sums, if it was free) but keeps its
+// free/allocated state, so a later Release of a lease holding it, or a
+// RestoreHealth, lands in the exact state a rebuild would produce.
+// Out-of-capacity vertices are ignored; marking an already-unhealthy
+// vertex panics — a diverged health stream would corrupt the sums.
+func (a *BandwidthAccounting) MarkUnhealthy(gpus []int) {
+	for _, g := range gpus {
+		if g < 0 || g >= len(a.wadj) {
+			continue
+		}
+		if !a.healthy.Has(g) {
+			panic(fmt.Sprintf("match: BandwidthAccounting.MarkUnhealthy(%d): vertex already unhealthy", g))
+		}
+		a.markUnhealthyOne(g)
+	}
+}
+
+// markUnhealthyOne applies one vertex's failure delta; the caller has
+// already validated g's range and health.
+func (a *BandwidthAccounting) markUnhealthyOne(g int) {
+	a.healthy.Unset(g)
+	if a.avail.Has(g) {
+		a.dropUsable(g)
+	}
+}
+
+// RestoreHealth marks the given vertices healthy again — the exact
+// inverse of MarkUnhealthy. Restoring an already-healthy vertex
+// panics, like MarkUnhealthy.
+func (a *BandwidthAccounting) RestoreHealth(gpus []int) {
+	for _, g := range gpus {
+		if g < 0 || g >= len(a.wadj) {
+			continue
+		}
+		if a.healthy.Has(g) {
+			panic(fmt.Sprintf("match: BandwidthAccounting.RestoreHealth(%d): vertex already healthy", g))
+		}
+		a.restoreOne(g)
+	}
+}
+
+// restoreOne applies one vertex's recovery delta; the caller has
+// already validated g's range and unhealthiness.
+func (a *BandwidthAccounting) restoreOne(g int) {
+	a.healthy.Set(g)
+	if a.avail.Has(g) {
+		a.addUsable(g)
+	}
+}
+
+// UpdateEdge rewrites the weight of edge (u,v) — a link-degradation
+// (or recovery) topology delta. The adjacency entries mutate
+// unconditionally; the incident sums and total absorb the weight
+// difference gated on each endpoint's usability, exactly as a fresh
+// accounting over the mutated graph would have counted the edge.
+// O(degree(u) + degree(v)). Updating an edge the accounting's graph
+// does not carry panics — the publisher's topology has diverged.
+func (a *BandwidthAccounting) UpdateEdge(u, v int, w float64) {
+	if u < 0 || v < 0 || u >= len(a.wadj) || v >= len(a.wadj) {
+		panic(fmt.Sprintf("match: BandwidthAccounting.UpdateEdge(%d,%d): vertex out of range", u, v))
+	}
+	var old float64
+	found := false
+	for i := range a.wadj[u] {
+		if int(a.wadj[u][i].to) == v {
+			old = a.wadj[u][i].w
+			a.wadj[u][i].w = w
+			found = true
+			break
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("match: BandwidthAccounting.UpdateEdge(%d,%d): edge not tracked", u, v))
+	}
+	for i := range a.wadj[v] {
+		if int(a.wadj[v][i].to) == u {
+			a.wadj[v][i].w = w
+			break
+		}
+	}
+	delta := w - old
+	uUsable := a.avail.Has(u) && a.healthy.Has(u)
+	vUsable := a.avail.Has(v) && a.healthy.Has(v)
+	if uUsable {
+		a.incident[v] += delta
+	}
+	if vUsable {
+		a.incident[u] += delta
+	}
+	if uUsable && vUsable {
+		a.totalFree += delta
+	}
+}
+
+// Healthy reports whether vertex g is currently healthy.
+// Out-of-capacity vertices report true (no embedding contains them).
+func (a *BandwidthAccounting) Healthy(g int) bool {
+	if g < 0 || g >= len(a.wadj) {
+		return true
+	}
+	return a.healthy.Has(g)
+}
+
+// FreeWeight returns the total edge weight of the tracked usable set —
+// the availability graph's TotalWeight (the free set induced over
+// healthy GPUs), maintained incrementally.
 func (a *BandwidthAccounting) FreeWeight() float64 { return a.totalFree }
 
 // FreeIncidentWeight returns the summed weight of GPU g's edges into
-// the tracked free set. Out-of-capacity vertices report zero.
+// the tracked usable set. Out-of-capacity vertices report zero.
 func (a *BandwidthAccounting) FreeIncidentWeight(g int) float64 {
 	if g < 0 || g >= len(a.incident) {
 		return 0
@@ -212,8 +363,10 @@ func NewLiveView(u *Universe, free graph.Bitset) *LiveView {
 		postings: make([][]int32, u.Capacity()),
 		blocked:  make([]int32, u.Len()),
 		avail:    graph.NewBitset(u.Capacity()),
+		healthy:  graph.NewBitset(u.Capacity()),
 		live:     graph.NewBitset(u.Len()),
 	}
+	lv.healthy.Fill(u.Capacity())
 	for v := 0; v < u.Capacity(); v++ {
 		if free.Has(v) {
 			lv.avail.Set(v)
@@ -258,6 +411,15 @@ func (lv *LiveView) Len() int { return lv.liveLen }
 // the view's tracked state.
 func (lv *LiveView) Available(v int) bool { return lv.avail.Has(v) }
 
+// Healthy reports whether data vertex v is currently healthy in the
+// view's tracked state. Out-of-capacity vertices report true.
+func (lv *LiveView) Healthy(v int) bool {
+	if v < 0 || v >= len(lv.postings) {
+		return true
+	}
+	return lv.healthy.Has(v)
+}
+
 // Allocate marks the given data vertices unavailable, deactivating
 // exactly the embeddings on their posting lists. Vertices outside the
 // universe's capacity are ignored (no embedding contains them).
@@ -276,19 +438,17 @@ func (lv *LiveView) Allocate(gpus []int) {
 		if lv.bw != nil {
 			lv.bw.allocateOne(g)
 		}
-		for _, i := range lv.postings[g] {
-			lv.blocked[i]++
-			if lv.blocked[i] == 1 {
-				lv.live.Unset(int(i))
-				lv.liveLen--
-			}
+		if lv.healthy.Has(g) {
+			lv.block(g)
 		}
 	}
 }
 
 // Release marks the given data vertices available again, reactivating
 // every embedding whose last blocker they were. Releasing an
-// already-available vertex panics, like Allocate.
+// already-available vertex panics, like Allocate. An unhealthy vertex
+// rejoins only the free mask — its embeddings stay blocked until
+// RestoreHealth.
 func (lv *LiveView) Release(gpus []int) {
 	for _, g := range gpus {
 		if g < 0 || g >= len(lv.postings) {
@@ -301,12 +461,75 @@ func (lv *LiveView) Release(gpus []int) {
 		if lv.bw != nil {
 			lv.bw.releaseOne(g)
 		}
-		for _, i := range lv.postings[g] {
-			lv.blocked[i]--
-			if lv.blocked[i] == 0 {
-				lv.live.Set(int(i))
-				lv.liveLen++
-			}
+		if lv.healthy.Has(g) {
+			lv.unblock(g)
+		}
+	}
+}
+
+// MarkUnhealthy marks the given data vertices unhealthy — a topology
+// delta, deactivating exactly the embeddings on their posting lists
+// when the vertex was free (an allocated vertex's embeddings are
+// already blocked). Vertices outside the universe's capacity are
+// ignored; marking an already-unhealthy vertex panics, mirroring
+// Allocate's stream-divergence check.
+func (lv *LiveView) MarkUnhealthy(gpus []int) {
+	for _, g := range gpus {
+		if g < 0 || g >= len(lv.postings) {
+			continue
+		}
+		if !lv.healthy.Has(g) {
+			panic(fmt.Sprintf("match: LiveView.MarkUnhealthy(%d): vertex already unhealthy", g))
+		}
+		lv.healthy.Unset(g)
+		if lv.bw != nil {
+			lv.bw.markUnhealthyOne(g)
+		}
+		if lv.avail.Has(g) {
+			lv.block(g)
+		}
+	}
+}
+
+// RestoreHealth marks the given data vertices healthy again — the
+// exact inverse of MarkUnhealthy. Restoring an already-healthy vertex
+// panics, like MarkUnhealthy.
+func (lv *LiveView) RestoreHealth(gpus []int) {
+	for _, g := range gpus {
+		if g < 0 || g >= len(lv.postings) {
+			continue
+		}
+		if lv.healthy.Has(g) {
+			panic(fmt.Sprintf("match: LiveView.RestoreHealth(%d): vertex already healthy", g))
+		}
+		lv.healthy.Set(g)
+		if lv.bw != nil {
+			lv.bw.restoreOne(g)
+		}
+		if lv.avail.Has(g) {
+			lv.unblock(g)
+		}
+	}
+}
+
+// block walks g's posting list for a usable→unusable transition.
+func (lv *LiveView) block(g int) {
+	for _, i := range lv.postings[g] {
+		lv.blocked[i]++
+		if lv.blocked[i] == 1 {
+			lv.live.Unset(int(i))
+			lv.liveLen--
+		}
+	}
+}
+
+// unblock walks g's posting list for an unusable→usable transition.
+func (lv *LiveView) unblock(g int) {
+	for _, i := range lv.postings[g] {
+		lv.blocked[i]--
+		if lv.blocked[i] == 0 {
+			lv.live.Set(int(i))
+			lv.liveLen++
 		}
 	}
 }

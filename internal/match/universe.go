@@ -150,3 +150,26 @@ func (u *Universe) Filter(mask graph.Bitset, max int) (idx []int, truncated bool
 	}
 	return idx, false
 }
+
+// FilterUsable is Filter against the intersection of two masks — the
+// free set and the health mask — without materializing the combined
+// bitset: a representative survives exactly when its vertices all lie
+// in both. It answers the degraded-mode serving question (which
+// idle-state embeddings avoid every unhealthy GPU on the current free
+// set) in one scan and is byte-identical to Filter on the ANDed mask.
+func (u *Universe) FilterUsable(free, healthy graph.Bitset, max int) (idx []int, truncated bool) {
+	if !u.complete {
+		panic("match: FilterUsable on an incomplete universe")
+	}
+	filters.Add(1)
+	for i, s := range u.sets {
+		if !s.SubsetOf(free) || !s.SubsetOf(healthy) {
+			continue
+		}
+		if max > 0 && len(idx) == max {
+			return idx, true
+		}
+		idx = append(idx, i)
+	}
+	return idx, false
+}

@@ -76,6 +76,13 @@ type StoreStats struct {
 	// TableTime is their summed build wall time.
 	Tables    int
 	TableTime time.Duration
+	// Repairs counts RepairEdge calls (one per link-degradation event);
+	// RepairedCandidates the table entries they re-derived — the
+	// embeddings touching the changed edge, not the whole universe —
+	// and RepairTime their summed wall time.
+	Repairs            int
+	RepairedCandidates int
+	RepairTime         time.Duration
 }
 
 // universeSlot holds one canonical shape's universe, built at most
@@ -110,6 +117,7 @@ type Store struct {
 	buildWorkers int
 	tablesOff    bool
 	universes    map[string]*universeSlot // canonical fingerprint -> slot
+	builtTables  []*universeSlot          // slots whose score table is built, for RepairEdge
 	stats        StoreStats
 }
 
@@ -200,9 +208,45 @@ func (s *Store) ensureTable(sl *universeSlot, workers int) *score.Table {
 		s.mu.Lock()
 		s.stats.Tables++
 		s.stats.TableTime += elapsed
+		s.builtTables = append(s.builtTables, sl)
 		s.mu.Unlock()
 	})
 	return sl.table
+}
+
+// RepairEdge absorbs a link-degradation event — the weight of machine
+// edge (u,v) changed — into every score table the store has built, and
+// returns how many table entries were re-derived. Hardware graphs are
+// complete, so a weight change never alters which embeddings exist:
+// the universes and their enumeration order stand untouched, and only
+// the precomputed per-candidate metrics of the embeddings that
+// actually price the edge go stale. Those are exactly the candidates
+// whose GPU set contains BOTH endpoints (the ring-channel
+// decomposition reads only intra-allocation links; see
+// score.Table.RepairEdge), so repair is one bit-probe pass per table
+// plus a refill of the affected entries — no enumeration, no rebuild.
+//
+// Tables built after the event need no repair: BuildTable reads the
+// mutated graph. The caller must have already updated the topology's
+// graphs and invalidated the process-wide mix memo
+// (score.InvalidateMixes), and must serialize RepairEdge with
+// decisions on this store, as mapa.System does under its lock.
+func (s *Store) RepairEdge(u, v int) int {
+	start := time.Now()
+	s.mu.Lock()
+	tables := append([]*universeSlot(nil), s.builtTables...)
+	s.mu.Unlock()
+	repaired := 0
+	for _, sl := range tables {
+		repaired += sl.table.RepairEdge(u, v)
+	}
+	elapsed := time.Since(start)
+	s.mu.Lock()
+	s.stats.Repairs++
+	s.stats.RepairedCandidates += repaired
+	s.stats.RepairTime += elapsed
+	s.mu.Unlock()
+	return repaired
 }
 
 // slot returns the canonical shape's slot, creating it (unbuilt) on

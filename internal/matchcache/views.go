@@ -66,11 +66,13 @@ type viewSlot struct {
 //
 // Views is safe for concurrent use.
 type Views struct {
-	mu    sync.Mutex
-	store *Store
-	free  graph.Bitset // tracked free mask, capacity = full machine
-	slots map[string]*viewSlot
-	stats ViewStats
+	mu        sync.Mutex
+	store     *Store
+	free      graph.Bitset // tracked free mask, capacity = full machine
+	unhealthy graph.Bitset // tracked health mask (set bit = unhealthy)
+	usable    graph.Bitset // free AND healthy, maintained incrementally
+	slots     map[string]*viewSlot
+	stats     ViewStats
 
 	// bw is the stream's shared Eq. 3 bandwidth accounting, maintained
 	// once per delta and read by every shape's table-served selection —
@@ -86,9 +88,11 @@ type Views struct {
 func (s *Store) NewViews() *Views {
 	free := s.top.Graph.VertexBitset()
 	v := &Views{
-		store: s,
-		free:  free,
-		slots: make(map[string]*viewSlot),
+		store:     s,
+		free:      free,
+		unhealthy: graph.NewBitset(graph.Capacity(s.top.Graph)),
+		usable:    free.Clone(),
+		slots:     make(map[string]*viewSlot),
 	}
 	if s.scoreTablesEnabled() {
 		v.bw = match.NewBandwidthAccounting(s.top.Graph, free, graph.Capacity(s.top.Graph))
@@ -114,6 +118,7 @@ func (v *Views) Allocate(gpus []int) {
 	defer v.mu.Unlock()
 	for _, g := range gpus {
 		v.free.Unset(g)
+		v.usable.Unset(g)
 	}
 	if v.bw != nil {
 		v.bw.Allocate(gpus)
@@ -133,12 +138,79 @@ func (v *Views) Release(gpus []int) {
 	defer v.mu.Unlock()
 	for _, g := range gpus {
 		v.free.Set(g)
+		if !v.unhealthy.Has(g) {
+			v.usable.Set(g)
+		}
 	}
 	if v.bw != nil {
 		v.bw.Release(gpus)
 	}
 	for _, sl := range v.slots {
 		sl.lv.Release(gpus)
+	}
+}
+
+// MarkUnhealthy publishes a health delta: the given GPUs failed. They
+// keep their free/allocated state — unhealthy GPUs stay visible but
+// unallocatable — and every live view blocks their posting lists, the
+// same O(posting list) walk an allocation delta pays. Nil view sets
+// ignore the call.
+func (v *Views) MarkUnhealthy(gpus []int) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, g := range gpus {
+		v.unhealthy.Set(g)
+		v.usable.Unset(g)
+	}
+	if v.bw != nil {
+		v.bw.MarkUnhealthy(gpus)
+	}
+	for _, sl := range v.slots {
+		sl.lv.MarkUnhealthy(gpus)
+	}
+}
+
+// RestoreHealth publishes a recovery delta: the given GPUs are healthy
+// again, and those that are also free rejoin the usable set. Nil view
+// sets ignore the call.
+func (v *Views) RestoreHealth(gpus []int) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, g := range gpus {
+		v.unhealthy.Unset(g)
+		if v.free.Has(g) {
+			v.usable.Set(g)
+		}
+	}
+	if v.bw != nil {
+		v.bw.RestoreHealth(gpus)
+	}
+	for _, sl := range v.slots {
+		sl.lv.RestoreHealth(gpus)
+	}
+}
+
+// UpdateEdge publishes a link-degradation delta: edge (u,g) of the
+// machine graph now has weight w. Candidate structure is untouched —
+// hardware graphs are complete, so a weight change never invalidates
+// an embedding and the posting lists stand — only the stream's Eq. 3
+// bandwidth accounting absorbs the weight difference. The caller
+// separately repairs the store's score tables (Store.RepairEdge). Nil
+// view sets ignore the call.
+func (v *Views) UpdateEdge(u, g int, w float64) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.bw != nil {
+		v.bw.UpdateEdge(u, g, w)
 	}
 }
 
@@ -167,8 +239,11 @@ func (v *Views) Entry(pattern, avail *graph.Graph, maxCandidates, workers int) (
 		return nil, nil, false
 	}
 	// Mutual subset = equal membership; the masks may differ in word
-	// length when the highest-numbered GPUs are busy.
-	if !mask.SubsetOf(v.free) || !v.free.SubsetOf(mask) {
+	// length when the highest-numbered GPUs are busy. The request mask
+	// is compared against the usable set (free AND healthy): the
+	// publisher's availability graph excludes unhealthy GPUs, so in
+	// degraded mode the usable set is exactly what a decision sees.
+	if !mask.SubsetOf(v.usable) || !v.usable.SubsetOf(mask) {
 		return reject()
 	}
 	sl, ok2 := v.ensureSlot(ci, pattern, workers)
@@ -210,8 +285,14 @@ func (v *Views) ensureSlot(ci *canonInfo, pattern *graph.Graph, workers int) (*v
 	if !usl.u.Complete() {
 		return nil, false
 	}
+	lv := match.NewLiveView(usl.u, v.free)
+	if v.unhealthy.Any() {
+		// A shape first served mid-stream inherits the current health
+		// state, not just the current free mask.
+		lv.MarkUnhealthy(v.unhealthy.Members())
+	}
 	sl = &viewSlot{
-		lv:        match.NewLiveView(usl.u, v.free),
+		lv:        lv,
 		patternFP: usl.patternFP,
 		usl:       usl,
 	}
@@ -246,7 +327,7 @@ func (v *Views) SelectLive(pattern, avail *graph.Graph, maxCandidates, workers i
 	mask := avail.VertexBitset()
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if !mask.SubsetOf(v.free) || !v.free.SubsetOf(mask) {
+	if !mask.SubsetOf(v.usable) || !v.usable.SubsetOf(mask) {
 		return false
 	}
 	sl, ok := v.ensureSlot(ci, pattern, workers)

@@ -1,0 +1,138 @@
+package mig
+
+import (
+	"reflect"
+	"testing"
+
+	"mapa/internal/topology"
+)
+
+// TestComposeMatchesSplitOnContiguousIDs: Compose with Split's own
+// contiguous numbering must reproduce Split exactly — same graphs,
+// same maps, same sockets.
+func TestComposeMatchesSplitOnContiguousIDs(t *testing.T) {
+	top := topology.DGXV100()
+	slices := map[int]int{1: 2, 6: 3}
+	want, err := Split(top, slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances := make(map[int][]int)
+	for v, p := range want.PhysicalOf {
+		instances[p] = append(instances[p], v)
+	}
+	got, err := Compose(top, instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.PhysicalOf, want.PhysicalOf) || !reflect.DeepEqual(got.Fraction, want.Fraction) {
+		t.Fatal("Compose on Split's numbering diverged in PhysicalOf/Fraction")
+	}
+	if !reflect.DeepEqual(got.Sockets, want.Sockets) {
+		t.Fatalf("sockets: Compose %v, Split %v", got.Sockets, want.Sockets)
+	}
+	for _, e := range want.Graph.Edges() {
+		ge, ok := got.Graph.EdgeBetween(e.U, e.V)
+		if !ok || ge.Weight != e.Weight || ge.Label != e.Label {
+			t.Fatalf("edge (%d,%d): Compose %+v ok=%v, Split %+v", e.U, e.V, ge, ok, e)
+		}
+	}
+	if got.Graph.NumEdges() != want.Graph.NumEdges() {
+		t.Fatalf("edge count: Compose %d, Split %d", got.Graph.NumEdges(), want.Graph.NumEdges())
+	}
+}
+
+// TestComposePinsIDs is the property live repartitioning rides on:
+// unchanged physical GPUs keep their exact virtual IDs (and NVLink
+// attachment) no matter what IDs the re-cut GPUs take.
+func TestComposePinsIDs(t *testing.T) {
+	top := topology.DGXV100()
+	instances := map[int][]int{
+		0: {0}, 1: {1}, 2: {2}, 3: {3}, 4: {4}, 5: {5}, 6: {6},
+		7: {100, 42, 77}, // re-cut GPU takes fresh, unordered IDs
+	}
+	vt, err := Compose(top, instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 7; v++ {
+		if vt.PhysicalOf[v] != v || vt.Fraction[v] != 1 {
+			t.Fatalf("unchanged GPU %d: physical %d fraction %g", v, vt.PhysicalOf[v], vt.Fraction[v])
+		}
+	}
+	if got := vt.Instances(7); !reflect.DeepEqual(got, []int{42, 77, 100}) {
+		t.Fatalf("Instances(7) = %v, want ascending {42,77,100}", got)
+	}
+	// NVLink ports follow the lowest ID; siblings ride the on-die path;
+	// the others fall back to PCIe.
+	if vt.Link(6, 42) == topology.LinkPCIe {
+		t.Fatalf("lowest instance lost GPU 7's NVLink: link(6,42) = %s", vt.Link(6, 42))
+	}
+	if got := vt.Link(42, 77); got != topology.LinkIntraGPU {
+		t.Fatalf("sibling link = %s, want intra-GPU", got)
+	}
+	if got := vt.Link(6, 100); got != topology.LinkPCIe {
+		t.Fatalf("non-first instance link = %s, want PCIe", got)
+	}
+}
+
+// TestComposeValidation: missing GPUs, over-split GPUs, duplicate and
+// negative IDs are all rejected.
+func TestComposeValidation(t *testing.T) {
+	top := topology.DGXV100()
+	whole := func() map[int][]int {
+		m := make(map[int][]int)
+		for g := 0; g < 8; g++ {
+			m[g] = []int{g}
+		}
+		return m
+	}
+	cases := map[string]map[int][]int{
+		"unknown physical GPU": func() map[int][]int { m := whole(); m[99] = []int{99}; return m }(),
+		"missing instances":    func() map[int][]int { m := whole(); delete(m, 3); return m }(),
+		"over MaxInstances":    func() map[int][]int { m := whole(); m[0] = []int{0, 8, 9, 10, 11, 12, 13, 14}; return m }(),
+		"duplicate virtual ID": func() map[int][]int { m := whole(); m[1] = []int{2}; return m }(),
+		"negative virtual ID":  func() map[int][]int { m := whole(); m[1] = []int{-1}; return m }(),
+	}
+	for name, instances := range cases {
+		if _, err := Compose(top, instances); err == nil {
+			t.Errorf("%s: Compose accepted invalid numbering", name)
+		}
+	}
+}
+
+// TestInstancesIndex: the per-struct index serves every physical GPU
+// directly and unknown GPUs return nil.
+func TestInstancesIndex(t *testing.T) {
+	top := topology.DGXV100()
+	vt, err := Split(top, map[int]int{2: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, p := range top.GPUs() {
+		vs := vt.Instances(p)
+		want := 1
+		if p == 2 {
+			want = 4
+		}
+		if len(vs) != want {
+			t.Fatalf("Instances(%d) = %v, want %d instances", p, vs, want)
+		}
+		for i, v := range vs {
+			if vt.PhysicalOf[v] != p {
+				t.Fatalf("Instances(%d)[%d] = %d maps back to %d", p, i, v, vt.PhysicalOf[v])
+			}
+			if i > 0 && vs[i-1] >= v {
+				t.Fatalf("Instances(%d) not ascending: %v", p, vs)
+			}
+		}
+		seen += len(vs)
+	}
+	if seen != vt.NumGPUs() {
+		t.Fatalf("index covers %d instances, machine has %d", seen, vt.NumGPUs())
+	}
+	if vt.Instances(123) != nil {
+		t.Fatal("Instances of an unknown physical GPU must be nil")
+	}
+}

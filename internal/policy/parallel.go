@@ -5,6 +5,7 @@ import (
 
 	"mapa/internal/graph"
 	"mapa/internal/matchcache"
+	"mapa/internal/score"
 	"mapa/internal/topology"
 )
 
@@ -105,6 +106,24 @@ func ViewsOf(a Allocator) *matchcache.Views {
 		return mp.views
 	}
 	return nil
+}
+
+// SetScorer swaps the policy's scoring model. Every built-in policy
+// carries a scorer (MAPA policies score candidates with it; baseline
+// and topo-aware score their fixed pick for reporting), and all of
+// them are rebound — a nil scorer restores the default, as ByName
+// does. The swap exists for live topology mutation (mapa.System's MIG
+// repartitioning retrains the Eq. 2 model for the new virtual machine
+// and rebinds it in place); callers must not swap mid-decision.
+func SetScorer(a Allocator, s *score.Scorer) {
+	switch p := a.(type) {
+	case *mapaPolicy:
+		p.scorer = orDefault(s)
+	case *Baseline:
+		p.scorer = orDefault(s)
+	case *TopoAware:
+		p.scorer = orDefault(s)
+	}
 }
 
 // SetMaxCandidates overrides how many deduplicated matches a MAPA

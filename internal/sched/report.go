@@ -72,6 +72,10 @@ type CompareConfig struct {
 	// precomputed before any engine runs — the init-time enumeration
 	// paid once for the whole comparison instead of on first use.
 	WarmPatterns []*graph.Graph
+	// Faults injects reproducible failure/recovery churn into every
+	// engine's run (each engine replays the same plan); nil runs
+	// fault-free.
+	Faults *FaultPlan
 }
 
 // ComparePoliciesConfig is ComparePoliciesMode with explicit matcher
@@ -142,6 +146,7 @@ func ComparePoliciesInstrumented(top *topology.Topology, policyNames []string, j
 		e.Mode = cfg.Mode
 		e.Universes = store
 		e.DisableLiveViews = cfg.DisableLiveViews
+		e.Faults = cfg.Faults
 		if cfg.DisableCache {
 			e.Cache = nil
 		}

@@ -15,6 +15,7 @@ package sched
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"mapa/internal/effbw"
@@ -95,6 +96,29 @@ type Engine struct {
 	// mask-filtering the universe (the PR 2 behavior) instead of from
 	// delta-maintained views.
 	DisableLiveViews bool
+	// Faults injects reproducible failure/recovery churn into the run;
+	// nil runs fault-free (the paper's configuration).
+	Faults *FaultPlan
+}
+
+// FaultPlan is a reproducible device failure/recovery process for a
+// simulation run. After each job completion, a free GPU faults with
+// probability FailProb; a faulted device stays visible but
+// unallocatable (the health-mask semantics of the live views) for Down
+// seconds of simulated time, then recovers. Leased devices never
+// fault — the plan models the scheduler-facing churn of health events,
+// not job kills. The process draws from its own seeded stream, so a
+// plan produces the same fault schedule whenever the completion
+// schedule is the same — in particular across match-pipeline
+// configurations that decide identically.
+type FaultPlan struct {
+	// Seed initializes the fault stream.
+	Seed int64
+	// FailProb is the per-completion fault probability in [0,1].
+	FailProb float64
+	// Down is how long a faulted device stays out, in simulated
+	// seconds.
+	Down float64
 }
 
 // Mode selects how the engine derives job durations.
@@ -134,11 +158,12 @@ func NewEngine(top *topology.Topology, alloc policy.Allocator) *Engine {
 	}
 }
 
-// event is a scheduled job completion.
+// event is a scheduled job completion or device recovery.
 type event struct {
-	at   float64
-	job  int // index into running bookkeeping
-	gpus []int
+	at      float64
+	job     int // index into running bookkeeping
+	gpus    []int
+	recover bool // device recovery: gpus return to health, not from a job
 }
 
 // Run simulates the job list to completion and returns the log. Under
@@ -189,12 +214,21 @@ func (e *Engine) Run(jobList []jobs.Job) (RunResult, error) {
 	policy.AttachViews(e.Alloc, e.Views)
 
 	avail := e.Top.Graph.Clone()
-	var pending []event // running jobs, kept sorted by completion time
+	var pending []event // running jobs + recoveries, kept sorted by time
 	records := make([]Record, 0, len(jobList))
 	now := 0.0
 	q, err := newQueue(e.Queue, jobList)
 	if err != nil {
 		return RunResult{}, err
+	}
+	var frng *rand.Rand
+	if e.Faults != nil {
+		if e.Faults.FailProb < 0 || e.Faults.FailProb > 1 || e.Faults.Down < 0 {
+			return RunResult{}, fmt.Errorf("sched: invalid fault plan (prob %v, down %v)", e.Faults.FailProb, e.Faults.Down)
+		}
+		if e.Faults.FailProb > 0 {
+			frng = rand.New(rand.NewSource(e.Faults.Seed))
+		}
 	}
 
 	popNext := func() event {
@@ -277,14 +311,31 @@ func (e *Engine) Run(jobList []jobs.Job) (RunResult, error) {
 			}
 			break
 		}
-		// Advance to the next completion and free its GPUs — the
-		// deallocation state update of Sec. 3.6.
+		// Advance to the next completion or recovery and free its GPUs
+		// — the deallocation state update of Sec. 3.6, or the health
+		// restoration of a faulted device.
 		ev := popNext()
 		now = ev.at
 		for _, g := range ev.gpus {
 			restore(avail, e.Top, g)
 		}
+		if ev.recover {
+			e.Views.RestoreHealth(ev.gpus)
+			continue
+		}
 		e.Views.Release(ev.gpus)
+		// Fault churn: after a completion, a free device may fault —
+		// out of the availability graph, unhealthy in the views, back
+		// after Down seconds. The draw happens on every completion so
+		// the fault schedule depends only on the completion schedule.
+		if frng != nil && frng.Float64() < e.Faults.FailProb {
+			if free := avail.Vertices(); len(free) > 0 {
+				victim := free[frng.Intn(len(free))]
+				avail.RemoveVertex(victim)
+				e.Views.MarkUnhealthy([]int{victim})
+				push(event{at: now + e.Faults.Down, gpus: []int{victim}, recover: true})
+			}
+		}
 	}
 
 	result := RunResult{Policy: e.Alloc.Name(), Records: records}

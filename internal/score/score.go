@@ -187,6 +187,30 @@ func mixesOf(top *topology.Topology) *topoMixes {
 	return tm
 }
 
+// InvalidateMixes drops every memoized link mix of the topology
+// instance. Call it after mutating the instance's graphs in place
+// (link degradation, fault-driven reweighting): the memo is keyed by
+// GPU set only, so stale mixes would otherwise serve the old weights
+// forever. Dropping the whole instance is safe — evicted mixes are
+// merely recomputed — and costs one map reset per shard. A topology
+// the registry has never seen is a no-op.
+func InvalidateMixes(top *topology.Topology) {
+	r := &mixRegistry
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.m[top]
+	if !ok {
+		return
+	}
+	tm := el.Value.(*topoMixes)
+	for i := range tm.shards {
+		sh := &tm.shards[i]
+		sh.mu.Lock()
+		sh.m = nil
+		sh.mu.Unlock()
+	}
+}
+
 // mixSetKey renders a GPU set as a compact byte-string key and returns
 // it with its FNV-1a hash for shard selection.
 func mixSetKey(gpus []int) (string, uint64) {

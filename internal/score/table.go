@@ -26,11 +26,16 @@ import (
 // Evaluations). All weights are integral link bandwidths, making every
 // stored and derived value bit-identical to the dynamic evaluators.
 //
-// A Table is immutable after construction and safe for concurrent use.
-// Per-model artifacts (Eq. 2 predictions and the precomputed selection
-// orders) hang off ForModel.
+// A Table is immutable under decision traffic and safe for concurrent
+// use; the one sanctioned mutation is RepairEdge, which absorbs a
+// link-degradation event and must be serialized with readers by the
+// caller. Per-model artifacts (Eq. 2 predictions and the precomputed
+// selection orders) hang off ForModel.
 type Table struct {
-	u        *match.Universe
+	top     *topology.Topology
+	pattern *graph.Graph
+	u       *match.Universe
+
 	agg      []float64
 	internal []float64
 	mix      []effbw.LinkCounts
@@ -53,27 +58,14 @@ func BuildTable(top *topology.Topology, pattern *graph.Graph, u *match.Universe,
 	}
 	n := u.Len()
 	t := &Table{
+		top:      top,
+		pattern:  pattern,
 		u:        u,
 		agg:      make([]float64, n),
 		internal: make([]float64, n),
 		mix:      make([]effbw.LinkCounts, n),
 		gpus:     make([][]int, n),
 		models:   make(map[*effbw.Model]*ModelTable),
-	}
-	hw := top.Graph
-	fill := func(i int) {
-		m := u.Match(i)
-		gpus := m.DataVertices()
-		t.gpus[i] = gpus
-		t.agg[i] = AggregatedBandwidth(pattern, hw, m)
-		t.mix[i] = allocationMix(top, gpus)
-		var internal float64
-		for a, g := range gpus {
-			for _, h := range gpus[a+1:] {
-				internal += hw.Weight(g, h)
-			}
-		}
-		t.internal[i] = internal
 	}
 	if workers > n {
 		workers = n
@@ -85,17 +77,65 @@ func BuildTable(top *topology.Topology, pattern *graph.Graph, u *match.Universe,
 			go func(start int) {
 				defer wg.Done()
 				for i := start; i < n; i += workers {
-					fill(i)
+					t.fill(i)
 				}
 			}(w)
 		}
 		wg.Wait()
 	} else {
 		for i := 0; i < n; i++ {
-			fill(i)
+			t.fill(i)
 		}
 	}
 	return t
+}
+
+// fill (re)derives candidate i's static metrics from the table's
+// current topology graphs.
+func (t *Table) fill(i int) {
+	hw := t.top.Graph
+	m := t.u.Match(i)
+	gpus := m.DataVertices()
+	t.gpus[i] = gpus
+	t.agg[i] = AggregatedBandwidth(t.pattern, hw, m)
+	t.mix[i] = allocationMix(t.top, gpus)
+	var internal float64
+	for a, g := range gpus {
+		for _, h := range gpus[a+1:] {
+			internal += hw.Weight(g, h)
+		}
+	}
+	t.internal[i] = internal
+}
+
+// RepairEdge re-derives the static metrics of every candidate whose
+// GPU set contains both endpoints of machine edge (u,v) — called after
+// the edge's weight changed — and returns how many were refreshed. The
+// affected set is exact, not conservative: AggregatedBandwidth and the
+// internal-edge constant read only weights between allocated GPUs, and
+// the ring-channel decomposition behind the link mix keeps a physical
+// link only when both endpoints are inside the allocation (PCIe hops
+// are a global constant), so a candidate holding just one endpoint
+// prices the old and new graph identically. Per-model artifacts
+// (predictions and selection orders) are dropped wholesale and rebuilt
+// lazily on the next decision. The caller must have already mutated
+// the topology's graphs and invalidated its mix memo
+// (InvalidateMixes), and must serialize RepairEdge with readers.
+func (t *Table) RepairEdge(u, v int) int {
+	repaired := 0
+	for i := 0; i < t.Len(); i++ {
+		s := t.u.Set(i)
+		if s.Has(u) && s.Has(v) {
+			t.fill(i)
+			repaired++
+		}
+	}
+	if repaired > 0 {
+		t.mu.Lock()
+		t.models = make(map[*effbw.Model]*ModelTable)
+		t.mu.Unlock()
+	}
+	return repaired
 }
 
 // Universe returns the universe the table annotates.

@@ -25,6 +25,7 @@ package mapa
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"mapa/internal/graph"
 	"mapa/internal/jobs"
 	"mapa/internal/matchcache"
+	"mapa/internal/mig"
 	"mapa/internal/policy"
 	"mapa/internal/sched"
 	"mapa/internal/score"
@@ -89,18 +91,39 @@ type Lease struct {
 
 // System is a live MAPA allocator for one machine. It owns the
 // hardware-graph state: Allocate removes GPUs, Release restores them
-// (Sec. 3.6 of the paper). System is safe for concurrent use.
+// (Sec. 3.6 of the paper), and the topology-mutation events —
+// MarkUnhealthy/Restore (device health), DegradeLink (link
+// degradation), Repartition (MIG re-slicing) — update that state in
+// place, repairing the match pipeline incrementally instead of
+// rebuilding it. System is safe for concurrent use.
+//
+// Every mutating call is atomic: it either applies completely or
+// returns an error leaving the free set, the lease table, and the
+// published delta stream byte-identical to the pre-call state.
 type System struct {
-	mu       sync.Mutex
-	top      *topology.Topology
-	alloc    policy.Allocator
-	avail    *graph.Graph
-	cache    *matchcache.Cache
-	store    *matchcache.Store
-	views    *matchcache.Views
-	leases   map[int][]int
-	nextID   int
-	warmDone chan struct{} // closed when background warming finishes; nil otherwise
+	mu        sync.Mutex
+	top       *topology.Topology
+	alloc     policy.Allocator
+	scorer    *score.Scorer
+	avail     *graph.Graph
+	cache     *matchcache.Cache
+	store     *matchcache.Store
+	views     *matchcache.Views
+	leases    map[int][]int
+	leasedBy  map[int]int  // GPU -> ID of the lease holding it
+	unhealthy map[int]bool // GPUs marked unhealthy: visible, unallocatable
+	nextID    int
+	cfg       systemConfig
+	warmDone  chan struct{} // closed when background warming finishes; nil otherwise
+
+	// MIG repartitioning state, initialized lazily by the first
+	// Repartition call. baseTop is the physical machine the System was
+	// built for; top then points at the current virtual machine.
+	baseTop   *topology.Topology
+	instances map[int][]int   // physical GPU -> current virtual instance IDs (ascending)
+	physOf    map[int]int     // virtual GPU -> physical GPU
+	fractions map[int]float64 // virtual GPU -> compute fraction
+	nextVID   int             // next fresh virtual ID (monotonic, never reused)
 }
 
 // SystemOption configures a System at construction.
@@ -222,20 +245,38 @@ func NewSystem(topologyName, policyName string, opts ...SystemOption) (*System, 
 		policy.SetParallelism(alloc, cfg.workers)
 	}
 	s := &System{
-		top:    top,
-		alloc:  alloc,
-		avail:  top.Graph.Clone(),
-		leases: make(map[int][]int),
+		top:       top,
+		alloc:     alloc,
+		scorer:    scorer,
+		avail:     top.Graph.Clone(),
+		leases:    make(map[int][]int),
+		leasedBy:  make(map[int]int),
+		unhealthy: make(map[int]bool),
+		cfg:       cfg,
 	}
+	s.buildPipeline(true)
+	return s, nil
+}
+
+// buildPipeline (re)constructs the match pipeline for the System's
+// current topology per its construction options, attaching each tier
+// to the policy (nil detaches): the tier-2 filtered-view cache —
+// recurring availability states reuse prior candidate lists, keyed by
+// the free-GPU bitmask that Allocate and Release rotate — the tier-1
+// idle-state universe store, and the tier-0 delta-maintained live
+// views that let steady-state misses read a maintained candidate list
+// instead of scanning a universe. Background warming is honored only
+// when allowBackground; Repartition rebuilds synchronously so the
+// swapped-in pipeline is deterministic.
+func (s *System) buildPipeline(allowBackground bool) {
+	cfg := s.cfg
+	s.cache, s.store, s.views = nil, nil, nil
 	if !cfg.disableCache {
-		// Steady-state allocation reuses prior candidate lists: the
-		// cache key carries the free-GPU bitmask, so Allocate and
-		// Release rotate the key and recurring availability states hit.
-		s.cache = matchcache.New(top, matchcache.DefaultShardCapacity)
-		policy.AttachCache(alloc, s.cache)
+		s.cache = matchcache.New(s.top, matchcache.DefaultShardCapacity)
 	}
+	policy.AttachCache(s.alloc, s.cache)
 	if !cfg.disableUniverses {
-		s.store = matchcache.NewStore(top, matchcache.DefaultUniverseCapacity)
+		s.store = matchcache.NewStore(s.top, matchcache.DefaultUniverseCapacity)
 		if cfg.buildWorkers > 1 {
 			s.store.SetBuildWorkers(cfg.buildWorkers)
 		}
@@ -245,33 +286,29 @@ func NewSystem(topologyName, policyName string, opts ...SystemOption) (*System, 
 			// dead weight.
 			s.store.SetScoreTables(false)
 		}
-		policy.AttachUniverses(alloc, s.store)
 		if cfg.warmMaxGPUs > 1 {
 			warmWorkers := cfg.workers
 			if cfg.buildWorkers > warmWorkers {
 				warmWorkers = cfg.buildWorkers
 			}
-			shapes := warmPatterns(cfg.warmMaxGPUs, top.NumGPUs())
-			if cfg.backgroundWarm {
+			shapes := warmPatterns(cfg.warmMaxGPUs, s.top.NumGPUs())
+			if cfg.backgroundWarm && allowBackground {
+				store := s.store
 				s.warmDone = make(chan struct{})
 				go func(done chan struct{}) {
 					defer close(done)
-					s.store.Warm(warmWorkers, shapes...)
+					store.Warm(warmWorkers, shapes...)
 				}(s.warmDone)
 			} else {
 				s.store.Warm(warmWorkers, shapes...)
 			}
 		}
 		if !cfg.disableLiveViews {
-			// Tier 0: the System's allocate/release deltas keep
-			// per-shape live candidate views current, so steady-state
-			// misses read a maintained list instead of scanning the
-			// universe.
 			s.views = s.store.NewViews()
-			policy.AttachViews(alloc, s.views)
 		}
 	}
-	return s, nil
+	policy.AttachUniverses(s.alloc, s.store)
+	policy.AttachViews(s.alloc, s.views)
 }
 
 // WaitWarm blocks until the WithBackgroundWarming precomputation has
@@ -304,6 +341,13 @@ type CacheStats struct {
 	// build wall time.
 	ScoreTables    int
 	TableBuildTime time.Duration
+	// Repairs counts link-degradation events absorbed by incremental
+	// table repair; RepairedCandidates the candidates re-derived across
+	// them; RepairTime their summed wall time (compare with
+	// UniverseBuildTime+TableBuildTime, the cost a rebuild would pay).
+	Repairs            int
+	RepairedCandidates int
+	RepairTime         time.Duration
 	// Tier 0: delta-maintained live views.
 	LiveViews                int
 	ViewServed, ViewRejected uint64
@@ -329,6 +373,8 @@ func (s *System) CacheStats() CacheStats {
 		out.FilterServed, out.FilterRejected = ss.FilterServed, ss.FilterRejected
 		out.UniverseBuildTime = ss.BuildTime
 		out.ScoreTables, out.TableBuildTime = ss.Tables, ss.TableTime
+		out.Repairs, out.RepairedCandidates = ss.Repairs, ss.RepairedCandidates
+		out.RepairTime = ss.RepairTime
 	}
 	if s.views != nil {
 		vs := s.views.Stats()
@@ -392,11 +438,21 @@ func (s *System) Allocate(req JobRequest) (*Lease, error) {
 		PreservedBW: alloc.Scores.PreservedBW,
 	}
 	s.leases[lease.ID] = alloc.GPUs
+	for _, g := range alloc.GPUs {
+		s.leasedBy[g] = lease.ID
+	}
 	return lease, nil
 }
 
 // Release returns a lease's GPUs to the free pool. Releasing an
-// unknown or already-released lease is an error.
+// unknown or already-released lease is an error. GPUs marked
+// unhealthy while leased do not rejoin the free pool until Restore.
+//
+// Release validates every hardware edge the rejoin will add before
+// mutating anything, so an error (a lease straddling a corrupted
+// topology) leaves the System byte-identical to its pre-call state —
+// no half-released lease, no partial availability graph, no delta
+// published to the live views.
 func (s *System) Release(l *Lease) error {
 	if l == nil {
 		return fmt.Errorf("mapa: nil lease")
@@ -407,22 +463,375 @@ func (s *System) Release(l *Lease) error {
 	if !ok {
 		return fmt.Errorf("mapa: lease %d not active", l.ID)
 	}
-	delete(s.leases, l.ID)
+	// Phase 1: validate. The free set is snapshotted once — the
+	// released GPUs join it only in phase 2, so one sorted copy serves
+	// every edge check and insertion.
+	free := s.avail.Vertices()
+	var rejoin []int // released GPUs that rejoin the free pool
 	for _, g := range gpus {
-		s.avail.AddVertex(g)
-		for _, v := range s.avail.Vertices() {
-			if v == g {
-				continue
-			}
-			e, ok := s.top.Graph.EdgeBetween(g, v)
-			if !ok {
-				return fmt.Errorf("mapa: topology %s missing edge (%d,%d)", s.top.Name, g, v)
-			}
-			s.avail.MustAddEdge(g, v, e.Weight, e.Label)
+		if !s.unhealthy[g] {
+			rejoin = append(rejoin, g)
 		}
 	}
+	for i, g := range rejoin {
+		for _, v := range free {
+			if _, ok := s.top.Graph.EdgeBetween(g, v); !ok {
+				return fmt.Errorf("mapa: topology %s missing edge (%d,%d)", s.top.Name, g, v)
+			}
+		}
+		for _, h := range rejoin[:i] {
+			if _, ok := s.top.Graph.EdgeBetween(g, h); !ok {
+				return fmt.Errorf("mapa: topology %s missing edge (%d,%d)", s.top.Name, g, h)
+			}
+		}
+	}
+	// Phase 2: mutate. Every edge was validated above, so nothing past
+	// this point can fail.
+	delete(s.leases, l.ID)
+	for _, g := range gpus {
+		delete(s.leasedBy, g)
+	}
+	for i, g := range rejoin {
+		s.avail.AddVertex(g)
+		for _, v := range free {
+			e, _ := s.top.Graph.EdgeBetween(g, v)
+			s.avail.MustAddEdge(g, v, e.Weight, e.Label)
+		}
+		for _, h := range rejoin[:i] {
+			e, _ := s.top.Graph.EdgeBetween(g, h)
+			s.avail.MustAddEdge(g, h, e.Weight, e.Label)
+		}
+	}
+	// The views track the free mask and the health mask independently,
+	// so the full lease is published: unhealthy members re-enter the
+	// free mask but stay blocked by the health mask.
 	s.views.Release(gpus)
 	return nil
+}
+
+// MarkUnhealthy marks GPUs unhealthy: they stay visible in the
+// topology but become unallocatable until Restore (the ROCm health
+// convention — degraded devices are reported, not hidden). Marking a
+// leased GPU is allowed — the lease keeps running, but the GPU will
+// not rejoin the free pool when released. The event is an O(posting
+// list) delta on the live views' health mask; no universe, table, or
+// view is rebuilt. Marking an unknown or already-unhealthy GPU, or
+// listing one twice, is an error, and an erroring call mutates
+// nothing.
+func (s *System) MarkUnhealthy(gpus ...int) error {
+	if len(gpus) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[int]bool, len(gpus))
+	for _, g := range gpus {
+		if !s.top.Graph.HasVertex(g) {
+			return fmt.Errorf("mapa: GPU %d not in topology %s", g, s.top.Name)
+		}
+		if s.unhealthy[g] {
+			return fmt.Errorf("mapa: GPU %d already unhealthy", g)
+		}
+		if seen[g] {
+			return fmt.Errorf("mapa: GPU %d listed twice", g)
+		}
+		seen[g] = true
+	}
+	for _, g := range gpus {
+		s.unhealthy[g] = true
+		if _, leased := s.leasedBy[g]; !leased {
+			s.avail.RemoveVertex(g)
+		}
+	}
+	s.views.MarkUnhealthy(gpus)
+	return nil
+}
+
+// Restore returns unhealthy GPUs to service. A restored GPU rejoins
+// the free pool immediately unless a lease still holds it (it was
+// marked while leased), in which case it becomes allocatable on
+// release. Like Release, Restore validates every hardware edge the
+// rejoin will add before mutating anything; an error leaves the
+// System untouched.
+func (s *System) Restore(gpus ...int) error {
+	if len(gpus) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[int]bool, len(gpus))
+	for _, g := range gpus {
+		if !s.unhealthy[g] {
+			return fmt.Errorf("mapa: GPU %d is not unhealthy", g)
+		}
+		if seen[g] {
+			return fmt.Errorf("mapa: GPU %d listed twice", g)
+		}
+		seen[g] = true
+	}
+	free := s.avail.Vertices()
+	var rejoin []int // restored GPUs that rejoin the free pool now
+	for _, g := range gpus {
+		if _, leased := s.leasedBy[g]; !leased {
+			rejoin = append(rejoin, g)
+		}
+	}
+	for i, g := range rejoin {
+		for _, v := range free {
+			if _, ok := s.top.Graph.EdgeBetween(g, v); !ok {
+				return fmt.Errorf("mapa: topology %s missing edge (%d,%d)", s.top.Name, g, v)
+			}
+		}
+		for _, h := range rejoin[:i] {
+			if _, ok := s.top.Graph.EdgeBetween(g, h); !ok {
+				return fmt.Errorf("mapa: topology %s missing edge (%d,%d)", s.top.Name, g, h)
+			}
+		}
+	}
+	for _, g := range gpus {
+		delete(s.unhealthy, g)
+	}
+	for i, g := range rejoin {
+		s.avail.AddVertex(g)
+		for _, v := range free {
+			e, _ := s.top.Graph.EdgeBetween(g, v)
+			s.avail.MustAddEdge(g, v, e.Weight, e.Label)
+		}
+		for _, h := range rejoin[:i] {
+			e, _ := s.top.Graph.EdgeBetween(g, h)
+			s.avail.MustAddEdge(g, h, e.Weight, e.Label)
+		}
+	}
+	s.views.RestoreHealth(gpus)
+	return nil
+}
+
+// UnhealthyGPUs returns the GPUs currently marked unhealthy, in
+// ascending order.
+func (s *System) UnhealthyGPUs() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.unhealthy))
+	for g := range s.unhealthy {
+		out = append(out, g)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DegradeLink sets the bandwidth of an existing machine link (u,v) to
+// bw GB/s — a link-degradation (or recovery) event. The hardware
+// graphs mutate in place: the link's structure and label survive, only
+// its weight changes, so no universe is re-enumerated and no live-view
+// posting list moves. The derived state is repaired incrementally:
+// built score tables re-derive exactly the candidates containing both
+// endpoints (the ring-channel decomposition prices a physical link
+// only when the allocation holds both ends, so the affected set is
+// exact), the topology's link-mix memo is invalidated, the live views'
+// bandwidth accounting absorbs the weight delta in O(degree), and the
+// tier-2 cache — which stores scores, not structure — is dropped.
+//
+// Integral bandwidths are recommended (matching the built-in link
+// catalog); they keep repaired scores bit-identical to a from-scratch
+// rebuild. For MIG machines, degrading a physical NVLink port edge
+// writes through to the base machine and survives repartitioning;
+// degraded on-die and PCIe fallback paths are re-derived at catalog
+// bandwidth for GPUs that are later re-cut, as in hardware.
+func (s *System) DegradeLink(u, v int, bw float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bw < 0 {
+		return fmt.Errorf("mapa: negative link bandwidth %v", bw)
+	}
+	e, ok := s.top.Graph.EdgeBetween(u, v)
+	if !ok {
+		return fmt.Errorf("mapa: no link (%d,%d) in topology %s", u, v, s.top.Name)
+	}
+	if e.Weight == bw {
+		return nil
+	}
+	s.top.Graph.MustAddEdge(u, v, bw, e.Label)
+	if pe, ok := s.top.Physical.EdgeBetween(u, v); ok {
+		s.top.Physical.MustAddEdge(u, v, bw, pe.Label)
+		// Write through to the base machine when running repartitioned:
+		// a degraded NVLink port belongs to the physical device, not to
+		// the instance currently fronting it.
+		if s.baseTop != nil && s.top != s.baseTop {
+			pu, pv := s.physOf[u], s.physOf[v]
+			if pu != pv {
+				if be, ok := s.baseTop.Physical.EdgeBetween(pu, pv); ok {
+					s.baseTop.Physical.MustAddEdge(pu, pv, bw, be.Label)
+				}
+				if be, ok := s.baseTop.Graph.EdgeBetween(pu, pv); ok {
+					s.baseTop.Graph.MustAddEdge(pu, pv, bw, be.Label)
+				}
+			}
+		}
+	}
+	if s.avail.HasVertex(u) && s.avail.HasVertex(v) {
+		s.avail.MustAddEdge(u, v, bw, e.Label)
+	}
+	score.InvalidateMixes(s.top)
+	if s.cache != nil {
+		s.cache.Clear()
+	}
+	if s.store != nil {
+		s.store.RepairEdge(u, v)
+	}
+	s.views.UpdateEdge(u, v, bw)
+	return nil
+}
+
+// Repartition re-slices physical GPUs into MIG instances on the live
+// System (Sec. 3.2/3.3's virtualized accelerators as a topology
+// mutation). slices maps physical GPU ID — an ID of the machine the
+// System was built for — to its new instance count (1..7); GPUs not
+// listed keep their current slicing. Every instance of a re-cut GPU
+// must be lease-free and healthy, or Repartition errors without
+// mutating anything. Instances of unchanged GPUs keep their virtual
+// IDs, so live leases and health marks survive; re-cut GPUs get fresh,
+// never-reused IDs.
+//
+// Repartitioning changes the vertex set, so unlike the other events it
+// rebuilds the match pipeline for the new virtual machine (warming
+// synchronously per the System's construction options) and retrains
+// the Eq. 2 model. Allocation afterwards treats instances as plain
+// vertices; fraction-aware matching (mig.Request.MinFraction) remains
+// the mig package's direct API.
+func (s *System) Repartition(slices map[int]int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.baseTop == nil {
+		s.baseTop = s.top
+		s.instances = make(map[int][]int)
+		s.physOf = make(map[int]int)
+		s.fractions = make(map[int]float64)
+		for _, g := range s.top.GPUs() {
+			s.instances[g] = []int{g}
+			s.physOf[g] = g
+			s.fractions[g] = 1
+		}
+		s.nextVID = graph.Capacity(s.top.Graph)
+	}
+	var changed []int
+	for g, n := range slices {
+		if _, ok := s.instances[g]; !ok {
+			return fmt.Errorf("mapa: physical GPU %d not in topology %s", g, s.baseTop.Name)
+		}
+		if n < 1 || n > mig.MaxInstances {
+			return fmt.Errorf("mapa: GPU %d split into %d instances; MIG supports 1..%d", g, n, mig.MaxInstances)
+		}
+		if n != len(s.instances[g]) {
+			changed = append(changed, g)
+		}
+	}
+	if len(changed) == 0 {
+		return nil
+	}
+	sort.Ints(changed)
+	for _, g := range changed {
+		for _, vid := range s.instances[g] {
+			if lid, leased := s.leasedBy[vid]; leased {
+				return fmt.Errorf("mapa: cannot repartition GPU %d: instance %d held by lease %d", g, vid, lid)
+			}
+			if s.unhealthy[vid] {
+				return fmt.Errorf("mapa: cannot repartition GPU %d: instance %d is unhealthy", g, vid)
+			}
+		}
+	}
+	newInstances := make(map[int][]int, len(s.instances))
+	for g, vs := range s.instances {
+		newInstances[g] = vs
+	}
+	nextVID := s.nextVID
+	for _, g := range changed {
+		vs := make([]int, slices[g])
+		for i := range vs {
+			vs[i] = nextVID
+			nextVID++
+		}
+		newInstances[g] = vs
+	}
+	vt, err := mig.Compose(s.baseTop, newInstances)
+	if err != nil {
+		return err
+	}
+	// Point of no return: everything below is infallible. Wait out any
+	// in-flight background warm of the old store before swapping it.
+	if s.warmDone != nil {
+		<-s.warmDone
+		s.warmDone = nil
+	}
+	s.nextVID = nextVID
+	s.top = vt.Topology
+	s.instances = newInstances
+	s.physOf = make(map[int]int, len(vt.PhysicalOf))
+	for v, p := range vt.PhysicalOf {
+		s.physOf[v] = p
+	}
+	s.fractions = make(map[int]float64, len(vt.Fraction))
+	for v, f := range vt.Fraction {
+		s.fractions[v] = f
+	}
+	s.scorer = score.NewScorer(effbw.TrainedFor(s.top))
+	policy.SetScorer(s.alloc, s.scorer)
+	s.buildPipeline(false)
+	// Rebuild availability — every instance not leased and not
+	// unhealthy — and replay the surviving allocation and health state
+	// into the fresh views.
+	s.avail = s.top.Graph.Clone()
+	for g := range s.leasedBy {
+		s.avail.RemoveVertex(g)
+	}
+	for g := range s.unhealthy {
+		s.avail.RemoveVertex(g)
+	}
+	if len(s.leasedBy) > 0 {
+		leased := make([]int, 0, len(s.leasedBy))
+		for g := range s.leasedBy {
+			leased = append(leased, g)
+		}
+		sort.Ints(leased)
+		s.views.Allocate(leased)
+	}
+	if len(s.unhealthy) > 0 {
+		un := make([]int, 0, len(s.unhealthy))
+		for g := range s.unhealthy {
+			un = append(un, g)
+		}
+		sort.Ints(un)
+		s.views.MarkUnhealthy(un)
+	}
+	return nil
+}
+
+// Instances returns the virtual GPU IDs currently hosted by the given
+// physical GPU, ascending. Before any Repartition — or for a GPU left
+// whole — a physical GPU hosts itself.
+func (s *System) Instances(physical int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.instances == nil {
+		if !s.top.Graph.HasVertex(physical) {
+			return nil
+		}
+		return []int{physical}
+	}
+	return append([]int(nil), s.instances[physical]...)
+}
+
+// InstanceFraction returns the share of its physical device's compute
+// a virtual GPU carries (1 for whole GPUs, 0 for unknown IDs).
+func (s *System) InstanceFraction(v int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fractions == nil {
+		if s.top.Graph.HasVertex(v) {
+			return 1
+		}
+		return 0
+	}
+	return s.fractions[v]
 }
 
 // Matrix renders the machine's nvidia-smi-style link matrix.
