@@ -890,14 +890,18 @@ func BenchmarkAllocationDecisionScored(b *testing.B) {
 				req := policy.Request{Pattern: pattern, Sensitive: v.sensitive}
 				// Pay the one-time per-(table, model) order sort and
 				// per-state memoizations before timing: steady state is
-				// the regime under measurement.
-				if _, err := p.Allocate(avail, top, req); err != nil {
+				// the regime under measurement. A reused result buffer
+				// (AllocateInto) keeps the table-served loop at 0
+				// allocs/op — the discipline mapad's serving loop uses.
+				var buf policy.Allocation
+				if err := policy.AllocateInto(p, &buf, avail, top, req); err != nil {
 					b.Fatal(err)
 				}
 				evals := score.Evaluations()
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := p.Allocate(avail, top, req); err != nil {
+					if err := policy.AllocateInto(p, &buf, avail, top, req); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -40,6 +40,47 @@ ok  	mapa	12.345s
 	}
 }
 
+// TestParseBenchmemMetrics pins the -benchmem contract CI relies on:
+// a result line carrying B/op and allocs/op must land all three
+// standard metrics in the record, so BENCH_matcher.json archives the
+// allocation profile of each decision path, not just its latency.
+func TestParseBenchmemMetrics(t *testing.T) {
+	line := "BenchmarkAllocationDecisionScored/cluster-a100/preserve/table-8   \t     100\t       193.0 ns/op\t       0 B/op\t       0 allocs/op"
+	r, ok := parseLine(line)
+	if !ok {
+		t.Fatalf("parseLine rejected a -benchmem result line: %q", line)
+	}
+	if r.Name != "BenchmarkAllocationDecisionScored/cluster-a100/preserve/table-8" || r.Runs != 100 {
+		t.Fatalf("result = %+v", r)
+	}
+	want := map[string]float64{"ns/op": 193.0, "B/op": 0, "allocs/op": 0}
+	for unit, v := range want {
+		got, present := r.Metrics[unit]
+		if !present {
+			t.Fatalf("metric %q missing from %v", unit, r.Metrics)
+		}
+		if got != v {
+			t.Fatalf("metric %q = %v, want %v", unit, got, v)
+		}
+	}
+}
+
+// TestParseBenchmemWithReportMetric checks b.ReportMetric extras ride
+// along beside the -benchmem pairs on the same line.
+func TestParseBenchmemWithReportMetric(t *testing.T) {
+	line := "BenchmarkUniverseBuildCluster/9x8-8\t       3\t  12345678 ns/op\t         0.1200 plan-imbalance\t  524288 B/op\t    4096 allocs/op"
+	r, ok := parseLine(line)
+	if !ok {
+		t.Fatal("parseLine rejected a ReportMetric+benchmem line")
+	}
+	if r.Metrics["plan-imbalance"] != 0.12 {
+		t.Fatalf("plan-imbalance = %v, want 0.12", r.Metrics["plan-imbalance"])
+	}
+	if r.Metrics["B/op"] != 524288 || r.Metrics["allocs/op"] != 4096 {
+		t.Fatalf("alloc metrics = %v", r.Metrics)
+	}
+}
+
 func TestParseRejectsNonBenchLines(t *testing.T) {
 	for _, line := range []string{
 		"",

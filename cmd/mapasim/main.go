@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -47,6 +49,8 @@ type options struct {
 	faultProb    float64
 	faultDown    float64
 	faultSeed    int64
+	cpuProfile   string
+	memProfile   string
 }
 
 func main() {
@@ -69,9 +73,44 @@ func main() {
 	flag.Float64Var(&o.faultDown, "fault-down", 300, "seconds a faulted GPU stays unallocatable before recovering")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed of the fault/recovery process")
 	flag.BoolVar(&o.verbose, "v", false, "print the per-job log")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapasim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mapasim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
+	err := run(o)
+
+	if o.memProfile != "" {
+		// Collect the live heap after a GC so the profile shows what
+		// the run retains, not transient garbage awaiting collection.
+		runtime.GC()
+		f, ferr := os.Create(o.memProfile)
+		if ferr == nil {
+			ferr = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+		if ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+
+	if err != nil {
+		if o.cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
 		fmt.Fprintln(os.Stderr, "mapasim:", err)
 		os.Exit(1)
 	}

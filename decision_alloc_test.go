@@ -1,0 +1,175 @@
+// Allocation-discipline regression gates: the table-served decision
+// path must stay 0 allocs/op, and the tier-0 live-view delta path must
+// stay within a small fixed budget. These are tests, not benchmarks —
+// a regression fails CI outright instead of silently shifting a curve.
+package mapa
+
+import (
+	"fmt"
+	"testing"
+
+	"mapa/internal/appgraph"
+	"mapa/internal/effbw"
+	"mapa/internal/matchcache"
+	"mapa/internal/policy"
+	"mapa/internal/score"
+	"mapa/internal/topology"
+)
+
+// allocPolicies builds the four MAPA selection-order variants — all
+// four table-served strategies (fully static order, EffBW-primary
+// group, PreservedBW-primary streaming argmax, AggBW-primary group).
+func allocPolicies(scorer *score.Scorer) []struct {
+	name      string
+	p         policy.Allocator
+	sensitive bool
+} {
+	return []struct {
+		name      string
+		p         policy.Allocator
+		sensitive bool
+	}{
+		{"greedy", policy.NewGreedy(scorer), true},
+		{"preserve-sensitive", policy.NewPreserve(scorer), true},
+		{"preserve-insensitive", policy.NewPreserve(scorer), false},
+		{"preserve-aggbw-sensitive", policy.NewPreserveAggBW(scorer), true},
+	}
+}
+
+// TestTableServedDecisionZeroAllocs pins the post-warm table-served
+// decision at exactly 0 allocs/op for all four policies on both the
+// single-node DGX-A100 and the 72-GPU cluster. The decision runs
+// through AllocateInto with a reused result buffer — the serving-loop
+// discipline — so any regression (an escaping closure, a method value,
+// a fresh slice on the hot path) fails here, not in a benchmark graph.
+func TestTableServedDecisionZeroAllocs(t *testing.T) {
+	tops := []struct {
+		name string
+		top  *topology.Topology
+		busy []int
+	}{
+		{"dgx-a100", topology.DGXA100(), []int{1}},
+		{"cluster-a100", topology.ClusterA100(9), []int{1, 6}},
+	}
+	pattern := appgraph.Ring(3)
+	for _, tc := range tops {
+		t.Run(tc.name, func(t *testing.T) {
+			scorer := score.NewScorer(effbw.TrainedFor(tc.top))
+			store := matchcache.NewStore(tc.top, 0)
+			store.Warm(1, pattern)
+			views := store.NewViews()
+			views.Allocate(tc.busy)
+			avail := tc.top.Graph.Without(tc.busy)
+			for _, v := range allocPolicies(scorer) {
+				t.Run(v.name, func(t *testing.T) {
+					policy.AttachUniverses(v.p, store)
+					policy.AttachViews(v.p, views)
+					req := policy.Request{Pattern: pattern, Sensitive: v.sensitive}
+					var buf policy.Allocation
+					// Warm the per-(table, model) sorted orders and every
+					// lazy memo, and prove the fast path actually serves:
+					// a decision that fell through to an entry tier would
+					// trivially allocate and mask a fast-path regression.
+					evals := score.Evaluations()
+					if err := policy.AllocateInto(v.p, &buf, avail, tc.top, req); err != nil {
+						t.Fatal(err)
+					}
+					if d := score.Evaluations() - evals; d != 0 {
+						t.Fatalf("decision ran %d dynamic score evaluations, want 0 (not table-served)", d)
+					}
+					got := testing.AllocsPerRun(100, func() {
+						if err := policy.AllocateInto(v.p, &buf, avail, tc.top, req); err != nil {
+							t.Fatal(err)
+						}
+					})
+					if got != 0 {
+						t.Fatalf("table-served decision: %v allocs/op, want 0", got)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestLiveViewDeltaAllocBudget caps the tier-0 delta path: publishing
+// an allocate/release GPU-set delta to a warmed view set walks posting
+// lists and updates counters in place, so it must stay within a small
+// fixed budget per delta pair (0 today; the cap leaves headroom for
+// bounded bookkeeping, not per-candidate work).
+func TestLiveViewDeltaAllocBudget(t *testing.T) {
+	const budget = 4.0
+	top := topology.ClusterA100(9)
+	pattern := appgraph.Ring(3)
+	store := matchcache.NewStore(top, 0)
+	store.Warm(1, pattern)
+	views := store.NewViews()
+	scorer := score.NewScorer(effbw.TrainedFor(top))
+	p := policy.NewPreserve(scorer)
+	policy.AttachUniverses(p, store)
+	policy.AttachViews(p, views)
+	// One decision materializes the view slot so deltas do real work.
+	req := policy.Request{Pattern: pattern, Sensitive: false}
+	var buf policy.Allocation
+	if err := policy.AllocateInto(p, &buf, top.Graph, top, req); err != nil {
+		t.Fatal(err)
+	}
+	gpus := []int{3, 10, 40}
+	got := testing.AllocsPerRun(100, func() {
+		views.Allocate(gpus)
+		views.Release(gpus)
+	})
+	if got > budget {
+		t.Fatalf("live-view allocate+release delta: %v allocs/op, budget %v", got, budget)
+	}
+}
+
+// TestAllocateIntoMatchesAllocate cross-checks the buffer-reuse entry
+// point against the allocating one on a churned state: same GPUs, same
+// scores, same match, decision after decision, for every policy — the
+// byte-identity contract AllocateInto must uphold while reusing buf.
+func TestAllocateIntoMatchesAllocate(t *testing.T) {
+	top := topology.ClusterA100(3)
+	pattern := appgraph.Ring(3)
+	scorer := score.NewScorer(effbw.TrainedFor(top))
+	for _, v := range allocPolicies(scorer) {
+		t.Run(v.name, func(t *testing.T) {
+			store := matchcache.NewStore(top, 0)
+			store.Warm(1, pattern)
+			viewsA := store.NewViews()
+			viewsB := store.NewViews()
+			pa := v.p
+			pb, err := policy.ByName(pa.Name(), scorer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			policy.AttachUniverses(pa, store)
+			policy.AttachViews(pa, viewsA)
+			policy.AttachUniverses(pb, store)
+			policy.AttachViews(pb, viewsB)
+			req := policy.Request{Pattern: pattern, Sensitive: v.sensitive}
+			avail := top.Graph.Clone()
+			var buf policy.Allocation
+			for step := 0; step < 8; step++ {
+				want, errA := pa.Allocate(avail, top, req)
+				errB := policy.AllocateInto(pb, &buf, avail, top, req)
+				if (errA != nil) != (errB != nil) {
+					t.Fatalf("step %d: Allocate err=%v, AllocateInto err=%v", step, errA, errB)
+				}
+				if errA != nil {
+					break
+				}
+				if fmt.Sprint(want.GPUs) != fmt.Sprint(buf.GPUs) ||
+					want.Scores != buf.Scores ||
+					fmt.Sprint(want.Match) != fmt.Sprint(buf.Match) {
+					t.Fatalf("step %d: AllocateInto diverged:\n got %v %+v\nwant %v %+v",
+						step, buf.GPUs, buf.Scores, want.GPUs, want.Scores)
+				}
+				viewsA.Allocate(want.GPUs)
+				viewsB.Allocate(want.GPUs)
+				for _, g := range want.GPUs {
+					avail.RemoveVertex(g)
+				}
+			}
+		})
+	}
+}

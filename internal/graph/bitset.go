@@ -209,12 +209,21 @@ func (g *Graph) VertexBitset() Bitset {
 	return b
 }
 
-// Fingerprint returns a canonical string encoding of g's exact
-// structure: sorted vertices, then sorted edges with weights and
-// labels. Equal fingerprints mean structurally equal graphs (the Equal
-// relation), so the fingerprint is a sound cache key for pattern
-// graphs. It is not an isomorphism invariant.
-func (g *Graph) Fingerprint() string {
+// VertexBitsetView returns the same set as VertexBitset but memoized on
+// the graph: repeated calls between mutations return one shared bitset
+// without allocating. The returned bitset is READ-ONLY — callers that
+// need to mutate the set must use VertexBitset (or Clone the view).
+func (g *Graph) VertexBitsetView() Bitset {
+	if p := g.vsetMemo.Load(); p != nil {
+		return *p
+	}
+	b := g.VertexBitset()
+	g.vsetMemo.Store(&b)
+	return b
+}
+
+// fingerprint is the uncached canonical encoding behind Fingerprint.
+func (g *Graph) fingerprint() string {
 	var sb strings.Builder
 	for _, v := range g.Vertices() {
 		sb.WriteString(strconv.Itoa(v))
@@ -232,6 +241,24 @@ func (g *Graph) Fingerprint() string {
 		sb.WriteByte(',')
 	}
 	return sb.String()
+}
+
+// Fingerprint returns a canonical string encoding of g's exact
+// structure: sorted vertices, then sorted edges with weights and
+// labels. Equal fingerprints mean structurally equal graphs (the Equal
+// relation), so the fingerprint is a sound cache key for pattern
+// graphs. It is not an isomorphism invariant.
+//
+// The string is memoized on the graph and recomputed only after a
+// mutation, so steady-state decision paths that key caches by
+// fingerprint pay no per-call allocation.
+func (g *Graph) Fingerprint() string {
+	if p := g.fpMemo.Load(); p != nil {
+		return *p
+	}
+	s := g.fingerprint()
+	g.fpMemo.Store(&s)
+	return s
 }
 
 // Index is a compact adjacency-bitset view of a Graph. Vertex IDs may

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Edge is an undirected edge between U and V with a bandwidth Weight
@@ -46,8 +47,25 @@ func (e Edge) Other(v int) int {
 
 // Graph is an undirected weighted graph. The zero value is not usable;
 // call New.
+//
+// Graphs memoize derived read-only artifacts (Fingerprint,
+// VertexBitsetView) lazily; every mutator drops the memo, so a graph
+// mutated between decisions recomputes them at most once per state.
+// The memo is maintained with atomics, so concurrent readers are safe;
+// mutation itself is not safe to interleave with readers (unchanged
+// from the map-backed representation).
 type Graph struct {
 	adj map[int]map[int]Edge
+
+	fpMemo   atomic.Pointer[string]
+	vsetMemo atomic.Pointer[Bitset]
+}
+
+// invalidate drops the memoized derived artifacts after a structural
+// mutation.
+func (g *Graph) invalidate() {
+	g.fpMemo.Store(nil)
+	g.vsetMemo.Store(nil)
 }
 
 // New returns an empty graph.
@@ -63,6 +81,7 @@ func (g *Graph) AddVertex(v int) {
 	}
 	if _, ok := g.adj[v]; !ok {
 		g.adj[v] = make(map[int]Edge)
+		g.invalidate()
 	}
 }
 
@@ -82,6 +101,7 @@ func (g *Graph) AddEdge(u, v int, weight float64, label int) error {
 	e := Edge{U: u, V: v, Weight: weight, Label: label}.normalize()
 	g.adj[u][v] = e
 	g.adj[v][u] = e
+	g.invalidate()
 	return nil
 }
 
@@ -98,16 +118,21 @@ func (g *Graph) RemoveEdge(u, v int) {
 	if _, ok := g.adj[u][v]; ok {
 		delete(g.adj[u], v)
 		delete(g.adj[v], u)
+		g.invalidate()
 	}
 }
 
 // RemoveVertex deletes v and all incident edges. Removing an absent
 // vertex is a no-op.
 func (g *Graph) RemoveVertex(v int) {
+	if _, ok := g.adj[v]; !ok {
+		return
+	}
 	for u := range g.adj[v] {
 		delete(g.adj[u], v)
 	}
 	delete(g.adj, v)
+	g.invalidate()
 }
 
 // HasVertex reports whether v is present.
@@ -172,6 +197,20 @@ func (g *Graph) Edges() []Edge {
 		return es[i].V < es[j].V
 	})
 	return es
+}
+
+// ForEachEdge calls fn for every edge (normalized, U < V) in
+// unspecified order, stopping early if fn returns false. Unlike Edges
+// it allocates nothing; use it when the caller's accumulation is
+// order-independent (e.g. exact integral-bandwidth sums).
+func (g *Graph) ForEachEdge(fn func(Edge) bool) {
+	for u, nbrs := range g.adj {
+		for v, e := range nbrs {
+			if u < v && !fn(e) {
+				return
+			}
+		}
+	}
 }
 
 // Neighbors returns the neighbors of v in ascending order.

@@ -324,6 +324,14 @@ func (a *BandwidthAccounting) Healthy(g int) bool {
 // healthy GPUs), maintained incrementally.
 func (a *BandwidthAccounting) FreeWeight() float64 { return a.totalFree }
 
+// IncidentView returns the per-vertex incident-to-usable weight array,
+// indexed by vertex ID. READ-ONLY, and only valid until the next
+// delta; selection loops evaluating Eq. 3 for many candidates index it
+// directly instead of paying a method call per candidate (summing
+// entries in GPU-set order and computing totalFree − drop + internal
+// reproduces PreservedBW bit for bit — all weights are integral).
+func (a *BandwidthAccounting) IncidentView() []float64 { return a.incident }
+
 // FreeIncidentWeight returns the summed weight of GPU g's edges into
 // the tracked usable set. Out-of-capacity vertices report zero.
 func (a *BandwidthAccounting) FreeIncidentWeight(g int) float64 {
@@ -556,11 +564,37 @@ func (lv *LiveView) Candidates(max int) (idx []int, truncated bool) {
 	return idx, truncated
 }
 
+// AppendLive appends the live embedding indices to dst in enumeration
+// order, truncated to the first max (max <= 0: unlimited); truncated
+// reports whether further live embeddings exist beyond the cap. It is
+// Candidates with a caller-supplied buffer — pass dst[:0] to reuse
+// scratch across decisions without allocating (beyond buffer growth).
+func (lv *LiveView) AppendLive(dst []int, max int) (idx []int, truncated bool) {
+	n := lv.liveLen
+	if max > 0 && n > max {
+		n, truncated = max, true
+	}
+	if n == 0 {
+		return dst, truncated
+	}
+	start := len(dst)
+	lv.live.ForEach(func(i int) bool {
+		dst = append(dst, i)
+		return len(dst)-start < n
+	})
+	return dst, truncated
+}
+
 // ForEachLive invokes fn for every live embedding index in enumeration
 // order. Return false from fn to stop early.
 func (lv *LiveView) ForEachLive(fn func(i int) bool) {
 	lv.live.ForEach(fn)
 }
+
+// LiveSet returns the bitset of live embedding indices. READ-ONLY, and
+// only valid until the next delta; callers iterate it directly to walk
+// live candidates without closure dispatch.
+func (lv *LiveView) LiveSet() graph.Bitset { return lv.live }
 
 // Live reports whether embedding index i is currently live.
 func (lv *LiveView) Live(i int) bool { return lv.live.Has(i) }

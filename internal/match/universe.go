@@ -36,12 +36,23 @@ func Filters() uint64 { return filters.Load() }
 //
 // A Universe is immutable after construction and safe for concurrent
 // readers.
+//
+// Storage is arena-style: embeddings are immutable after build, so all
+// embedding vertex lists live in one backing []int (fixed stride k =
+// pattern size) and all per-embedding bitset words in one backing
+// []uint64 (fixed stride wp = words per bitset). The per-universe heap
+// object count is O(1) instead of O(candidates) — for the 59,640-class
+// cluster universe this removes ~120k small objects from GC scan work
+// — and Match/Set return subslices of the arenas without allocating.
 type Universe struct {
-	order    []int // match order: the Pattern slice shared by all matches
-	matches  []Match
-	keys     []string
-	sets     []graph.Bitset // per-match data-vertex bitset, indexed by vertex ID
-	capacity int            // bitset capacity: max data-vertex ID + 1
+	order    []int    // match order: the Pattern slice shared by all matches
+	keys     []string // per-match canonical keys
+	data     []int    // vertex-list arena: match i occupies [i*k, (i+1)*k)
+	setWords []uint64 // bitset arena: match i occupies [i*wp, (i+1)*wp)
+	n        int      // number of matches
+	k        int      // pattern size: vertices per match
+	wp       int      // words per bitset: (capacity+63)/64
+	capacity int      // bitset capacity: max data-vertex ID + 1
 	complete bool
 }
 
@@ -83,21 +94,24 @@ func assembleUniverse(data *graph.Graph, ms []Match, keys []string, max int) *Un
 		return &Universe{capacity: capacity, complete: false}
 	}
 	u := &Universe{
-		matches:  ms,
 		keys:     keys,
-		sets:     make([]graph.Bitset, len(ms)),
+		n:        len(ms),
+		wp:       (capacity + 63) / 64,
 		capacity: capacity,
 		complete: true,
 	}
 	if len(ms) > 0 {
 		u.order = ms[0].Pattern
+		u.k = len(ms[0].Data)
 	}
+	u.data = make([]int, u.n*u.k)
+	u.setWords = make([]uint64, u.n*u.wp)
 	for i, m := range ms {
-		b := graph.NewBitset(capacity)
+		copy(u.data[i*u.k:(i+1)*u.k], m.Data)
+		b := graph.Bitset(u.setWords[i*u.wp : (i+1)*u.wp])
 		for _, v := range m.Data {
 			b.Set(v)
 		}
-		u.sets[i] = b
 	}
 	return u
 }
@@ -107,7 +121,7 @@ func assembleUniverse(data *graph.Graph, ms []Match, keys []string, max int) *Un
 func (u *Universe) Complete() bool { return u.complete }
 
 // Len returns the number of stored representatives.
-func (u *Universe) Len() int { return len(u.matches) }
+func (u *Universe) Len() int { return u.n }
 
 // Capacity returns the bitset capacity the universe's per-match vertex
 // sets were built with: the data graph's maximum vertex ID plus one
@@ -118,16 +132,22 @@ func (u *Universe) Capacity() int { return u.capacity }
 // by every stored match. Read-only.
 func (u *Universe) Order() []int { return u.order }
 
-// Match returns representative i. Its slices are shared; clone before
-// mutating or retaining with a different Pattern.
-func (u *Universe) Match(i int) Match { return u.matches[i] }
+// Match returns representative i as a view into the arena. Its slices
+// are shared (Pattern with every match, Data with the arena); clone
+// before mutating or retaining with a different Pattern.
+func (u *Universe) Match(i int) Match {
+	return Match{Pattern: u.order, Data: u.data[i*u.k : (i+1)*u.k : (i+1)*u.k]}
+}
 
 // Key returns the canonical key (vertex set + used-edge set) of
 // representative i.
 func (u *Universe) Key(i int) string { return u.keys[i] }
 
-// Set returns the data-vertex bitset of representative i. Read-only.
-func (u *Universe) Set(i int) graph.Bitset { return u.sets[i] }
+// Set returns the data-vertex bitset of representative i as a view
+// into the arena. Read-only.
+func (u *Universe) Set(i int) graph.Bitset {
+	return graph.Bitset(u.setWords[i*u.wp : (i+1)*u.wp : (i+1)*u.wp])
+}
 
 // Filter returns the indices of the representatives whose data
 // vertices all lie in mask, in enumeration order, truncated to the
@@ -139,8 +159,8 @@ func (u *Universe) Filter(mask graph.Bitset, max int) (idx []int, truncated bool
 		panic("match: Filter on an incomplete universe")
 	}
 	filters.Add(1)
-	for i, s := range u.sets {
-		if !s.SubsetOf(mask) {
+	for i := 0; i < u.n; i++ {
+		if !u.Set(i).SubsetOf(mask) {
 			continue
 		}
 		if max > 0 && len(idx) == max {
@@ -162,7 +182,8 @@ func (u *Universe) FilterUsable(free, healthy graph.Bitset, max int) (idx []int,
 		panic("match: FilterUsable on an incomplete universe")
 	}
 	filters.Add(1)
-	for i, s := range u.sets {
+	for i := 0; i < u.n; i++ {
+		s := u.Set(i)
 		if !s.SubsetOf(free) || !s.SubsetOf(healthy) {
 			continue
 		}

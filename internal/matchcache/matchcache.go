@@ -40,6 +40,7 @@ package matchcache
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 
 	"mapa/internal/graph"
@@ -68,7 +69,7 @@ const DefaultShardCapacity = 256
 // An availability graph that violates that contract (e.g. links
 // removed by hand) must not share a cache with conforming callers.
 func Key(pattern, avail *graph.Graph) string {
-	return pattern.Fingerprint() + "@" + avail.VertexBitset().String()
+	return pattern.Fingerprint() + "@" + avail.VertexBitsetView().String()
 }
 
 // Entry is one cached candidate list: the deduplicated matches of a
@@ -79,7 +80,13 @@ func Key(pattern, avail *graph.Graph) string {
 type Entry struct {
 	matches []match.Match
 	keys    []string
-	gpus    [][]int
+
+	// gpusArena holds every match's ascending GPU set in one backing
+	// array with fixed stride k (the pattern size): match i occupies
+	// [i*k, (i+1)*k). One allocation per entry instead of one per
+	// match.
+	gpusArena []int
+	k         int
 
 	// order is the Pattern slice the matches are expressed in;
 	// patternFP is the structural fingerprint of the pattern they were
@@ -107,15 +114,19 @@ type Entry struct {
 // match.FindAllDedupedCappedKeys. keys may be nil when no caller
 // needs per-match identities.
 func NewEntry(matches []match.Match, keys []string) *Entry {
-	e := &Entry{matches: matches, keys: keys, gpus: make([][]int, len(matches))}
+	e := &Entry{matches: matches, keys: keys}
 	if keys == nil {
 		e.keys = make([]string, len(matches))
 	}
-	for i, m := range matches {
-		e.gpus[i] = m.DataVertices()
-	}
 	if len(matches) > 0 {
 		e.order = matches[0].Pattern
+		e.k = len(matches[0].Data)
+	}
+	e.gpusArena = make([]int, len(matches)*e.k)
+	for i, m := range matches {
+		g := e.gpusArena[i*e.k : (i+1)*e.k]
+		copy(g, m.Data)
+		sort.Ints(g)
 	}
 	return e
 }
@@ -134,8 +145,11 @@ func (e *Entry) Matches() []match.Match { return e.matches }
 // among equally scored candidates.
 func (e *Entry) Key(i int) string { return e.keys[i] }
 
-// GPUs returns the ascending GPU set of match i. Read-only.
-func (e *Entry) GPUs(i int) []int { return e.gpus[i] }
+// GPUs returns the ascending GPU set of match i as a view into the
+// entry's arena. Read-only.
+func (e *Entry) GPUs(i int) []int {
+	return e.gpusArena[i*e.k : (i+1)*e.k : (i+1)*e.k]
+}
 
 // Len returns the number of cached matches.
 func (e *Entry) Len() int { return len(e.matches) }
@@ -247,7 +261,7 @@ func (c *Cache) Bound(top *topology.Topology) bool {
 // other build.
 func (c *Cache) GetFor(pattern, avail *graph.Graph) (*Entry, []int, bool) {
 	ci := canon.info(pattern)
-	mask := avail.VertexBitset().String()
+	mask := avail.VertexBitsetView().String()
 	c.mu.Lock()
 	sh, ok := c.shards[ci.canon]
 	if !ok {
@@ -284,7 +298,7 @@ func (c *Cache) PutFor(pattern, avail *graph.Graph, ent *Entry) (*Entry, []int) 
 	if ent.patternFP == "" {
 		ent.patternFP = ci.exact
 	}
-	mask := avail.VertexBitset().String()
+	mask := avail.VertexBitsetView().String()
 	c.mu.Lock()
 	sh, ok := c.shards[ci.canon]
 	if !ok {

@@ -454,7 +454,7 @@ func (s *Store) FilteredEntry(pattern, avail *graph.Graph, maxCandidates, worker
 	if !sl.u.Complete() {
 		return reject()
 	}
-	idx, truncated := sl.u.Filter(avail.VertexBitset(), maxCandidates)
+	idx, truncated := sl.u.Filter(avail.VertexBitsetView(), maxCandidates)
 	if truncated && sl.patternFP != ci.exact {
 		return reject()
 	}

@@ -37,6 +37,10 @@ type viewSlot struct {
 	lv        *match.LiveView
 	patternFP string
 	usl       *universeSlot
+	// scratch is the slot's reusable live-candidate index buffer,
+	// refilled under the view lock by Entry; it never escapes the lock's
+	// critical section.
+	scratch []int
 }
 
 // Views is tier 0 of the match pipeline: per-shape live candidate
@@ -231,7 +235,7 @@ func (v *Views) Entry(pattern, avail *graph.Graph, maxCandidates, workers int) (
 		return nil, nil, false
 	}
 	ci := canon.info(pattern)
-	mask := avail.VertexBitset()
+	mask := avail.VertexBitsetView()
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	reject := func() (*Entry, []int, bool) {
@@ -250,7 +254,8 @@ func (v *Views) Entry(pattern, avail *graph.Graph, maxCandidates, workers int) (
 	if !ok2 {
 		return reject()
 	}
-	idx, truncated := sl.lv.Candidates(maxCandidates)
+	idx, truncated := sl.lv.AppendLive(sl.scratch[:0], maxCandidates)
+	sl.scratch = idx
 	if truncated && sl.patternFP != ci.exact {
 		return reject()
 	}
@@ -324,7 +329,7 @@ func (v *Views) SelectLive(pattern, avail *graph.Graph, maxCandidates, workers i
 		return false
 	}
 	ci := canon.info(pattern)
-	mask := avail.VertexBitset()
+	mask := avail.VertexBitsetView()
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if !mask.SubsetOf(v.usable) || !v.usable.SubsetOf(mask) {

@@ -265,6 +265,52 @@ func (p *mapaPolicy) Allocate(avail *graph.Graph, top *topology.Topology, req Re
 			return alloc, err
 		}
 	}
+	return p.allocateSlow(avail, top, req)
+}
+
+// AllocateInto is Allocate writing the decision into a caller-supplied
+// buffer: buf's slices are truncated and refilled in place, so a caller
+// reusing one buffer across decisions pays zero allocations on the
+// table-served fast path (the entry-materializing fallbacks still
+// allocate and are copied into buf). On error buf's contents are
+// unspecified.
+func (p *mapaPolicy) AllocateInto(buf *Allocation, avail *graph.Graph, top *topology.Topology, req Request) error {
+	if err := validate(avail, req); err != nil {
+		return err
+	}
+	if p.views.Bound(top) {
+		if err, served := p.allocateScoredInto(buf, avail, top, req); served {
+			return err
+		}
+	}
+	al, err := p.allocateSlow(avail, top, req)
+	if err != nil {
+		return err
+	}
+	*buf = al
+	return nil
+}
+
+// AllocateInto runs a's decision into a caller-supplied buffer when the
+// policy supports buffer reuse (the MAPA policies' table-served path is
+// zero-allocation through it), and falls back to Allocate plus a copy
+// into buf otherwise. On error buf's contents are unspecified.
+func AllocateInto(a Allocator, buf *Allocation, avail *graph.Graph, top *topology.Topology, req Request) error {
+	if mp, ok := a.(*mapaPolicy); ok {
+		return mp.AllocateInto(buf, avail, top, req)
+	}
+	al, err := a.Allocate(avail, top, req)
+	if err != nil {
+		return err
+	}
+	*buf = al
+	return nil
+}
+
+// allocateSlow is every decision tier below the table-served fast
+// path, in cost order: tier-2 cached entries, tier-0/1 filtered
+// entries, parallel enumeration, sequential enumeration.
+func (p *mapaPolicy) allocateSlow(avail *graph.Graph, top *topology.Topology, req Request) (Allocation, error) {
 	if p.cache.Bound(top) {
 		return p.allocateCached(avail, top, req)
 	}
@@ -276,7 +322,8 @@ func (p *mapaPolicy) Allocate(avail *graph.Graph, top *topology.Topology, req Re
 	}
 	sr := match.NewSearcher(req.Pattern, avail)
 	ky := match.NewKeyer(req.Pattern, sr.Order())
-	led := score.NewLedger(avail)
+	led := score.BorrowLedger(avail)
+	defer led.Recycle()
 	seen := make(map[string]bool)
 	var best Allocation
 	found := false
@@ -401,10 +448,12 @@ func (p *mapaPolicy) selectFromEntry(ent *matchcache.Entry, order []int, avail *
 	if ent.Len() == 0 {
 		return Allocation{}, ErrNoAllocation
 	}
-	// One bandwidth ledger prices Eq. 3 for the whole fill: candidates
-	// share the availability graph, so each one costs O(k²) arithmetic
-	// instead of an O(V+E) graph sweep.
-	led := score.NewLedger(avail)
+	// One pooled bandwidth ledger prices Eq. 3 for the whole fill:
+	// candidates share the availability graph, so each one costs O(k²)
+	// arithmetic instead of an O(V+E) graph sweep, and the ledger's
+	// incident map is recycled across decisions.
+	led := score.BorrowLedger(avail)
+	defer led.Recycle()
 	scores := ent.Scores(p.scorer, p.workers, func(_ int, m match.Match) score.Scores {
 		if order != nil {
 			m = match.Match{Pattern: order, Data: m.Data}

@@ -16,18 +16,30 @@
 //     the precomputed sorted order — no arithmetic at all.
 //   - EffBW- and AggBW-primary orders (sensitive Preserve and the
 //     ablations) have a static primary: the first live candidate in the
-//     primary-sorted order pins the winning score group, and only that
-//     group's members need the O(k) Eq. 3 tie-break.
+//     primary-sorted order pins the winning score group — whose extent
+//     is precomputed alongside the order (score.ModelTable.AggGroups/
+//     EffGroups) — and only that group's live members pay the O(k)
+//     Eq. 3 tie-break, with no per-group temporary slices.
 //   - PreservedBW-primary orders (insensitive Preserve) stream an
-//     argmax over the live set with O(k) arithmetic per candidate.
+//     argmax over the live bitset with O(k) arithmetic per candidate,
+//     resolving the selection order once per decision and computing the
+//     secondary metric only on primary ties.
 //
 // Every strategy applies the same total order as the dynamic comparator
 // — primary, secondary, lexicographic GPU set, canonical key — so
 // decisions are byte-identical to the scoring paths (all link
 // bandwidths are integral, making the delta-maintained sums exact).
+//
+// The whole path allocates nothing: candidates are table lookups,
+// comparisons are plain float/slice reads, and the winner lands in a
+// caller-supplied Allocation buffer (AllocateInto) via in-place
+// appends. testing.AllocsPerRun gates in decision_alloc_test.go pin 0
+// allocs/op for all four policies.
 package policy
 
 import (
+	"math/bits"
+
 	"mapa/internal/graph"
 	"mapa/internal/match"
 	"mapa/internal/score"
@@ -40,6 +52,15 @@ import (
 // truncating cap for a foreign build of the shape — and the caller
 // falls through to the entry-materializing tiers.
 func (p *mapaPolicy) allocateScored(avail *graph.Graph, top *topology.Topology, req Request) (alloc Allocation, err error, served bool) {
+	err, served = p.allocateScoredInto(&alloc, avail, top, req)
+	return alloc, err, served
+}
+
+// allocateScoredInto is allocateScored writing the winner into a
+// caller-supplied buffer: buf's slices are truncated and refilled in
+// place, so a caller reusing one buffer across decisions allocates
+// nothing once the slices have grown to the request size.
+func (p *mapaPolicy) allocateScoredInto(buf *Allocation, avail *graph.Graph, top *topology.Topology, req Request) (err error, served bool) {
 	served = p.views.SelectLive(req.Pattern, avail, p.maxCandidates, p.workers,
 		func(lv *match.LiveView, bw *match.BandwidthAccounting, tbl *score.Table, order []int, truncated bool) {
 			best, ok := p.pickScored(lv, bw, tbl, req, truncated)
@@ -47,9 +68,9 @@ func (p *mapaPolicy) allocateScored(avail *graph.Graph, top *topology.Topology, 
 				err = ErrNoAllocation
 				return
 			}
-			alloc = p.scoredAllocation(bw, tbl, order, best)
+			p.scoredAllocationInto(buf, bw, tbl, order, best)
 		})
-	return alloc, err, served
+	return err, served
 }
 
 // pickScored selects the winning universe index among the live
@@ -70,15 +91,16 @@ func (p *mapaPolicy) pickScored(lv *match.LiveView, bw *match.BandwidthAccountin
 	r := p.rank(req)
 	switch r[0] {
 	case metricAggBW:
-		ord := mt.AggOrder()
 		if r[1] == metricEffBW {
 			// Greedy: AggOrder embodies the full total order, so the
 			// first live candidate is the winner outright.
-			return firstLive(lv, ord), true
+			return firstLive(lv, mt.AggOrder()), true
 		}
-		return p.scoredGroupArgmax(lv, bw, tbl, mt, req, ord, tbl.AggBW), true
+		ord, ends := mt.AggGroups()
+		return p.scoredGroupArgmax(lv, bw, tbl, mt, req, ord, ends), true
 	case metricEffBW:
-		return p.scoredGroupArgmax(lv, bw, tbl, mt, req, mt.EffOrder(), mt.EffBW), true
+		ord, ends := mt.EffGroups()
+		return p.scoredGroupArgmax(lv, bw, tbl, mt, req, ord, ends), true
 	default:
 		return p.scoredArgmax(lv, bw, tbl, mt, req, 0), true
 	}
@@ -106,53 +128,140 @@ func scoredScores(bw *match.BandwidthAccounting, tbl *score.Table, mt *score.Mod
 	}
 }
 
-// scoredBeats reports whether candidate j strictly precedes candidate i
-// (with score bundle si) in the policy's total order — the exact
-// comparator of mapaPolicy.beats over table-derived values.
-func (p *mapaPolicy) scoredBeats(bw *match.BandwidthAccounting, tbl *score.Table, mt *score.ModelTable, req Request, i int, si score.Scores, j int) (bool, score.Scores) {
-	sj := scoredScores(bw, tbl, mt, j)
-	if p.better(req, si, sj) {
-		return true, sj
+// scoredMetric evaluates one selection-order dimension of candidate i —
+// a table lookup for the static metrics, Eq. 3 delta arithmetic for
+// PreservedBW. Direct dispatch on the metric tag keeps the comparison
+// loops free of method values and closures (both of which allocate).
+func scoredMetric(bw *match.BandwidthAccounting, tbl *score.Table, mt *score.ModelTable, m metric, i int) float64 {
+	switch m {
+	case metricAggBW:
+		return tbl.AggBW(i)
+	case metricEffBW:
+		return mt.EffBW(i)
+	default:
+		return bw.PreservedBW(tbl.Internal(i), tbl.GPUs(i))
 	}
-	if p.better(req, sj, si) {
-		return false, sj
+}
+
+// scoredTieBreak reports whether candidate i strictly precedes the
+// current best under the order's static tail: lexicographic GPU set,
+// then canonical key. The caller has already established equal primary
+// and secondary metrics.
+func scoredTieBreak(tbl *score.Table, i, best int) bool {
+	gi, gb := tbl.GPUs(i), tbl.GPUs(best)
+	if lexLess(gi, gb) {
+		return true
 	}
-	if lexLess(tbl.GPUs(j), tbl.GPUs(i)) {
-		return true, sj
-	}
-	if lexLess(tbl.GPUs(i), tbl.GPUs(j)) {
-		return false, sj
+	if lexLess(gb, gi) {
+		return false
 	}
 	u := tbl.Universe()
-	return u.Key(j) < u.Key(i), sj
+	return u.Key(i) < u.Key(best)
 }
 
 // scoredArgmax streams the live candidates in enumeration order —
 // truncated to the first max when max > 0, matching the entry paths'
 // capped prefix — and returns the argmax under the policy's total
-// order, O(k) arithmetic per candidate.
+// order. The selection order is resolved once, the live bitset is
+// walked word-wise, and each candidate pays one primary-metric
+// evaluation; the secondary metric is computed only on primary ties
+// (lazily for the incumbent, memoized while it stands). This is the
+// profile-guided fix for the insensitive-Preserve outlier: the former
+// per-candidate full score assembly and per-comparison rank resolution
+// dominated the 2.98 ms group-scan decision.
 func (p *mapaPolicy) scoredArgmax(lv *match.LiveView, bw *match.BandwidthAccounting, tbl *score.Table, mt *score.ModelTable, req Request, max int) int {
+	r := p.rank(req)
+	if r[0] == metricPreservedBW {
+		return p.scoredArgmaxPreserved(lv, bw, tbl, mt, r[1], max)
+	}
 	best := -1
-	var bestScores score.Scores
+	var bestP, bestS float64
+	hasBestS := false
 	n := 0
-	lv.ForEachLive(func(i int) bool {
-		if best < 0 {
-			best, bestScores = i, scoredScores(bw, tbl, mt, i)
-		} else if wins, si := p.scoredBeats(bw, tbl, mt, req, best, bestScores, i); wins {
-			best, bestScores = i, si
+	for wi, w := range lv.LiveSet() {
+		base := wi * 64
+		for w != 0 {
+			i := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			if best < 0 {
+				best = i
+				bestP = scoredMetric(bw, tbl, mt, r[0], i)
+			} else if pi := scoredMetric(bw, tbl, mt, r[0], i); pi > bestP {
+				best, bestP, hasBestS = i, pi, false
+			} else if pi == bestP {
+				if !hasBestS {
+					bestS = scoredMetric(bw, tbl, mt, r[1], best)
+					hasBestS = true
+				}
+				si := scoredMetric(bw, tbl, mt, r[1], i)
+				if si > bestS || (si == bestS && scoredTieBreak(tbl, i, best)) {
+					best, bestS = i, si
+				}
+			}
+			n++
+			if max > 0 && n == max {
+				return best
+			}
 		}
-		n++
-		return max <= 0 || n < max
-	})
+	}
+	return best
+}
+
+// scoredArgmaxPreserved is scoredArgmax specialized for a PreservedBW
+// primary — the insensitive-Preserve hot loop over the full ~57k-strong
+// live set. Eq. 3 is evaluated inline against the accounting's incident
+// view with the exact operand order of BandwidthAccounting.PreservedBW
+// (all weights integral, so the sums are exact and the values bit-equal),
+// eliminating the per-candidate dispatch and method-call chain the
+// generic loop pays. The secondary metric is a static table lookup
+// computed only on primary ties.
+func (p *mapaPolicy) scoredArgmaxPreserved(lv *match.LiveView, bw *match.BandwidthAccounting, tbl *score.Table, mt *score.ModelTable, sec metric, max int) int {
+	inc := bw.IncidentView()
+	tot := bw.FreeWeight()
+	best := -1
+	var bestP, bestS float64
+	hasBestS := false
+	n := 0
+	for wi, w := range lv.LiveSet() {
+		base := wi * 64
+		for w != 0 {
+			i := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			var drop float64
+			for _, g := range tbl.GPUs(i) {
+				drop += inc[g]
+			}
+			pi := tot - drop + tbl.Internal(i)
+			if pi > bestP || best < 0 {
+				best, bestP, hasBestS = i, pi, false
+			} else if pi == bestP {
+				if !hasBestS {
+					bestS = scoredMetric(bw, tbl, mt, sec, best)
+					hasBestS = true
+				}
+				si := scoredMetric(bw, tbl, mt, sec, i)
+				if si > bestS || (si == bestS && scoredTieBreak(tbl, i, best)) {
+					best, bestS = i, si
+				}
+			}
+			n++
+			if max > 0 && n == max {
+				return best
+			}
+		}
+	}
 	return best
 }
 
 // scoredGroupArgmax serves a static-primary order: ord is sorted by the
-// primary metric descending, so the first live candidate in it pins the
-// winning primary value, and the winner is the argmax — under the full
-// total order — among the live members of that contiguous equal-primary
-// run. Only the run's members pay the O(k) Eq. 3 arithmetic.
-func (p *mapaPolicy) scoredGroupArgmax(lv *match.LiveView, bw *match.BandwidthAccounting, tbl *score.Table, mt *score.ModelTable, req Request, ord []int32, primary func(i int) float64) int {
+// primary metric descending with ends its precomputed group-boundary
+// index (ends[j] = exclusive end of position j's equal-primary run), so
+// the first live candidate pins the winning group and the winner is the
+// argmax — under the full total order — among the group's live members.
+// Primary values inside the group are exactly equal by construction, so
+// only the secondary metric's O(k) arithmetic and the static tie-breaks
+// run, over one precomputed index range with no temporary slices.
+func (p *mapaPolicy) scoredGroupArgmax(lv *match.LiveView, bw *match.BandwidthAccounting, tbl *score.Table, mt *score.ModelTable, req Request, ord, ends []int32) int {
 	j0 := 0
 	for ; j0 < len(ord); j0++ {
 		if lv.Live(int(ord[j0])) {
@@ -162,36 +271,47 @@ func (p *mapaPolicy) scoredGroupArgmax(lv *match.LiveView, bw *match.BandwidthAc
 	if j0 == len(ord) {
 		panic("policy: no live candidate despite non-empty live view")
 	}
+	r := p.rank(req)
 	best := int(ord[j0])
-	bestScores := scoredScores(bw, tbl, mt, best)
-	v0 := primary(best)
-	for j := j0 + 1; j < len(ord) && primary(int(ord[j])) == v0; j++ {
+	bestS := scoredMetric(bw, tbl, mt, r[1], best)
+	for j := j0 + 1; j < int(ends[j0]); j++ {
 		i := int(ord[j])
 		if !lv.Live(i) {
 			continue
 		}
-		if wins, si := p.scoredBeats(bw, tbl, mt, req, best, bestScores, i); wins {
-			best, bestScores = i, si
+		si := scoredMetric(bw, tbl, mt, r[1], i)
+		if si > bestS || (si == bestS && scoredTieBreak(tbl, i, best)) {
+			best, bestS = i, si
 		}
 	}
 	return best
 }
 
 // scoredAllocation packages the winning candidate exactly like
-// selectFromEntry: GPU set cloned, match re-expressed through the
-// isomorphic order remap when present, scores assembled from the table
-// and the view's bandwidth accounting.
+// selectFromEntry, into a fresh caller-owned Allocation.
 func (p *mapaPolicy) scoredAllocation(bw *match.BandwidthAccounting, tbl *score.Table, order []int, best int) Allocation {
+	var out Allocation
+	p.scoredAllocationInto(&out, bw, tbl, order, best)
+	return out
+}
+
+// scoredAllocationInto packages the winning candidate into buf by
+// truncate-and-append: GPU set, match pattern (re-expressed through the
+// isomorphic order remap when present), and match data land in buf's
+// reused backing arrays, scores are assembled from the table and the
+// view's bandwidth accounting. The values written are identical to
+// selectFromEntry's clone-and-return packaging.
+func (p *mapaPolicy) scoredAllocationInto(buf *Allocation, bw *match.BandwidthAccounting, tbl *score.Table, order []int, best int) {
 	u := tbl.Universe()
 	m := u.Match(best)
+	pat := m.Pattern
 	if order != nil {
-		m = match.Match{Pattern: order, Data: m.Data}
+		pat = order
 	}
 	mt := tbl.ForModel(p.scorer.Model)
-	return Allocation{
-		GPUs:   append([]int(nil), tbl.GPUs(best)...),
-		Match:  m.Clone(),
-		Scores: scoredScores(bw, tbl, mt, best),
-		key:    u.Key(best),
-	}
+	buf.GPUs = append(buf.GPUs[:0], tbl.GPUs(best)...)
+	buf.Match.Pattern = append(buf.Match.Pattern[:0], pat...)
+	buf.Match.Data = append(buf.Match.Data[:0], m.Data...)
+	buf.Scores = scoredScores(bw, tbl, mt, best)
+	buf.key = u.Key(best)
 }

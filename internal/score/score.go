@@ -91,7 +91,8 @@ func PreservedBandwidth(hw *graph.Graph, allocated []int) float64 {
 // across the Σ) and internal(S) adds them back once. All weights are
 // integral link bandwidths, so the result is bit-identical to
 // PreservedBandwidth. A Ledger is immutable after construction and safe
-// for concurrent use.
+// for concurrent use — except one obtained from BorrowLedger, which the
+// borrowing decision owns exclusively until Recycle.
 type Ledger struct {
 	hw       *graph.Graph
 	total    float64
@@ -104,12 +105,47 @@ func NewLedger(hw *graph.Graph) *Ledger {
 		hw:       hw,
 		incident: make(map[int]float64, hw.NumVertices()),
 	}
-	for _, e := range hw.Edges() {
+	l.fill(hw)
+	return l
+}
+
+// fill populates the ledger from hw's edges. Edge iteration order is
+// irrelevant: all weights are integral link bandwidths, so the float64
+// sums are exact regardless of accumulation order.
+func (l *Ledger) fill(hw *graph.Graph) {
+	hw.ForEachEdge(func(e graph.Edge) bool {
 		l.total += e.Weight
 		l.incident[e.U] += e.Weight
 		l.incident[e.V] += e.Weight
-	}
+		return true
+	})
+}
+
+// ledgerPool recycles per-decision Ledgers: the incident map is the
+// dominant allocation of a dynamic (non-table) decision, and clearing a
+// map is far cheaper than growing a fresh one to ~|V| entries.
+var ledgerPool = sync.Pool{
+	New: func() any { return &Ledger{incident: make(map[int]float64)} },
+}
+
+// BorrowLedger is NewLedger backed by a process-wide pool: the returned
+// ledger is owned exclusively by the caller until Recycle, after which
+// it must not be used. Per-decision paths borrow and recycle instead of
+// allocating a fresh incident map per decision.
+func BorrowLedger(hw *graph.Graph) *Ledger {
+	l := ledgerPool.Get().(*Ledger)
+	l.hw = hw
+	l.total = 0
+	clear(l.incident)
+	l.fill(hw)
 	return l
+}
+
+// Recycle returns a borrowed ledger to the pool. The caller must not
+// retain it — nor any value derived from its identity — afterwards.
+func (l *Ledger) Recycle() {
+	l.hw = nil
+	ledgerPool.Put(l)
 }
 
 // Preserved computes Eq. 3 for an allocation of the ledger's graph.
@@ -127,6 +163,16 @@ func (l *Ledger) Preserved(gpus []int) float64 {
 // mixShards is the shard count of the process-wide allocation-mix memo.
 // Power of two so the hash folds with a mask.
 const mixShards = 64
+
+// maxMixEntriesPerShard bounds each shard of a topology's mix memo, so
+// sustained churn over many distinct GPU sets (long-running daemons,
+// adversarial request mixes) holds memory flat instead of growing
+// without bound. 4096 entries × 64 shards ≈ 262k sets per topology —
+// comfortably above the 59,640-class cluster universe, so steady-state
+// table builds and decisions never evict. Past the bound, insertion
+// evicts an arbitrary resident entry (one map-range step — cheap, and
+// an evicted mix is merely recomputed on next sight).
+const maxMixEntriesPerShard = 4096
 
 // mixShard is one lock-striped slice of a topology's mix memo. Keys
 // pack the GPU set into bitset words (8 raw bytes per uint64) instead
@@ -260,12 +306,24 @@ func allocationMix(top *topology.Topology, gpus []int) effbw.LinkCounts {
 	sh.mu.Unlock()
 	mix := effbw.MixFromDecomposition(top, ncclsim.Decompose(top, gpus))
 	sh.mu.Lock()
+	sh.put(set, mix)
+	sh.mu.Unlock()
+	return mix
+}
+
+// put inserts a mix under the shard's size bound, evicting an arbitrary
+// resident entry when full. Caller holds sh.mu.
+func (sh *mixShard) put(set string, mix effbw.LinkCounts) {
 	if sh.m == nil {
 		sh.m = make(map[string]effbw.LinkCounts)
 	}
+	if len(sh.m) >= maxMixEntriesPerShard {
+		for k := range sh.m {
+			delete(sh.m, k)
+			break
+		}
+	}
 	sh.m[set] = mix
-	sh.mu.Unlock()
-	return mix
 }
 
 // Scorer evaluates all three MAPA metrics for candidate matches

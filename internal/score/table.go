@@ -39,7 +39,13 @@ type Table struct {
 	agg      []float64
 	internal []float64
 	mix      []effbw.LinkCounts
-	gpus     [][]int
+
+	// gpusArena holds every candidate's ascending GPU set in one
+	// backing array with fixed stride k (the pattern size): candidate
+	// i occupies [i*k, (i+1)*k). Like the universe's arenas, this keeps
+	// the per-table object count O(1) instead of O(candidates).
+	gpusArena []int
+	k         int
 
 	mu     sync.Mutex
 	models map[*effbw.Model]*ModelTable
@@ -57,15 +63,20 @@ func BuildTable(top *topology.Topology, pattern *graph.Graph, u *match.Universe,
 		panic("score: BuildTable over an incomplete universe")
 	}
 	n := u.Len()
+	k := 0
+	if n > 0 {
+		k = len(u.Match(0).Data)
+	}
 	t := &Table{
-		top:      top,
-		pattern:  pattern,
-		u:        u,
-		agg:      make([]float64, n),
-		internal: make([]float64, n),
-		mix:      make([]effbw.LinkCounts, n),
-		gpus:     make([][]int, n),
-		models:   make(map[*effbw.Model]*ModelTable),
+		top:       top,
+		pattern:   pattern,
+		u:         u,
+		agg:       make([]float64, n),
+		internal:  make([]float64, n),
+		mix:       make([]effbw.LinkCounts, n),
+		gpusArena: make([]int, n*k),
+		k:         k,
+		models:    make(map[*effbw.Model]*ModelTable),
 	}
 	if workers > n {
 		workers = n
@@ -95,8 +106,9 @@ func BuildTable(top *topology.Topology, pattern *graph.Graph, u *match.Universe,
 func (t *Table) fill(i int) {
 	hw := t.top.Graph
 	m := t.u.Match(i)
-	gpus := m.DataVertices()
-	t.gpus[i] = gpus
+	gpus := t.gpusArena[i*t.k : (i+1)*t.k : (i+1)*t.k]
+	copy(gpus, m.Data)
+	sort.Ints(gpus)
 	t.agg[i] = AggregatedBandwidth(t.pattern, hw, m)
 	t.mix[i] = allocationMix(t.top, gpus)
 	var internal float64
@@ -154,8 +166,11 @@ func (t *Table) Internal(i int) float64 { return t.internal[i] }
 // Mix returns candidate i's ring-channel link mix.
 func (t *Table) Mix(i int) effbw.LinkCounts { return t.mix[i] }
 
-// GPUs returns candidate i's ascending GPU set. Read-only.
-func (t *Table) GPUs(i int) []int { return t.gpus[i] }
+// GPUs returns candidate i's ascending GPU set as a view into the
+// table's arena. Read-only.
+func (t *Table) GPUs(i int) []int {
+	return t.gpusArena[i*t.k : (i+1)*t.k : (i+1)*t.k]
+}
 
 // ForModel returns the table's per-model artifacts — Eq. 2 predictions
 // and lazily sorted selection orders — computing them on first use for
@@ -184,8 +199,10 @@ type ModelTable struct {
 
 	aggOnce  sync.Once
 	aggOrder []int32
+	aggEnds  []int32
 	effOnce  sync.Once
 	effOrder []int32
+	effEnds  []int32
 }
 
 // EffBW returns candidate i's Eq. 2 prediction under this model.
@@ -210,13 +227,25 @@ func (mt *ModelTable) AggOrder() []int32 {
 			if mt.eff[i] != mt.eff[j] {
 				return mt.eff[i] > mt.eff[j]
 			}
-			if c := compareInts(t.gpus[i], t.gpus[j]); c != 0 {
+			if c := compareInts(t.GPUs(i), t.GPUs(j)); c != 0 {
 				return c < 0
 			}
 			return t.u.Key(i) < t.u.Key(j)
 		})
+		mt.aggEnds = groupEnds(mt.aggOrder, t.agg)
 	})
 	return mt.aggOrder
+}
+
+// AggGroups returns the Greedy-order permutation together with its
+// group-boundary index: ends[j] is the exclusive end of the contiguous
+// equal-AggBW run containing position j. Any AggBW-primary comparator's
+// winner lies in the order's first live group — positions
+// [j0, ends[j0]) for the first live j0 — so a selection scans one group
+// with no per-group temporary slices. Computed on first use; read-only.
+func (mt *ModelTable) AggGroups() (ord, ends []int32) {
+	mt.AggOrder()
+	return mt.aggOrder, mt.aggEnds
 }
 
 // EffOrder returns the candidates sorted by Effective Bandwidth
@@ -230,8 +259,36 @@ func (mt *ModelTable) EffOrder() []int32 {
 		sort.SliceStable(mt.effOrder, func(a, b int) bool {
 			return mt.eff[mt.effOrder[a]] > mt.eff[mt.effOrder[b]]
 		})
+		mt.effEnds = groupEnds(mt.effOrder, mt.eff)
 	})
 	return mt.effOrder
+}
+
+// EffGroups returns the EffBW-order permutation together with its
+// group-boundary index: ends[j] is the exclusive end of the contiguous
+// equal-EffBW run containing position j (see AggGroups). Computed on
+// first use; read-only.
+func (mt *ModelTable) EffGroups() (ord, ends []int32) {
+	mt.EffOrder()
+	return mt.effOrder, mt.effEnds
+}
+
+// groupEnds computes, for every position j of a sorted permutation, the
+// exclusive end of the contiguous run of positions whose primary value
+// equals ord[j]'s — one pass over the order.
+func groupEnds(ord []int32, vals []float64) []int32 {
+	ends := make([]int32, len(ord))
+	for s := 0; s < len(ord); {
+		e := s + 1
+		for e < len(ord) && vals[ord[e]] == vals[ord[s]] {
+			e++
+		}
+		for j := s; j < e; j++ {
+			ends[j] = int32(e)
+		}
+		s = e
+	}
+	return ends
 }
 
 // newOrder returns the identity permutation 0..n-1 as int32 indices.
