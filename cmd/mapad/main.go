@@ -1,0 +1,132 @@
+// Command mapad is the MAPA allocator daemon: a long-running HTTP
+// service that leases GPUs on one machine's topology to many
+// concurrent tenants, with each tenant bound to its own live-view
+// stream over one shared match-universe store.
+//
+// Usage:
+//
+//	mapad -topology cluster-a100 -policy preserve -warm 5 -addr :8080
+//
+// Endpoints: POST /v1/allocate, POST /v1/release, POST /v1/health
+// (mark/restore/degrade topology events), GET /healthz, GET /metrics
+// (Prometheus text format). Overload answers 429 once the bounded
+// admission queue fills; -coalesce merges identical (shape, size)
+// allocate bursts into single decision-lock round trips. See
+// cmd/mapaload for a load generator.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mapa"
+	"mapa/internal/server"
+	"mapa/internal/topology"
+)
+
+// options bundles the daemon's CLI configuration.
+type options struct {
+	addr         string
+	topoName     string
+	policyName   string
+	warmMaxGPUs  int
+	syncWarm     bool
+	workers      int
+	buildWorkers int
+	queueDepth   int
+	coalesce     time.Duration
+	maxTenants   int
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.topoName, "topology", "dgx-a100", "hardware topology: "+strings.Join(topology.Names(), ", ")+", cluster-a100")
+	flag.StringVar(&o.policyName, "policy", "preserve", "allocation policy")
+	flag.IntVar(&o.warmMaxGPUs, "warm", 5, "prewarm universes + score tables for every shape up to this size (0 disables)")
+	flag.BoolVar(&o.syncWarm, "sync-warm", false, "block startup until warming completes instead of overlapping it with traffic")
+	flag.IntVar(&o.workers, "workers", 0, "parallel matcher/scoring workers (<2 sequential)")
+	flag.IntVar(&o.buildWorkers, "buildworkers", 0, "workers for universe builds (0 uses -workers)")
+	flag.IntVar(&o.queueDepth, "queue", server.DefaultQueueDepth, "bounded admission depth; allocates beyond it get 429")
+	flag.DurationVar(&o.coalesce, "coalesce", 0, "coalescing window for identical (shape,size) allocate bursts (0 disables)")
+	flag.IntVar(&o.maxTenants, "max-tenants", server.DefaultMaxTenants, "max distinct tenant streams; overflow serves via the default stream")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "mapad:", err)
+		os.Exit(1)
+	}
+}
+
+// newServer constructs the System and serving layer for the options —
+// split from run so tests can wire a daemon without binding a socket.
+func newServer(o options) (*server.Server, *mapa.System, error) {
+	var opts []mapa.SystemOption
+	if o.warmMaxGPUs > 1 {
+		opts = append(opts, mapa.WithWarmShapes(o.warmMaxGPUs))
+		if !o.syncWarm {
+			// Serve early traffic while universes warm: a decision for a
+			// not-yet-warm shape builds it on demand, outside the
+			// decision lock.
+			opts = append(opts, mapa.WithBackgroundWarming())
+		}
+	}
+	if o.workers > 1 {
+		opts = append(opts, mapa.WithWorkers(o.workers))
+	}
+	if o.buildWorkers > 1 {
+		opts = append(opts, mapa.WithBuildWorkers(o.buildWorkers))
+	}
+	sys, err := mapa.NewSystem(o.topoName, o.policyName, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := server.New(sys, server.Options{
+		QueueDepth:     o.queueDepth,
+		CoalesceWindow: o.coalesce,
+		MaxTenants:     o.maxTenants,
+	})
+	return srv, sys, nil
+}
+
+func run(o options) error {
+	srv, sys, err := newServer(o)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Addr:              o.addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("mapad: serving %s (%d GPUs) policy=%s on %s (warm=%v)\n",
+		sys.Topology(), sys.NumGPUs(), sys.Policy(), o.addr, sys.Warmed())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Printf("mapad: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

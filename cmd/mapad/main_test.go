@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mapa/internal/server"
+)
+
+// TestNewServerWiring drives the daemon's construction path end to end
+// over a test listener: background warming, allocate/release, probe
+// and metrics routes.
+func TestNewServerWiring(t *testing.T) {
+	srv, sys, err := newServer(options{
+		topoName:    "dgx-a100",
+		policyName:  "preserve",
+		warmMaxGPUs: 4,
+		queueDepth:  8,
+		coalesce:    time.Millisecond,
+		maxTenants:  4,
+	})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	sys.WaitWarm()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body, _ := json.Marshal(server.AllocateRequest{Tenant: "t", NumGPUs: 2})
+	resp, err := http.Post(ts.URL+"/v1/allocate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	var ar server.AllocateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(ar.GPUs) != 2 {
+		t.Fatalf("allocate: code %d lease %+v", resp.StatusCode, ar)
+	}
+	body, _ = json.Marshal(server.ReleaseRequest{Tenant: "t", LeaseID: ar.LeaseID})
+	resp, err = http.Post(ts.URL+"/v1/release", "application/json", bytes.NewReader(body))
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("release: %v code %d", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	for _, route := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(ts.URL + route)
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %v code %d", route, err, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if sys.ActiveLeases() != 0 {
+		t.Fatalf("leaked leases: %d", sys.ActiveLeases())
+	}
+}
+
+func TestNewServerRejectsUnknownTopology(t *testing.T) {
+	if _, _, err := newServer(options{topoName: "no-such-machine", policyName: "preserve"}); err == nil {
+		t.Fatal("want error for unknown topology")
+	}
+}

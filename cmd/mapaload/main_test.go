@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mapa"
+	"mapa/internal/server"
+
+	"net/http/httptest"
+)
+
+func TestPercentile(t *testing.T) {
+	var d []time.Duration
+	for i := 1; i <= 100; i++ {
+		d = append(d, time.Duration(i))
+	}
+	if got := percentile(d, 0.50); got != 50 {
+		t.Fatalf("p50 = %d, want 50", got)
+	}
+	if got := percentile(d, 0.99); got != 99 {
+		t.Fatalf("p99 = %d, want 99", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %d, want 0", got)
+	}
+}
+
+func TestParseMixAndCold(t *testing.T) {
+	mix, err := parseMix("2, 3,4")
+	if err != nil || len(mix) != 3 || mix[2] != 4 {
+		t.Fatalf("parseMix: %v %v", mix, err)
+	}
+	if _, err := parseMix(" ,"); err == nil {
+		t.Fatal("want error for empty mix")
+	}
+	shape, n, err := parseCold("Ring:6")
+	if err != nil || shape != "Ring" || n != 6 {
+		t.Fatalf("parseCold: %q %d %v", shape, n, err)
+	}
+	if _, _, err := parseCold("Ring"); err == nil {
+		t.Fatal("want error for missing size")
+	}
+}
+
+// TestRunClosedLoop drives a real in-process daemon with the closed-loop
+// generator, including a mid-run cold-shape probe, and checks the
+// benchmark output lines benchjson would parse.
+func TestRunClosedLoop(t *testing.T) {
+	sys, err := mapa.NewSystem("dgx-a100", "preserve", mapa.WithWarmShapes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(sys, server.Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var out bytes.Buffer
+	o := options{
+		addr:      ts.URL,
+		tenants:   3,
+		duration:  400 * time.Millisecond,
+		gpus:      "2,3",
+		shapes:    "Ring",
+		sensitive: 0.5,
+		hold:      2,
+		coldShape: "Ring:6",
+		coldAt:    0.25,
+		seed:      7,
+		benchout:  true,
+	}
+	if err := run(o, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "decisions/sec") {
+		t.Fatalf("missing throughput line in:\n%s", text)
+	}
+	var sustained, cold bool
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "BenchmarkMapadSustained ") {
+			sustained = true
+			if f := strings.Fields(line); len(f) != 12 {
+				t.Fatalf("sustained line has %d fields, want 12: %q", len(f), line)
+			}
+		}
+		if strings.HasPrefix(line, "BenchmarkMapadColdOverlap ") {
+			cold = true
+		}
+	}
+	if !sustained || !cold {
+		t.Fatalf("missing benchmark lines (sustained=%v cold=%v):\n%s", sustained, cold, text)
+	}
+	if sys.ActiveLeases() != 0 {
+		t.Fatalf("generator leaked %d leases", sys.ActiveLeases())
+	}
+}
+
+// TestRunOpenLoop exercises the fixed-rate arrival path.
+func TestRunOpenLoop(t *testing.T) {
+	sys, err := mapa.NewSystem("dgx-a100", "preserve", mapa.WithWarmShapes(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(sys, server.Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var out bytes.Buffer
+	o := options{
+		addr:     ts.URL,
+		tenants:  2,
+		duration: 300 * time.Millisecond,
+		rate:     200,
+		gpus:     "2",
+		shapes:   "Ring",
+		hold:     2,
+		seed:     1,
+	}
+	if err := run(o, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "open-loop") {
+		t.Fatalf("missing open-loop header:\n%s", out.String())
+	}
+	if sys.ActiveLeases() != 0 {
+		t.Fatalf("generator leaked %d leases", sys.ActiveLeases())
+	}
+}
+
+func TestRunRejectsBadMix(t *testing.T) {
+	if err := run(options{gpus: "x", shapes: "Ring"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("want error for bad GPU mix")
+	}
+}

@@ -423,6 +423,23 @@ func (s *Store) Warm(workers int, patterns ...*graph.Graph) int {
 	return n
 }
 
+// Ensure builds the pattern's idle-state universe — and, when score
+// tables are enabled and the universe is complete, its score table —
+// if either is missing, with up to `workers` goroutines (subject to
+// the SetBuildWorkers floor). Already-built shapes return immediately
+// after a memoized fingerprint lookup, so Ensure is cheap enough to
+// call per request: it is the prewarm hook mapa.System runs *outside*
+// its state lock, so a cold shape's enumeration never stalls
+// concurrent decisions, releases, or health events. Concurrent Ensure
+// calls for one shape converge on a single build via the slot's once.
+func (s *Store) Ensure(pattern *graph.Graph, workers int) {
+	ci := canon.info(pattern)
+	sl := s.universe(ci, pattern, workers)
+	if sl.u.Complete() {
+		s.ensureTable(sl, workers)
+	}
+}
+
 // FilteredEntry derives the candidate entry for (pattern, avail) by
 // mask-filtering the shape's idle-state universe: each stored
 // embedding survives exactly when its GPU bitset is a subset of the

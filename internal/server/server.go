@@ -1,0 +1,395 @@
+// Package server implements mapad's HTTP serving layer: long-running
+// allocate/release over JSON for many concurrent tenants on one shared
+// mapa.System, with bounded admission (429 backpressure), optional
+// coalescing of identical (shape, size) allocate bursts into one
+// decision-lock round trip, a readiness probe, and Prometheus-format
+// metrics. The daemon skeleton — health endpoint plus text-format
+// metrics beside the serving routes — follows the ROCm k8s device
+// plugin's monitoring layout.
+//
+// Routes:
+//
+//	POST /v1/allocate  {tenant?, num_gpus, shape?, sensitive?} -> lease
+//	POST /v1/release   {tenant?, lease_id}
+//	POST /v1/health    {action: mark|restore|degrade, gpus?, u?, v?, bw?}
+//	GET  /healthz      readiness: 200 once serving, reports warm state
+//	GET  /metrics      Prometheus text exposition
+//
+// Tenancy: each distinct tenant name is lazily bound to its own
+// mapa.Tenant — a per-tenant allocator and live-view stream over the
+// shared universe store — and a tenant may only release leases it
+// allocated (403 otherwise). An empty tenant name serves through the
+// System's default stream.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"mapa"
+	"mapa/internal/policy"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultQueueDepth = 256
+	DefaultMaxTenants = 1024
+)
+
+// Options configures a Server.
+type Options struct {
+	// QueueDepth bounds how many allocate requests may be admitted —
+	// in flight or waiting on the decision lock — at once; requests
+	// beyond it are rejected with 429 so overload surfaces as
+	// backpressure instead of unbounded queueing. <= 0 uses
+	// DefaultQueueDepth.
+	QueueDepth int
+	// CoalesceWindow, when positive, holds the first allocate of an
+	// identical (shape, size, sensitivity) burst open for this long so
+	// later arrivals join its batch: the batch runs as one
+	// System.AllocateBatch — one prewarm, one lock acquisition — and
+	// each member gets its own lease, byte-identical to sequential
+	// execution. Zero disables coalescing.
+	CoalesceWindow time.Duration
+	// MaxTenants bounds the number of distinct tenant streams; further
+	// tenant names are served through the System's default stream
+	// (decisions stay identical — streams shape contention, not
+	// outcomes). <= 0 uses DefaultMaxTenants.
+	MaxTenants int
+}
+
+// Server is the mapad HTTP handler. Create with New; it is safe for
+// concurrent use.
+type Server struct {
+	sys     *mapa.System
+	opts    Options
+	admit   chan struct{}
+	mux     *http.ServeMux
+	metrics *metrics
+
+	mu      sync.Mutex
+	tenants map[string]*mapa.Tenant
+	owner   map[int]string // lease ID -> owning tenant name
+	batches map[coalKey]*batch
+}
+
+// New returns a Server over the System. The System should usually be
+// built with WithBackgroundWarming so the daemon serves early traffic
+// while universes warm.
+func New(sys *mapa.System, opts Options) *Server {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	if opts.MaxTenants <= 0 {
+		opts.MaxTenants = DefaultMaxTenants
+	}
+	s := &Server{
+		sys:     sys,
+		opts:    opts,
+		admit:   make(chan struct{}, opts.QueueDepth),
+		mux:     http.NewServeMux(),
+		metrics: newMetrics(),
+		tenants: make(map[string]*mapa.Tenant),
+		owner:   make(map[int]string),
+		batches: make(map[coalKey]*batch),
+	}
+	s.mux.HandleFunc("POST /v1/allocate", s.handleAllocate)
+	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
+	s.mux.HandleFunc("POST /v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// AllocateRequest is the /v1/allocate body.
+type AllocateRequest struct {
+	// Tenant names the requesting tenant's stream; empty uses the
+	// System default stream.
+	Tenant string `json:"tenant,omitempty"`
+	// NumGPUs is the accelerator count (required, >= 1).
+	NumGPUs int `json:"num_gpus"`
+	// Shape names the communication pattern (mapa.Shapes); empty
+	// defaults to Ring.
+	Shape string `json:"shape,omitempty"`
+	// Sensitive is the bandwidth-sensitivity annotation.
+	Sensitive bool `json:"sensitive,omitempty"`
+}
+
+// AllocateResponse is the /v1/allocate success body.
+type AllocateResponse struct {
+	LeaseID     int     `json:"lease_id"`
+	GPUs        []int   `json:"gpus"`
+	EffBW       float64 `json:"eff_bw"`
+	AggBW       float64 `json:"agg_bw"`
+	PreservedBW float64 `json:"preserved_bw"`
+}
+
+// ReleaseRequest is the /v1/release body.
+type ReleaseRequest struct {
+	Tenant  string `json:"tenant,omitempty"`
+	LeaseID int    `json:"lease_id"`
+}
+
+// HealthRequest is the /v1/health body: a topology event. Action is
+// "mark" (GPUs become unallocatable), "restore" (they return to
+// service), or "degrade" (link (U,V) is re-weighted to BW GB/s).
+type HealthRequest struct {
+	Action string  `json:"action"`
+	GPUs   []int   `json:"gpus,omitempty"`
+	U      int     `json:"u,omitempty"`
+	V      int     `json:"v,omitempty"`
+	BW     float64 `json:"bw,omitempty"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, route string, code int, body interface{}) {
+	s.metrics.request(route, fmt.Sprintf("%d", code))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, route string, code int, err error) {
+	s.writeJSON(w, route, code, errorResponse{Error: err.Error()})
+}
+
+// tryAdmit claims an admission slot without blocking; callers that get
+// false must answer 429. Pairs with done.
+func (s *Server) tryAdmit() bool {
+	select {
+	case s.admit <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) done() { <-s.admit }
+
+// tenant resolves a tenant name to its stream, creating it on first
+// sight up to MaxTenants; past the cap (and for the empty name) the
+// System's default stream serves — identical decisions, shared
+// contention. The returned Tenant may be nil.
+func (s *Server) tenant(name string) (*mapa.Tenant, error) {
+	if name == "" {
+		return nil, nil
+	}
+	s.mu.Lock()
+	t, ok := s.tenants[name]
+	overflow := !ok && len(s.tenants) >= s.opts.MaxTenants
+	s.mu.Unlock()
+	if ok || overflow {
+		return t, nil
+	}
+	nt, err := s.sys.NewTenant()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		// Lost the registration race; keep the winner's stream.
+		nt.Close()
+		return t, nil
+	}
+	if len(s.tenants) >= s.opts.MaxTenants {
+		nt.Close()
+		return nil, nil
+	}
+	s.tenants[name] = nt
+	return nt, nil
+}
+
+func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	const route = "allocate"
+	var req AllocateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, route, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.NumGPUs < 1 {
+		s.writeError(w, route, http.StatusBadRequest, fmt.Errorf("num_gpus must be >= 1, got %d", req.NumGPUs))
+		return
+	}
+	if !s.tryAdmit() {
+		s.metrics.reject()
+		s.writeError(w, route, http.StatusTooManyRequests, errors.New("admission queue full"))
+		return
+	}
+	defer s.done()
+	t, err := s.tenant(req.Tenant)
+	if err != nil {
+		s.writeError(w, route, http.StatusInternalServerError, err)
+		return
+	}
+	jr := mapa.JobRequest{NumGPUs: req.NumGPUs, Shape: req.Shape, Sensitive: req.Sensitive}
+	start := time.Now()
+	var lease *mapa.Lease
+	if s.opts.CoalesceWindow > 0 {
+		lease, err = s.allocateCoalesced(jr)
+	} else if t != nil {
+		lease, err = t.Allocate(jr)
+	} else {
+		lease, err = s.sys.Allocate(jr)
+	}
+	s.metrics.observeAllocate(time.Since(start))
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, policy.ErrNoAllocation) {
+			// The machine cannot place the request right now — the
+			// client's cue to retry after a release, not a server fault.
+			code = http.StatusConflict
+		}
+		s.writeError(w, route, code, err)
+		return
+	}
+	s.mu.Lock()
+	s.owner[lease.ID] = req.Tenant
+	s.mu.Unlock()
+	s.writeJSON(w, route, http.StatusOK, AllocateResponse{
+		LeaseID:     lease.ID,
+		GPUs:        lease.GPUs,
+		EffBW:       lease.EffBW,
+		AggBW:       lease.AggBW,
+		PreservedBW: lease.PreservedBW,
+	})
+}
+
+// coalKey identifies one coalescable request class.
+type coalKey struct {
+	shape     string
+	n         int
+	sensitive bool
+}
+
+// batch is one in-flight coalesced allocate: the leader gathers
+// joiners for the coalesce window, runs one AllocateBatch, and each
+// member reads its own slot after done closes.
+type batch struct {
+	members int
+	done    chan struct{}
+	leases  []*mapa.Lease
+	errs    []error
+}
+
+// allocateCoalesced joins or leads the request class's batch. The
+// leader holds the batch open for the coalesce window, then executes
+// it as one System.AllocateBatch; joiners park on done and read their
+// slot. Coalesced decisions run on the System's default stream —
+// identical results to any tenant stream, since decisions are a pure
+// function of machine state.
+func (s *Server) allocateCoalesced(req mapa.JobRequest) (*mapa.Lease, error) {
+	shape := req.Shape
+	if shape == "" {
+		shape = "Ring"
+	}
+	key := coalKey{shape: shape, n: req.NumGPUs, sensitive: req.Sensitive}
+	s.mu.Lock()
+	if b, ok := s.batches[key]; ok {
+		idx := b.members
+		b.members++
+		s.mu.Unlock()
+		<-b.done
+		return b.leases[idx], b.errs[idx]
+	}
+	b := &batch{members: 1, done: make(chan struct{})}
+	s.batches[key] = b
+	s.mu.Unlock()
+	time.Sleep(s.opts.CoalesceWindow)
+	s.mu.Lock()
+	delete(s.batches, key)
+	n := b.members
+	s.mu.Unlock()
+	b.leases, b.errs = s.sys.AllocateBatch(req, n)
+	close(b.done)
+	if n > 1 {
+		s.metrics.coalesce(n - 1)
+	}
+	return b.leases[0], b.errs[0]
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	const route = "release"
+	var req ReleaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, route, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	s.mu.Lock()
+	owner, known := s.owner[req.LeaseID]
+	s.mu.Unlock()
+	if !known {
+		s.writeError(w, route, http.StatusNotFound, fmt.Errorf("lease %d unknown", req.LeaseID))
+		return
+	}
+	if owner != req.Tenant {
+		s.writeError(w, route, http.StatusForbidden,
+			fmt.Errorf("lease %d belongs to another tenant", req.LeaseID))
+		return
+	}
+	if err := s.sys.Release(&mapa.Lease{ID: req.LeaseID}); err != nil {
+		s.writeError(w, route, http.StatusNotFound, err)
+		return
+	}
+	s.mu.Lock()
+	delete(s.owner, req.LeaseID)
+	s.mu.Unlock()
+	s.writeJSON(w, route, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	const route = "health"
+	var req HealthRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, route, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	var err error
+	switch req.Action {
+	case "mark":
+		err = s.sys.MarkUnhealthy(req.GPUs...)
+	case "restore":
+		err = s.sys.Restore(req.GPUs...)
+	case "degrade":
+		err = s.sys.DegradeLink(req.U, req.V, req.BW)
+	default:
+		s.writeError(w, route, http.StatusBadRequest,
+			fmt.Errorf("unknown action %q (want mark, restore, or degrade)", req.Action))
+		return
+	}
+	if err != nil {
+		s.writeError(w, route, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, route, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, "healthz", http.StatusOK, struct {
+		Status   string `json:"status"`
+		Topology string `json:"topology"`
+		Policy   string `json:"policy"`
+		Warm     bool   `json:"warm"`
+	}{"ok", s.sys.Topology(), s.sys.Policy(), s.sys.Warmed()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("metrics", "200")
+	s.mu.Lock()
+	tenants := len(s.tenants)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.render(w, s.sys, tenants, len(s.admit), cap(s.admit))
+}

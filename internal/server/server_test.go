@@ -1,0 +1,300 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mapa"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	sys, err := mapa.NewSystem("dgx-a100", "preserve", mapa.WithWarmShapes(4))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	srv := New(sys, opts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func post(t *testing.T, url string, body, out interface{}) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestAllocateReleaseRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var ar AllocateResponse
+	if code := post(t, ts.URL+"/v1/allocate", AllocateRequest{Tenant: "a", NumGPUs: 2}, &ar); code != 200 {
+		t.Fatalf("allocate: code %d", code)
+	}
+	if len(ar.GPUs) != 2 || ar.LeaseID == 0 {
+		t.Fatalf("bad lease: %+v", ar)
+	}
+	if code := post(t, ts.URL+"/v1/release", ReleaseRequest{Tenant: "a", LeaseID: ar.LeaseID}, nil); code != 200 {
+		t.Fatalf("release: code %d", code)
+	}
+	// A second release of the same lease is gone from the owner table.
+	if code := post(t, ts.URL+"/v1/release", ReleaseRequest{Tenant: "a", LeaseID: ar.LeaseID}, nil); code != 404 {
+		t.Fatalf("double release: code %d, want 404", code)
+	}
+}
+
+func TestTenantOwnershipEnforced(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var ar AllocateResponse
+	if code := post(t, ts.URL+"/v1/allocate", AllocateRequest{Tenant: "alice", NumGPUs: 2}, &ar); code != 200 {
+		t.Fatalf("allocate: code %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/release", ReleaseRequest{Tenant: "bob", LeaseID: ar.LeaseID}, nil); code != 403 {
+		t.Fatalf("cross-tenant release: code %d, want 403", code)
+	}
+	if code := post(t, ts.URL+"/v1/release", ReleaseRequest{Tenant: "alice", LeaseID: ar.LeaseID}, nil); code != 200 {
+		t.Fatalf("owner release: code %d", code)
+	}
+}
+
+func TestAllocateConflictWhenInfeasible(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	// DGX-A100 has 8 GPUs; a 9-GPU ring cannot be placed.
+	if code := post(t, ts.URL+"/v1/allocate", AllocateRequest{NumGPUs: 9}, nil); code != 409 {
+		t.Fatalf("infeasible allocate: code %d, want 409", code)
+	}
+	if code := post(t, ts.URL+"/v1/allocate", AllocateRequest{NumGPUs: 0}, nil); code != 400 {
+		t.Fatalf("zero-GPU allocate: code %d, want 400", code)
+	}
+}
+
+func TestAdmissionBackpressure(t *testing.T) {
+	srv, ts := newTestServer(t, Options{QueueDepth: 2})
+	// Occupy every admission slot, as in-flight decisions would.
+	srv.admit <- struct{}{}
+	srv.admit <- struct{}{}
+	if code := post(t, ts.URL+"/v1/allocate", AllocateRequest{NumGPUs: 2}, nil); code != 429 {
+		t.Fatalf("overloaded allocate: code %d, want 429", code)
+	}
+	<-srv.admit
+	<-srv.admit
+	var ar AllocateResponse
+	if code := post(t, ts.URL+"/v1/allocate", AllocateRequest{NumGPUs: 2}, &ar); code != 200 {
+		t.Fatalf("allocate after drain: code %d", code)
+	}
+	body := scrape(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "mapad_admission_rejected_total 1") {
+		t.Fatalf("metrics missing rejection count:\n%s", body)
+	}
+}
+
+func TestHealthActions(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	if code := post(t, ts.URL+"/v1/health", HealthRequest{Action: "mark", GPUs: []int{3}}, nil); code != 200 {
+		t.Fatalf("mark: code %d", code)
+	}
+	// Marked GPU is unallocatable: an 8-GPU request must now fail.
+	if code := post(t, ts.URL+"/v1/allocate", AllocateRequest{NumGPUs: 8}, nil); code != 409 {
+		t.Fatalf("allocate over degraded machine: want 409")
+	}
+	if code := post(t, ts.URL+"/v1/health", HealthRequest{Action: "restore", GPUs: []int{3}}, nil); code != 200 {
+		t.Fatalf("restore: code %d", code)
+	}
+	var ar AllocateResponse
+	if code := post(t, ts.URL+"/v1/allocate", AllocateRequest{NumGPUs: 8}, &ar); code != 200 {
+		t.Fatalf("allocate after restore: code %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/health", HealthRequest{Action: "degrade", U: 0, V: 1, BW: 10}, nil); code != 200 {
+		t.Fatalf("degrade: code %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/health", HealthRequest{Action: "explode"}, nil); code != 400 {
+		t.Fatalf("unknown action: want 400")
+	}
+}
+
+func TestCoalescedBurstGetsDistinctLeases(t *testing.T) {
+	srv, _ := newTestServer(t, Options{CoalesceWindow: 20 * time.Millisecond})
+	req := mapa.JobRequest{NumGPUs: 2}
+	// Lead with one request, then deterministically join it: the batch
+	// is open (registered in srv.batches) for the whole coalesce
+	// window, so joiners added while it is visible are guaranteed
+	// members of the same AllocateBatch.
+	type result struct {
+		lease *mapa.Lease
+		err   error
+	}
+	results := make(chan result, 3)
+	go func() {
+		l, err := srv.allocateCoalesced(req)
+		results <- result{l, err}
+	}()
+	key := coalKey{shape: "Ring", n: 2, sensitive: false}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.mu.Lock()
+		_, open := srv.batches[key]
+		srv.mu.Unlock()
+		if open {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batch never opened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		// Join under the server lock while the batch is still
+		// registered — exactly what a concurrent handler does.
+		srv.mu.Lock()
+		b := srv.batches[key]
+		if b == nil {
+			srv.mu.Unlock()
+			t.Fatal("batch closed before joiners arrived; widen the window")
+		}
+		idx := b.members
+		b.members++
+		srv.mu.Unlock()
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			<-b.done
+			results <- result{b.leases[idx], b.errs[idx]}
+		}(idx)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("coalesced allocate: %v", r.err)
+		}
+		if seen[r.lease.ID] {
+			t.Fatalf("duplicate lease %d handed to two members", r.lease.ID)
+		}
+		seen[r.lease.ID] = true
+	}
+	if srv.sys.ActiveLeases() != 3 {
+		t.Fatalf("ActiveLeases = %d, want 3", srv.sys.ActiveLeases())
+	}
+	srv.metrics.mu.Lock()
+	defer srv.metrics.mu.Unlock()
+	if srv.metrics.coalesced != 2 || srv.metrics.batches != 1 {
+		t.Fatalf("coalesce counters = %d joiners / %d batches, want 2/1",
+			srv.metrics.coalesced, srv.metrics.batches)
+	}
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return buf.String()
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var hz struct {
+		Status string `json:"status"`
+		Warm   bool   `json:"warm"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	resp.Body.Close()
+	if hz.Status != "ok" || !hz.Warm {
+		t.Fatalf("healthz = %+v, want ok/warm (synchronous warm)", hz)
+	}
+
+	var ar AllocateResponse
+	post(t, ts.URL+"/v1/allocate", AllocateRequest{Tenant: "m", NumGPUs: 3}, &ar)
+	body := scrape(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`mapad_requests_total{route="allocate",code="200"} 1`,
+		"mapad_allocate_latency_seconds_count 1",
+		"mapad_allocate_latency_seconds_bucket{le=\"+Inf\"} 1",
+		"mapad_leases_active 1",
+		"mapad_gpus_free 5",
+		"mapad_tenants 1",
+		"mapad_warm 1",
+		"mapad_decisions_table_served_total",
+		"mapad_universes_resident",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Histogram bucket counts must be cumulative and end at count.
+	if strings.Count(body, "_bucket{le=") != len(latencyBuckets)+1 {
+		t.Errorf("want %d histogram buckets", len(latencyBuckets)+1)
+	}
+}
+
+func TestTenantStreamsServeIdenticalDecisions(t *testing.T) {
+	// Two servers over identical systems, one serving via distinct
+	// tenant streams, one via the default stream only: the allocation
+	// traces must be identical — tenancy shapes contention, never
+	// outcomes.
+	_, tsA := newTestServer(t, Options{})
+	_, tsB := newTestServer(t, Options{})
+	sizes := []int{2, 3, 2}
+	var leasesA, leasesB []int
+	step := func(i, n int) {
+		t.Helper()
+		var a, b AllocateResponse
+		if code := post(t, tsA.URL+"/v1/allocate", AllocateRequest{Tenant: fmt.Sprintf("t%d", i), NumGPUs: n}, &a); code != 200 {
+			t.Fatalf("tenant allocate %d: code %d", i, code)
+		}
+		if code := post(t, tsB.URL+"/v1/allocate", AllocateRequest{NumGPUs: n}, &b); code != 200 {
+			t.Fatalf("default allocate %d: code %d", i, code)
+		}
+		if fmt.Sprint(a.GPUs) != fmt.Sprint(b.GPUs) || a.EffBW != b.EffBW {
+			t.Fatalf("step %d: tenant-stream decision %v differs from default-stream %v", i, a.GPUs, b.GPUs)
+		}
+		leasesA = append(leasesA, a.LeaseID)
+		leasesB = append(leasesB, b.LeaseID)
+	}
+	for i, n := range sizes {
+		step(i, n)
+	}
+	// Release the first lease on both and keep allocating: the tenant
+	// streams must have absorbed the release delta identically.
+	if code := post(t, tsA.URL+"/v1/release", ReleaseRequest{Tenant: "t0", LeaseID: leasesA[0]}, nil); code != 200 {
+		t.Fatalf("tenant release: code %d", code)
+	}
+	if code := post(t, tsB.URL+"/v1/release", ReleaseRequest{LeaseID: leasesB[0]}, nil); code != 200 {
+		t.Fatalf("default release: code %d", code)
+	}
+	step(3, 3)
+}

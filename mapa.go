@@ -82,7 +82,9 @@ type JobRequest struct {
 type Lease struct {
 	// ID identifies the lease within its System.
 	ID int
-	// GPUs are the allocated device IDs.
+	// GPUs are the allocated device IDs. The slice is the caller's to
+	// keep — sorting, truncating, or serializing it never affects the
+	// System's internal lease record.
 	GPUs []int
 	// EffBW is the predicted effective bandwidth (GB/s) of the
 	// allocation; AggBW and PreservedBW are the other MAPA scores.
@@ -100,6 +102,13 @@ type Lease struct {
 // Every mutating call is atomic: it either applies completely or
 // returns an error leaving the free set, the lease table, and the
 // published delta stream byte-identical to the pre-call state.
+//
+// The state lock covers decision-critical state only: Allocate builds
+// a cold shape's match universe and score table *before* taking it
+// (see Store.Ensure), so one tenant's cold miss — hundreds of
+// milliseconds of enumeration on a large machine — never stalls
+// another tenant's table-served decision, Release, or health event.
+// Concurrent cold requests for one shape converge on a single build.
 type System struct {
 	mu        sync.Mutex
 	top       *topology.Topology
@@ -115,6 +124,19 @@ type System struct {
 	nextID    int
 	cfg       systemConfig
 	warmDone  chan struct{} // closed when background warming finishes; nil otherwise
+
+	// tenants are the live per-tenant serving handles (see NewTenant);
+	// every state delta fans out to each tenant's view stream. Guarded
+	// by mu, like the Tenant fields themselves.
+	tenants      map[int]*Tenant
+	nextTenantID int
+
+	// Test hooks. prewarmGate runs during Allocate's unlocked prewarm
+	// phase (keyed by request size) so tests can hold a cold build in
+	// flight; onCommit observes every committed mutation under mu — the
+	// exact linearization — for replay-oracle suites.
+	prewarmGate func(numGPUs int)
+	onCommit    func(op commitOp)
 
 	// MIG repartitioning state, initialized lazily by the first
 	// Repartition call. baseTop is the physical machine the System was
@@ -402,10 +424,35 @@ func (s *System) FreeGPUs() []int {
 	return s.avail.Vertices()
 }
 
-// Allocate leases GPUs for the request. It returns
-// policy.ErrNoAllocation (via errors.Is-compatible wrapping) when the
-// request cannot be placed on the currently free GPUs.
-func (s *System) Allocate(req JobRequest) (*Lease, error) {
+// ActiveLeases returns the number of live leases.
+func (s *System) ActiveLeases() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.leases)
+}
+
+// Warmed reports, without blocking, whether the construction-time warm
+// set is fully resident — immediately true when warming was
+// synchronous or never requested. Decisions never require it (unwarmed
+// shapes build on demand, outside the state lock); it exists for
+// readiness probes that want the cold-start cost behind them.
+func (s *System) Warmed() bool {
+	s.mu.Lock()
+	done := s.warmDone
+	s.mu.Unlock()
+	if done == nil {
+		return true
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// buildPattern resolves a request's communication pattern graph.
+func buildPattern(req JobRequest) (*graph.Graph, error) {
 	shapeName := req.Shape
 	if shapeName == "" {
 		shapeName = string(appgraph.ShapeRing)
@@ -414,34 +461,203 @@ func (s *System) Allocate(req JobRequest) (*Lease, error) {
 	if err != nil {
 		return nil, err
 	}
-	pattern, err := appgraph.Build(shape, req.NumGPUs)
+	return appgraph.Build(shape, req.NumGPUs)
+}
+
+// commitOp records one committed state transition, handed to the
+// onCommit test hook under the state lock — the hook's call order is
+// the System's linearization.
+type commitOp struct {
+	kind string
+	req  JobRequest // allocate only
+	id   int        // allocate (assigned ID), release
+	gpus []int      // allocate result; mark/restore arguments
+}
+
+const (
+	opAllocate = "allocate"
+	opRelease  = "release"
+	opMark     = "mark-unhealthy"
+	opRestore  = "restore"
+)
+
+// commit invokes the linearization test hook with a private copy of
+// the op's GPU set, so later mutations cannot rewrite the record.
+func (s *System) commit(op commitOp) {
+	if s.onCommit == nil {
+		return
+	}
+	op.gpus = append([]int(nil), op.gpus...)
+	s.onCommit(op)
+}
+
+// prewarm builds the shape's match universe and score table (if
+// missing) with the state lock released, so a cold shape's
+// enumeration runs concurrently with every other System call. It
+// returns the store it built against, for the double-check in
+// lockWithPipeline.
+func (s *System) prewarm(pattern *graph.Graph) *matchcache.Store {
+	s.mu.Lock()
+	st := s.store
+	gate := s.prewarmGate
+	s.mu.Unlock()
+	if gate != nil {
+		gate(pattern.NumVertices())
+	}
+	if st != nil {
+		st.Ensure(pattern, s.cfg.workers)
+	}
+	return st
+}
+
+// lockWithPipeline acquires the state lock for a decision on pattern,
+// double-checking the store entry: if a concurrent Repartition swapped
+// the pipeline while the unlocked prewarm ran against the old store,
+// the build is redone against the current one — the decision must
+// never be the call that pays a cold enumeration under the lock.
+func (s *System) lockWithPipeline(pattern *graph.Graph, st *matchcache.Store) {
+	s.mu.Lock()
+	for s.store != st {
+		st = s.store
+		s.mu.Unlock()
+		if st != nil {
+			st.Ensure(pattern, s.cfg.workers)
+		}
+		s.mu.Lock()
+	}
+}
+
+// Allocate leases GPUs for the request. It returns
+// policy.ErrNoAllocation (via errors.Is-compatible wrapping) when the
+// request cannot be placed on the currently free GPUs.
+//
+// A request for a shape whose universe is not yet resident builds it
+// before entering the decision critical section, so concurrent
+// Allocate, Release, and health calls proceed while the build runs.
+func (s *System) Allocate(req JobRequest) (*Lease, error) {
+	return s.allocate(nil, req)
+}
+
+// allocate is the shared Allocate body: nil t decides with the
+// System's own allocator and view stream, non-nil t with the tenant's.
+func (s *System) allocate(t *Tenant, req JobRequest) (*Lease, error) {
+	pattern, err := buildPattern(req)
 	if err != nil {
 		return nil, err
 	}
-
-	s.mu.Lock()
+	st := s.prewarm(pattern)
+	s.lockWithPipeline(pattern, st)
 	defer s.mu.Unlock()
-	alloc, err := s.alloc.Allocate(s.avail, s.top, policy.Request{Pattern: pattern, Sensitive: req.Sensitive})
+	return s.allocateLocked(t, pattern, req)
+}
+
+// allocateLocked runs one decision + commit under the state lock. The
+// pipeline for pattern's shape must already be resident (prewarm), so
+// the decision itself is table lookups plus O(k) arithmetic on warmed
+// shapes.
+func (s *System) allocateLocked(t *Tenant, pattern *graph.Graph, req JobRequest) (*Lease, error) {
+	alloc := s.alloc
+	if t != nil {
+		alloc = t.alloc
+	}
+	a, err := alloc.Allocate(s.avail, s.top, policy.Request{Pattern: pattern, Sensitive: req.Sensitive})
 	if err != nil {
 		return nil, fmt.Errorf("mapa: allocating %d GPUs: %w", req.NumGPUs, err)
 	}
-	for _, g := range alloc.GPUs {
+	for _, g := range a.GPUs {
 		s.avail.RemoveVertex(g)
 	}
-	s.views.Allocate(alloc.GPUs)
+	s.publishAllocate(a.GPUs)
 	s.nextID++
+	id := s.nextID
+	s.leases[id] = a.GPUs
+	for _, g := range a.GPUs {
+		s.leasedBy[g] = id
+	}
 	lease := &Lease{
-		ID:          s.nextID,
-		GPUs:        alloc.GPUs,
-		EffBW:       alloc.Scores.EffBW,
-		AggBW:       alloc.Scores.AggBW,
-		PreservedBW: alloc.Scores.PreservedBW,
+		ID: id,
+		// A copy, not a.GPUs itself: the internal lease record must
+		// never share a backing array with the slice handed to the
+		// caller, or a tenant sorting (or a JSON encoder path mutating)
+		// Lease.GPUs would silently corrupt release validation.
+		GPUs:        append([]int(nil), a.GPUs...),
+		EffBW:       a.Scores.EffBW,
+		AggBW:       a.Scores.AggBW,
+		PreservedBW: a.Scores.PreservedBW,
 	}
-	s.leases[lease.ID] = alloc.GPUs
-	for _, g := range alloc.GPUs {
-		s.leasedBy[g] = lease.ID
-	}
+	s.commit(commitOp{kind: opAllocate, req: req, id: id, gpus: a.GPUs})
 	return lease, nil
+}
+
+// AllocateBatch serves n identical requests in one acquisition of the
+// state lock — the request-coalescing primitive behind mapad's burst
+// handling: a burst of identical (shape, size) requests pays one
+// prewarm and one lock round-trip instead of n. Results are identical
+// to n sequential Allocate calls. Both returned slices have length n;
+// leases[i] is nil exactly when errs[i] is non-nil (later requests in
+// a batch may fail with policy.ErrNoAllocation after earlier ones
+// drain the machine).
+func (s *System) AllocateBatch(req JobRequest, n int) ([]*Lease, []error) {
+	leases := make([]*Lease, n)
+	errs := make([]error, n)
+	if n <= 0 {
+		return leases, errs
+	}
+	pattern, err := buildPattern(req)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return leases, errs
+	}
+	st := s.prewarm(pattern)
+	s.lockWithPipeline(pattern, st)
+	defer s.mu.Unlock()
+	for i := range leases {
+		leases[i], errs[i] = s.allocateLocked(nil, pattern, req)
+	}
+	return leases, errs
+}
+
+// publishAllocate fans an allocation delta out to every live-view
+// stream bound to this System — its own and each tenant's.
+func (s *System) publishAllocate(gpus []int) {
+	s.views.Allocate(gpus)
+	for _, t := range s.tenants {
+		t.views.Allocate(gpus)
+	}
+}
+
+// publishRelease fans a release delta out to every view stream.
+func (s *System) publishRelease(gpus []int) {
+	s.views.Release(gpus)
+	for _, t := range s.tenants {
+		t.views.Release(gpus)
+	}
+}
+
+// publishMarkUnhealthy fans a health delta out to every view stream.
+func (s *System) publishMarkUnhealthy(gpus []int) {
+	s.views.MarkUnhealthy(gpus)
+	for _, t := range s.tenants {
+		t.views.MarkUnhealthy(gpus)
+	}
+}
+
+// publishRestoreHealth fans a recovery delta out to every view stream.
+func (s *System) publishRestoreHealth(gpus []int) {
+	s.views.RestoreHealth(gpus)
+	for _, t := range s.tenants {
+		t.views.RestoreHealth(gpus)
+	}
+}
+
+// publishUpdateEdge fans a link-weight delta out to every view stream.
+func (s *System) publishUpdateEdge(u, v int, bw float64) {
+	s.views.UpdateEdge(u, v, bw)
+	for _, t := range s.tenants {
+		t.views.UpdateEdge(u, v, bw)
+	}
 }
 
 // Release returns a lease's GPUs to the free pool. Releasing an
@@ -505,7 +721,8 @@ func (s *System) Release(l *Lease) error {
 	// The views track the free mask and the health mask independently,
 	// so the full lease is published: unhealthy members re-enter the
 	// free mask but stay blocked by the health mask.
-	s.views.Release(gpus)
+	s.publishRelease(gpus)
+	s.commit(commitOp{kind: opRelease, id: l.ID, gpus: gpus})
 	return nil
 }
 
@@ -543,7 +760,8 @@ func (s *System) MarkUnhealthy(gpus ...int) error {
 			s.avail.RemoveVertex(g)
 		}
 	}
-	s.views.MarkUnhealthy(gpus)
+	s.publishMarkUnhealthy(gpus)
+	s.commit(commitOp{kind: opMark, gpus: gpus})
 	return nil
 }
 
@@ -602,7 +820,8 @@ func (s *System) Restore(gpus ...int) error {
 			s.avail.MustAddEdge(g, h, e.Weight, e.Label)
 		}
 	}
-	s.views.RestoreHealth(gpus)
+	s.publishRestoreHealth(gpus)
+	s.commit(commitOp{kind: opRestore, gpus: gpus})
 	return nil
 }
 
@@ -678,7 +897,7 @@ func (s *System) DegradeLink(u, v int, bw float64) error {
 	if s.store != nil {
 		s.store.RepairEdge(u, v)
 	}
-	s.views.UpdateEdge(u, v, bw)
+	s.publishUpdateEdge(u, v, bw)
 	return nil
 }
 
@@ -778,7 +997,9 @@ func (s *System) Repartition(slices map[int]int) error {
 	s.buildPipeline(false)
 	// Rebuild availability — every instance not leased and not
 	// unhealthy — and replay the surviving allocation and health state
-	// into the fresh views.
+	// into the fresh views. Tenant streams are rebound to the new
+	// pipeline the same way, so live tenants keep serving across the
+	// re-cut.
 	s.avail = s.top.Graph.Clone()
 	for g := range s.leasedBy {
 		s.avail.RemoveVertex(g)
@@ -786,13 +1007,25 @@ func (s *System) Repartition(slices map[int]int) error {
 	for g := range s.unhealthy {
 		s.avail.RemoveVertex(g)
 	}
+	s.replayViewsLocked(s.views)
+	for _, t := range s.tenants {
+		s.bindTenantLocked(t)
+	}
+	return nil
+}
+
+// replayViewsLocked replays the current allocation and health state
+// into a fresh view set. View streams start from the whole machine
+// free, so a set created (or recreated) mid-stream must inherit the
+// live state before it can serve.
+func (s *System) replayViewsLocked(v *matchcache.Views) {
 	if len(s.leasedBy) > 0 {
 		leased := make([]int, 0, len(s.leasedBy))
 		for g := range s.leasedBy {
 			leased = append(leased, g)
 		}
 		sort.Ints(leased)
-		s.views.Allocate(leased)
+		v.Allocate(leased)
 	}
 	if len(s.unhealthy) > 0 {
 		un := make([]int, 0, len(s.unhealthy))
@@ -800,9 +1033,8 @@ func (s *System) Repartition(slices map[int]int) error {
 			un = append(un, g)
 		}
 		sort.Ints(un)
-		s.views.MarkUnhealthy(un)
+		v.MarkUnhealthy(un)
 	}
-	return nil
 }
 
 // Instances returns the virtual GPU IDs currently hosted by the given

@@ -1,0 +1,364 @@
+package mapa
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"mapa/internal/policy"
+)
+
+// TestReleaseDuringColdBuild pins the lock-scope fix: a Release (and a
+// warmed Allocate) must complete while a cold shape's universe build is
+// in flight. The prewarmGate hook stands in for the build — it runs at
+// the exact point of Allocate's unlocked prewarm phase, so if any
+// future refactor moves that phase back under the state lock, the gated
+// goroutine will hold the lock and the Release below will time out.
+func TestReleaseDuringColdBuild(t *testing.T) {
+	s, err := NewSystem("dgx-a100", "preserve", WithWarmShapes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	unblock := make(chan struct{})
+	var once sync.Once
+	s.prewarmGate = func(numGPUs int) {
+		if numGPUs == 6 { // gate only the cold request
+			once.Do(func() { close(entered) })
+			<-unblock
+		}
+	}
+
+	warm, err := s.Allocate(JobRequest{NumGPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldDone := make(chan *Lease, 1)
+	go func() {
+		l, err := s.Allocate(JobRequest{NumGPUs: 6})
+		if err != nil {
+			t.Errorf("cold allocate: %v", err)
+		}
+		coldDone <- l
+	}()
+	<-entered // the cold build is now in flight, outside the lock
+
+	released := make(chan error, 1)
+	go func() { released <- s.Release(warm) }()
+	select {
+	case err := <-released:
+		if err != nil {
+			t.Fatalf("release during cold build: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Release blocked behind an in-flight cold build")
+	}
+
+	// A warmed allocation must get through too, leaving exactly 6 free
+	// for the gated request.
+	warm2, err := s.Allocate(JobRequest{NumGPUs: 2})
+	if err != nil {
+		t.Fatalf("warmed allocate during cold build: %v", err)
+	}
+	close(unblock)
+	cold := <-coldDone
+	if cold == nil || len(cold.GPUs) != 6 {
+		t.Fatalf("cold lease = %+v, want 6 GPUs", cold)
+	}
+	if err := s.Release(cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(warm2); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.ActiveLeases(); n != 0 {
+		t.Fatalf("active leases = %d, want 0", n)
+	}
+}
+
+// TestTableServedDecisionsDuringColdBuild checks the other half of the
+// lock-scope contract: warmed-shape decisions keep getting served off
+// the precomputed tables while a cold build is gated in flight.
+func TestTableServedDecisionsDuringColdBuild(t *testing.T) {
+	s, err := NewSystem("dgx-a100", "preserve", WithWarmShapes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	unblock := make(chan struct{})
+	var once sync.Once
+	s.prewarmGate = func(numGPUs int) {
+		if numGPUs == 5 {
+			once.Do(func() { close(entered) })
+			<-unblock
+		}
+	}
+	coldDone := make(chan struct{})
+	go func() {
+		defer close(coldDone)
+		if _, err := s.Allocate(JobRequest{NumGPUs: 5}); err != nil {
+			t.Errorf("cold allocate: %v", err)
+		}
+	}()
+	<-entered
+
+	before := s.CacheStats().TableServed
+	for i := 0; i < 8; i++ {
+		l, err := s.Allocate(JobRequest{NumGPUs: 3, Sensitive: i%2 == 0})
+		if err != nil {
+			t.Fatalf("warmed allocate %d during cold build: %v", i, err)
+		}
+		if err := s.Release(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := s.CacheStats().TableServed
+	if after <= before {
+		t.Fatalf("TableServed did not grow during cold build: %d -> %d", before, after)
+	}
+	close(unblock)
+	<-coldDone
+}
+
+// TestLeaseGPUsDoNotAliasInternalRecord pins the aliasing fix: the
+// slice returned in Lease.GPUs must not share a backing array with the
+// System's internal lease record. A caller scrambling it — sorting,
+// truncating, a JSON layer rewriting in place — must not corrupt
+// release validation or the restored free set.
+func TestLeaseGPUsDoNotAliasInternalRecord(t *testing.T) {
+	s, err := NewSystem("dgx-a100", "preserve", WithWarmShapes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.FreeGPUs()
+
+	l, err := s.Allocate(JobRequest{NumGPUs: 3, Sensitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	internal := append([]int(nil), s.leases[l.ID]...)
+
+	// Scramble the caller's slice every way a client plausibly would.
+	sort.Sort(sort.Reverse(sort.IntSlice(l.GPUs)))
+	for i := range l.GPUs {
+		l.GPUs[i] = -1000 - i
+	}
+	if got := s.leases[l.ID]; !reflect.DeepEqual(got, internal) {
+		t.Fatalf("internal lease record changed with the caller's slice: %v, want %v", got, internal)
+	}
+
+	if err := s.Release(l); err != nil {
+		t.Fatalf("release after caller mutated Lease.GPUs: %v", err)
+	}
+	after := s.FreeGPUs()
+	if !reflect.DeepEqual(after, before) {
+		t.Fatalf("free set after release = %v, want %v", after, before)
+	}
+}
+
+// hammerSystem runs goroutines×opsEach of mixed Allocate / Release /
+// MarkUnhealthy / Restore traffic — some through per-tenant handles —
+// against a System under the race detector, records the observed
+// linearization via the onCommit hook, then replays that linearization
+// into a fresh System and asserts every decision reproduces
+// byte-identically and the final states match field-exactly.
+func hammerSystem(t *testing.T, topo string, warm, tenants, goroutines, opsEach, maxSize int) {
+	t.Helper()
+	s, err := NewSystem(topo, "preserve", WithWarmShapes(warm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log []commitOp
+	s.onCommit = func(op commitOp) { log = append(log, op) } // called under s.mu
+
+	handles := make([]*Tenant, tenants)
+	for i := range handles {
+		if handles[i], err = s.NewTenant(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	numGPUs := s.NumGPUs()
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var held []*Lease
+			release := func(i int) {
+				l := held[i]
+				held = append(held[:i], held[i+1:]...)
+				if err := s.Release(l); err != nil {
+					t.Errorf("worker %d: release %d: %v", w, l.ID, err)
+				}
+			}
+			for i := 0; i < opsEach; i++ {
+				switch op := rng.Intn(10); {
+				case op < 5: // allocate, sometimes via a tenant handle
+					req := JobRequest{
+						NumGPUs:   2 + rng.Intn(maxSize-1),
+						Sensitive: rng.Intn(2) == 0,
+					}
+					var l *Lease
+					var err error
+					if tenants > 0 && rng.Intn(2) == 0 {
+						l, err = handles[rng.Intn(tenants)].Allocate(req)
+					} else {
+						l, err = s.Allocate(req)
+					}
+					switch {
+					case err == nil:
+						held = append(held, l)
+					case errors.Is(err, policy.ErrNoAllocation):
+						if len(held) > 0 {
+							release(rng.Intn(len(held)))
+						}
+					default:
+						t.Errorf("worker %d: allocate: %v", w, err)
+					}
+				case op < 8: // release
+					if len(held) > 0 {
+						release(rng.Intn(len(held)))
+					}
+				case op < 9: // fault: errors (already-unhealthy, races) are expected
+					s.MarkUnhealthy(rng.Intn(numGPUs))
+				default: // repair
+					s.Restore(rng.Intn(numGPUs))
+				}
+			}
+			for len(held) > 0 {
+				release(0)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Replay the observed linearization into a fresh System. Decisions
+	// are deterministic functions of state, so the replay must
+	// reproduce every committed allocation byte-identically...
+	r, err := NewSystem(topo, "preserve", WithWarmShapes(warm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range log {
+		switch op.kind {
+		case opAllocate:
+			l, err := r.Allocate(op.req)
+			if err != nil {
+				t.Fatalf("replay op %d: allocate %+v: %v", i, op.req, err)
+			}
+			if l.ID != op.id || !reflect.DeepEqual(l.GPUs, op.gpus) {
+				t.Fatalf("replay op %d: got lease %d %v, observed %d %v", i, l.ID, l.GPUs, op.id, op.gpus)
+			}
+		case opRelease:
+			if err := r.Release(&Lease{ID: op.id}); err != nil {
+				t.Fatalf("replay op %d: release %d: %v", i, op.id, err)
+			}
+		case opMark:
+			if err := r.MarkUnhealthy(op.gpus...); err != nil {
+				t.Fatalf("replay op %d: mark %v: %v", i, op.gpus, err)
+			}
+		case opRestore:
+			if err := r.Restore(op.gpus...); err != nil {
+				t.Fatalf("replay op %d: restore %v: %v", i, op.gpus, err)
+			}
+		default:
+			t.Fatalf("replay op %d: unknown kind %q", i, op.kind)
+		}
+	}
+
+	// ...and leave the replayed System field-exactly equal to the
+	// hammered one.
+	s.mu.Lock()
+	r.mu.Lock()
+	if !reflect.DeepEqual(s.leases, r.leases) {
+		t.Errorf("leases diverge: %v vs %v", s.leases, r.leases)
+	}
+	if !reflect.DeepEqual(s.leasedBy, r.leasedBy) {
+		t.Errorf("leasedBy diverges: %v vs %v", s.leasedBy, r.leasedBy)
+	}
+	if !reflect.DeepEqual(s.unhealthy, r.unhealthy) {
+		t.Errorf("unhealthy sets diverge: %v vs %v", s.unhealthy, r.unhealthy)
+	}
+	if !reflect.DeepEqual(s.avail.Vertices(), r.avail.Vertices()) {
+		t.Errorf("free sets diverge: %v vs %v", s.avail.Vertices(), r.avail.Vertices())
+	}
+	if s.nextID != r.nextID {
+		t.Errorf("nextID diverges: %d vs %d", s.nextID, r.nextID)
+	}
+	r.mu.Unlock()
+	s.mu.Unlock()
+
+	if t.Failed() {
+		t.Logf("linearization had %d committed ops", len(log))
+	}
+}
+
+// TestConcurrentHammerDGXA100 is the single-server hammer: heavy mixed
+// churn on the 8-GPU NVSwitch machine, verified against the serialized
+// replay oracle.
+func TestConcurrentHammerDGXA100(t *testing.T) {
+	ops := 60
+	if testing.Short() {
+		ops = 15
+	}
+	hammerSystem(t, "dgx-a100", 4, 3, 8, ops, 4)
+}
+
+// TestConcurrentHammerClusterA100 runs the same oracle on the 72-GPU
+// multi-node machine — fewer ops (universes are bigger) but the same
+// field-exact bar.
+func TestConcurrentHammerClusterA100(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	hammerSystem(t, "cluster-a100", 3, 2, 6, 12, 3)
+}
+
+// TestAllocateBatchMatchesSequential pins the coalescing primitive's
+// contract: AllocateBatch(req, n) is byte-identical to n sequential
+// Allocate calls.
+func TestAllocateBatchMatchesSequential(t *testing.T) {
+	a, err := NewSystem("dgx-a100", "preserve", WithWarmShapes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSystem("dgx-a100", "preserve", WithWarmShapes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := JobRequest{NumGPUs: 2, Sensitive: true}
+	batched, errs := a.AllocateBatch(req, 5) // 5×2 GPUs > 8: tail must fail
+	var sequential []*Lease
+	var seqErrs []error
+	for i := 0; i < 5; i++ {
+		l, err := b.Allocate(req)
+		sequential = append(sequential, l)
+		seqErrs = append(seqErrs, err)
+	}
+	for i := range batched {
+		if (errs[i] == nil) != (seqErrs[i] == nil) {
+			t.Fatalf("slot %d: batch err %v, sequential err %v", i, errs[i], seqErrs[i])
+		}
+		if errs[i] != nil {
+			if !errors.Is(errs[i], policy.ErrNoAllocation) {
+				t.Fatalf("slot %d: %v", i, errs[i])
+			}
+			continue
+		}
+		if batched[i].ID != sequential[i].ID || !reflect.DeepEqual(batched[i].GPUs, sequential[i].GPUs) {
+			t.Fatalf("slot %d: batch %d %v, sequential %d %v",
+				i, batched[i].ID, batched[i].GPUs, sequential[i].ID, sequential[i].GPUs)
+		}
+	}
+	if fmt.Sprint(a.FreeGPUs()) != fmt.Sprint(b.FreeGPUs()) {
+		t.Fatalf("free sets diverge: %v vs %v", a.FreeGPUs(), b.FreeGPUs())
+	}
+}
