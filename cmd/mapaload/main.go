@@ -28,6 +28,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -39,22 +40,28 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"mapa"
+	"mapa/internal/policy"
 )
 
 // options bundles the load generator's CLI configuration.
 type options struct {
-	addr      string
-	tenants   int
-	duration  time.Duration
-	rate      float64
-	gpus      string
-	shapes    string
-	sensitive float64
-	hold      int
-	coldShape string
-	coldAt    float64
-	seed      int64
-	benchout  bool
+	addr          string
+	tenants       int
+	duration      time.Duration
+	rate          float64
+	gpus          string
+	shapes        string
+	sensitive     float64
+	hold          int
+	coldShape     string
+	coldAt        float64
+	seed          int64
+	benchout      bool
+	fleetNodes    int
+	fleetTemplate string
+	fleetPolicy   string
 }
 
 func main() {
@@ -71,8 +78,15 @@ func main() {
 	flag.Float64Var(&o.coldAt, "coldat", 0.5, "when to fire the cold request, as a fraction of -duration")
 	flag.Int64Var(&o.seed, "seed", 1, "request-mix seed")
 	flag.BoolVar(&o.benchout, "benchout", false, "also print Go benchmark result lines for benchjson")
+	flag.IntVar(&o.fleetNodes, "fleet", 0, "drive an in-process FleetSystem of this many nodes instead of a daemon (closed loop; -addr/-rate/-coldshape ignored)")
+	flag.StringVar(&o.fleetTemplate, "fleettemplate", "dgx-a100", "node-template topology for -fleet")
+	flag.StringVar(&o.fleetPolicy, "fleetpolicy", "preserve", "allocation policy for -fleet")
 	flag.Parse()
 
+	run := run
+	if o.fleetNodes > 0 {
+		run = runFleet
+	}
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mapaload:", err)
 		os.Exit(1)
@@ -367,21 +381,7 @@ func run(o options, w io.Writer) error {
 	coldWG.Wait()
 	elapsed := time.Since(start)
 
-	sum := summary{counters: total, elapsed: elapsed, latencies: nil, dropped: dropped}
-	sorted := make([]time.Duration, len(samples))
-	var totalLat time.Duration
-	for i, s := range samples {
-		sorted[i] = s.latency
-		totalLat += s.latency
-	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	sum.p50 = percentile(sorted, 0.50)
-	sum.p90 = percentile(sorted, 0.90)
-	sum.p99 = percentile(sorted, 0.99)
-	if len(sorted) > 0 {
-		sum.mean = totalLat / time.Duration(len(sorted))
-	}
-	sum.rate = float64(total.ok) / elapsed.Seconds()
+	sum := summarize(samples, total, elapsed, dropped)
 	if o.coldShape != "" && !coldEnd.IsZero() {
 		sum.coldServed = true
 		sum.coldBuild = coldEnd.Sub(coldStart)
@@ -403,10 +403,128 @@ func run(o options, w io.Writer) error {
 	return nil
 }
 
+// summarize folds raw samples and tallies into a run summary with
+// latency percentiles and sustained throughput.
+func summarize(samples []sample, total counters, elapsed time.Duration, dropped int) summary {
+	sum := summary{counters: total, elapsed: elapsed, dropped: dropped}
+	sorted := make([]time.Duration, len(samples))
+	var totalLat time.Duration
+	for i, s := range samples {
+		sorted[i] = s.latency
+		totalLat += s.latency
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sum.p50 = percentile(sorted, 0.50)
+	sum.p90 = percentile(sorted, 0.90)
+	sum.p99 = percentile(sorted, 0.99)
+	if len(sorted) > 0 {
+		sum.mean = totalLat / time.Duration(len(sorted))
+	}
+	sum.rate = float64(total.ok) / elapsed.Seconds()
+	return sum
+}
+
+// runFleet is the -fleet mode: instead of talking HTTP to a daemon, it
+// constructs a FleetSystem in-process — node-symmetric templates, the
+// hierarchical two-level decision path — and churns it with the same
+// closed-loop tenant structure. This measures the fleet decision path
+// itself at sizes no flattened daemon instance could host (the flat
+// pipeline is only materialized up to FleetFlattenLimit GPUs).
+func runFleet(o options, w io.Writer) error {
+	sizes, err := parseMix(o.gpus)
+	if err != nil {
+		return err
+	}
+	shapes := strings.Split(o.shapes, ",")
+	maxSize := 0
+	for i := range shapes {
+		shapes[i] = strings.TrimSpace(shapes[i])
+	}
+	for _, n := range sizes {
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+	fs, err := mapa.NewFleetSystem(o.fleetTemplate, o.fleetNodes, o.fleetPolicy,
+		mapa.WithWarmShapes(maxSize))
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	deadline := start.Add(o.duration)
+	var (
+		mu      sync.Mutex
+		samples []sample
+		total   counters
+	)
+	var wg sync.WaitGroup
+	for t := 0; t < o.tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.seed + int64(t)))
+			var leases []*mapa.Lease
+			var c counters
+			var local []sample
+			for time.Now().Before(deadline) {
+				if len(leases) < o.hold && (len(leases) == 0 || rng.Intn(2) == 0) {
+					req := mapa.JobRequest{
+						NumGPUs:   sizes[rng.Intn(len(sizes))],
+						Shape:     shapes[rng.Intn(len(shapes))],
+						Sensitive: rng.Float64() < o.sensitive,
+					}
+					t0 := time.Now()
+					lease, err := fs.Allocate(req)
+					lat := time.Since(t0)
+					switch {
+					case err == nil:
+						c.ok++
+						local = append(local, sample{latency: lat, done: time.Now()})
+						leases = append(leases, lease)
+					case errors.Is(err, policy.ErrNoAllocation):
+						c.noalloc++
+						if len(leases) > 0 {
+							fs.Release(leases[0])
+							leases = leases[1:]
+						}
+					default:
+						c.failed++
+					}
+				} else if len(leases) > 0 {
+					fs.Release(leases[0])
+					leases = leases[1:]
+				}
+			}
+			for _, l := range leases {
+				fs.Release(l)
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			total.add(c)
+			mu.Unlock()
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sum := summarize(samples, total, elapsed, 0)
+	report(o, w, sum)
+	st := fs.Stats()
+	fmt.Fprintf(w, "  fleet: %d nodes, %d template universes / %d tables (built in %s); %d hierarchical, %d flat-fallback\n",
+		fs.NumNodes(), st.TemplateUniverses, st.TemplateTables,
+		(st.TemplateBuildTime + st.TemplateTableTime).Round(time.Millisecond),
+		st.HierarchicalServed, st.FlatServed)
+	return nil
+}
+
 func report(o options, w io.Writer, s summary) {
 	mode := "closed-loop"
 	if o.rate > 0 {
 		mode = fmt.Sprintf("open-loop %.0f req/s", o.rate)
+	}
+	if o.fleetNodes > 0 {
+		mode = fmt.Sprintf("in-process fleet (%d × %s, %s policy)", o.fleetNodes, o.fleetTemplate, o.fleetPolicy)
 	}
 	fmt.Fprintf(w, "mapaload: %s, %d tenants, %s\n", mode, o.tenants, s.elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "  decisions: %d ok, %d no-allocation, %d throttled (429), %d failed, %d dropped\n",
@@ -422,8 +540,12 @@ func report(o options, w io.Writer, s summary) {
 	}
 	// Go benchmark result lines, parseable by cmd/benchjson: name,
 	// iteration count, then value/unit pairs.
-	fmt.Fprintf(w, "BenchmarkMapadSustained %d %d ns/op %.1f decisions/sec %d p50-ns %d p90-ns %d p99-ns\n",
-		s.ok, s.mean.Nanoseconds(), s.rate, s.p50.Nanoseconds(), s.p90.Nanoseconds(), s.p99.Nanoseconds())
+	name := "BenchmarkMapadSustained"
+	if o.fleetNodes > 0 {
+		name = fmt.Sprintf("BenchmarkFleetSustained/nodes-%d", o.fleetNodes)
+	}
+	fmt.Fprintf(w, "%s %d %d ns/op %.1f decisions/sec %d p50-ns %d p90-ns %d p99-ns\n",
+		name, s.ok, s.mean.Nanoseconds(), s.rate, s.p50.Nanoseconds(), s.p90.Nanoseconds(), s.p99.Nanoseconds())
 	if s.coldServed {
 		fmt.Fprintf(w, "BenchmarkMapadColdOverlap %d %d ns/op %.1f decisions/sec %d cold-build-ns\n",
 			s.coldOK, s.coldMean.Nanoseconds(), s.coldRate, s.coldBuild.Nanoseconds())

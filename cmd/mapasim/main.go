@@ -32,6 +32,7 @@ import (
 // options bundles the CLI configuration of one simulator run.
 type options struct {
 	topoName     string
+	fleetNodes   int
 	policyName   string
 	jobFile      string
 	n            int
@@ -56,6 +57,7 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.topoName, "topology", "dgx-v100", "hardware topology: "+strings.Join(topology.Names(), ", "))
+	flag.IntVar(&o.fleetNodes, "fleet", 0, "treat -topology as a node template and simulate a fleet of this many nodes (flattened machine)")
 	flag.StringVar(&o.policyName, "policy", "preserve", "allocation policy, or 'all' for the paper's four")
 	flag.StringVar(&o.jobFile, "jobs", "", "job file path (empty generates a random mix)")
 	flag.IntVar(&o.n, "n", 300, "generated job count when -jobs is empty")
@@ -129,6 +131,12 @@ func run(o options) error {
 	top, err := topology.ByName(o.topoName)
 	if err != nil {
 		return err
+	}
+	if o.fleetNodes > 0 {
+		// The simulator drives the flat engine, so a fleet request is
+		// served by the flattened machine: -topology names the node
+		// template, inter-node pairs get the PCIe-class fallback.
+		top = topology.NewFleet(top, o.fleetNodes).Flatten()
 	}
 	var jobList []jobs.Job
 	if o.jobFile != "" {

@@ -1,0 +1,91 @@
+// Allocation-discipline gate for the hierarchical fleet decision: like
+// the flat table-served path, a warmed two-level decision must stay
+// exactly 0 allocs/op — the node sweep reuses the view set's scratch,
+// the intra-node selection is the ordinary table-served argmax, and
+// the winner lands in a caller-supplied buffer by in-place appends.
+package mapa
+
+import (
+	"testing"
+
+	"mapa/internal/appgraph"
+	"mapa/internal/effbw"
+	"mapa/internal/matchcache"
+	"mapa/internal/policy"
+	"mapa/internal/score"
+	"mapa/internal/topology"
+)
+
+// TestFleetDecisionZeroAllocs pins the warmed hierarchical decision at
+// 0 allocs/op for all four selection-order variants on a churned
+// 9-node fleet, and proves the path is table-served (zero dynamic
+// score evaluations).
+func TestFleetDecisionZeroAllocs(t *testing.T) {
+	fleet := topology.NewFleet(topology.DGXA100(), 9)
+	pattern := appgraph.Ring(3)
+	fstore := matchcache.NewFleetStore(fleet, 0)
+	fstore.Warm(1, pattern)
+	fviews := fstore.NewFleetViews()
+	// Churn a few nodes so incident sums and usable counts differ
+	// across nodes — the sweep does real comparison work.
+	fviews.Allocate([]int{1, 9, 10, 40})
+	scorer := score.NewScorer(effbw.PaperModel())
+	for _, v := range allocPolicies(scorer) {
+		t.Run(v.name, func(t *testing.T) {
+			policy.AttachFleet(v.p, fviews)
+			req := policy.Request{Pattern: pattern, Sensitive: v.sensitive}
+			var buf policy.Allocation
+			// Warm the lazy memos (per-model tables, sorted orders, remap
+			// cache, per-node view slots) and prove the fast path serves.
+			evals := score.Evaluations()
+			served, err := policy.AllocateFleetInto(v.p, &buf, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !served {
+				t.Fatal("fleet layer declined a warmed decision")
+			}
+			if d := score.Evaluations() - evals; d != 0 {
+				t.Fatalf("decision ran %d dynamic score evaluations, want 0 (not table-served)", d)
+			}
+			got := testing.AllocsPerRun(100, func() {
+				if _, err := policy.AllocateFleetInto(v.p, &buf, req); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got != 0 {
+				t.Fatalf("hierarchical decision: %v allocs/op, want 0", got)
+			}
+		})
+	}
+}
+
+// TestFleetViewDeltaAllocBudget caps the fleet tier-0 delta path: a
+// global-ID allocate/release delta pair splits into node-local
+// single-GPU deltas through reused buffers, so it stays within the
+// same small budget as the flat stream.
+func TestFleetViewDeltaAllocBudget(t *testing.T) {
+	const budget = 4.0
+	fleet := topology.NewFleet(topology.DGXA100(), 9)
+	pattern := appgraph.Ring(3)
+	fstore := matchcache.NewFleetStore(fleet, 0)
+	fstore.Warm(1, pattern)
+	fviews := fstore.NewFleetViews()
+	scorer := score.NewScorer(effbw.PaperModel())
+	p := policy.NewPreserve(scorer)
+	policy.AttachFleet(p, fviews)
+	// One decision materializes the touched nodes' view slots so the
+	// deltas do real posting-list work.
+	var buf policy.Allocation
+	if _, err := policy.AllocateFleetInto(p, &buf, policy.Request{Pattern: pattern}); err != nil {
+		t.Fatal(err)
+	}
+	gpus := []int{3, 10, 40}
+	got := testing.AllocsPerRun(100, func() {
+		fviews.Allocate(gpus)
+		fviews.Release(gpus)
+	})
+	if got > budget {
+		t.Fatalf("fleet view allocate+release delta: %v allocs/op, budget %v", got, budget)
+	}
+}

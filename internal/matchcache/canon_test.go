@@ -1,0 +1,92 @@
+package matchcache
+
+import (
+	"testing"
+
+	"mapa/internal/appgraph"
+	"mapa/internal/graph"
+)
+
+// ringOn builds a ring pattern over an explicit vertex-ID set — the
+// shape appgraph.Ring(k) would produce, relabeled. Non-contiguous and
+// offset IDs exercise the canonizer the way fleet templates do: the
+// stored template order speaks one ID space, the request another.
+func ringOn(ids []int) *graph.Graph {
+	g := graph.New()
+	for _, v := range ids {
+		g.AddVertex(v)
+	}
+	if len(ids) == 2 {
+		g.MustAddEdge(ids[0], ids[1], 1, 0)
+		return g
+	}
+	for i := range ids {
+		g.MustAddEdge(ids[i], ids[(i+1)%len(ids)], 1, 0)
+	}
+	return g
+}
+
+// TestCanonRemapRoundTrip pins the isomorphism algebra the fleet path
+// leans on: remapping a match order from shape A's IDs to shape B's
+// and back is the identity, for patterns with contiguous, offset, and
+// sparse vertex IDs.
+func TestCanonRemapRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []int
+	}{
+		{"contiguous-vs-offset", []int{0, 1, 2}, []int{8, 9, 10}},
+		{"sparse", []int{0, 1, 2, 3}, []int{5, 17, 40, 63}},
+		{"pair", []int{0, 1}, []int{70, 71}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := ringOn(tc.a), ringOn(tc.b)
+			ia, ib := canon.info(a), canon.info(b)
+			if ia.canon != ib.canon {
+				t.Fatal("isomorphic rings canonicalize differently")
+			}
+			order := append([]int(nil), tc.a...) // a match order in A's IDs
+			ab := canon.remap(ia.exact, ib, order)
+			if ab == nil {
+				t.Fatal("remap between distinct ID spaces returned nil")
+			}
+			for _, v := range ab {
+				if !b.HasVertex(v) {
+					t.Fatalf("remapped order %v leaves B's vertex set %v", ab, tc.b)
+				}
+			}
+			back := canon.remap(ib.exact, ia, ab)
+			if back == nil {
+				t.Fatal("inverse remap returned nil")
+			}
+			for i := range order {
+				if back[i] != order[i] {
+					t.Fatalf("round trip diverged: %v -> %v -> %v", order, ab, back)
+				}
+			}
+		})
+	}
+}
+
+// TestCanonRemapIdentity pins the nil fast path: a shape remapped onto
+// itself needs no translation.
+func TestCanonRemapIdentity(t *testing.T) {
+	p := appgraph.Ring(3)
+	ci := canon.info(p)
+	if out := canon.remap(ci.exact, ci, []int{0, 1, 2}); out != nil {
+		t.Fatalf("self-remap = %v, want nil", out)
+	}
+}
+
+// TestCanonRemapPanicsOnNonIsomorphic pins the divergence guard.
+func TestCanonRemapPanicsOnNonIsomorphic(t *testing.T) {
+	ring := canon.info(appgraph.Ring(4))
+	star := canon.info(appgraph.Star(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("remap between non-isomorphic shapes should panic")
+		}
+	}()
+	canon.remap(ring.exact, star, []int{0, 1, 2, 3})
+}

@@ -1,0 +1,158 @@
+// Hierarchical fleet selection: the two-level decision path over a
+// topology.Fleet's node-symmetric templates.
+//
+// For a pattern that fits inside one node, the decision runs in two
+// levels. The inter-node level (matchcache.FleetViews.SelectNodes)
+// ranks candidate nodes over the quotient graph of node classes using
+// cheap per-node aggregates — the usable-GPU count prunes nodes that
+// cannot host the pattern, and the per-node free-weight aggregate
+// yields the exact Eq. 3 translation constant. The intra-node level is
+// the ordinary table-served selection (pickScored) against the node's
+// shared class template: within one node the fleet-global PreservedBW
+// is the node-local value plus a candidate-independent constant, so
+// the local argmax IS the global argmax restricted to that node, and
+// the local GPU-set tie-break order is the global one (offset addition
+// preserves lexicographic order). Node winners are then compared on
+// exact fleet-global metric values; ties resolve to the lowest node
+// index, which — GPU IDs being node-major — reproduces the flat
+// selection order's lexicographic GPU-set tie-break (the documented
+// deterministic node-ordering rule).
+//
+// The node-local placement rule: the hierarchical path considers only
+// single-node candidates. For AggBW-primary selection on
+// switch-uniform node classes (every intra-node link strictly faster
+// than the inter-node PCIe fallback) the best single-node candidate
+// strictly dominates every node-spanning one whenever a node can host
+// the pattern, so the winner is byte-identical to the flat matcher's —
+// pinned by the greedy churn-parity suite. PreservedBW-primary
+// selection may flat-prefer spreading an insensitive job across
+// drained nodes; at fleet scale the node-local rule is the documented
+// placement semantic, and its winners are pinned against a flat-build
+// node-local oracle instead.
+//
+// Like the flat table-served path, a warmed hierarchical decision
+// allocates nothing: the sweep reuses the policy's buffers, metric
+// reads are table lookups plus O(k) arithmetic, and the winner lands
+// in a caller-supplied Allocation via in-place appends
+// (decision gates in fleet_alloc_test.go pin 0 allocs/op).
+package policy
+
+import (
+	"mapa/internal/matchcache"
+	"mapa/internal/score"
+)
+
+// AttachFleet binds a fleet view set to the policy (nil detaches).
+// Policies that do not pattern-match ignore the call.
+func AttachFleet(a Allocator, fv *matchcache.FleetViews) {
+	if mp, ok := a.(*mapaPolicy); ok {
+		mp.fleet = fv
+	}
+}
+
+// FleetOf returns the policy's attached fleet view set, nil when none.
+func FleetOf(a Allocator) *matchcache.FleetViews {
+	if mp, ok := a.(*mapaPolicy); ok {
+		return mp.fleet
+	}
+	return nil
+}
+
+// AllocateFleetInto runs the hierarchical two-level fleet decision
+// into a caller-supplied buffer. served is false when a's policy does
+// not support the fleet path or the fleet layer declined (tables
+// disabled, incomplete class universe, binding candidate cap) — the
+// caller falls back to its flat path. With served true, err is either
+// nil (buf holds the winner) or ErrNoAllocation (no node can host the
+// pattern; a flat fallback may still find a node-spanning placement).
+func AllocateFleetInto(a Allocator, buf *Allocation, req Request) (served bool, err error) {
+	mp, ok := a.(*mapaPolicy)
+	if !ok {
+		return false, nil
+	}
+	return mp.allocateFleetInto(buf, req)
+}
+
+// fleetMetric is scoredMetric translated to fleet-global values: the
+// state-independent metrics are already global; PreservedBW gains the
+// node's exact translation constant.
+func fleetMetric(nd *matchcache.NodeDecision, mt *score.ModelTable, m metric, i int) float64 {
+	if m == metricPreservedBW {
+		return nd.BW.PreservedBW(nd.Tbl.Internal(i), nd.Tbl.GPUs(i)) + nd.PreservedShift
+	}
+	return scoredMetric(nd.BW, nd.Tbl, mt, m, i)
+}
+
+// allocateFleetInto sweeps the hosting nodes in ascending order,
+// running the intra-node table-served selection per node and keeping
+// the best node winner under the policy's total order on exact global
+// metric values. buf is refilled in place on every improvement, so the
+// warmed path allocates nothing.
+func (p *mapaPolicy) allocateFleetInto(buf *Allocation, req Request) (served bool, err error) {
+	if p.fleet == nil {
+		return false, nil
+	}
+	if req.NumGPUs() < 1 {
+		return false, nil
+	}
+	found := false
+	var bestP, bestS float64
+	served = p.fleet.SelectNodes(req.Pattern, p.maxCandidates, p.workers,
+		func(nd *matchcache.NodeDecision) {
+			best, ok := p.pickScored(nd.LV, nd.BW, nd.Tbl, req, false)
+			if !ok {
+				return
+			}
+			mt := nd.Tbl.ForModel(p.scorer.Model)
+			r := p.rank(req)
+			prim := fleetMetric(nd, mt, r[0], best)
+			if found && prim < bestP {
+				return
+			}
+			sec := fleetMetric(nd, mt, r[1], best)
+			if found && prim == bestP && sec <= bestS {
+				// Equal scores resolve to the earliest node: node-major
+				// IDs make that the flat lexicographic GPU-set winner.
+				return
+			}
+			found, bestP, bestS = true, prim, sec
+			p.fleetAllocationInto(buf, nd, mt, best)
+		})
+	if !served {
+		return false, nil
+	}
+	if !found {
+		return true, ErrNoAllocation
+	}
+	return true, nil
+}
+
+// fleetAllocationInto packages a node winner into buf, translating
+// node-local GPU IDs through the node's offset. The GPU set, match
+// data, and scores are exactly what the flat table-served packaging
+// would produce for the same embedding on the flattened machine; the
+// match key stays in template-local IDs (it never leaves the policy).
+func (p *mapaPolicy) fleetAllocationInto(buf *Allocation, nd *matchcache.NodeDecision, mt *score.ModelTable, best int) {
+	u := nd.Tbl.Universe()
+	m := u.Match(best)
+	pat := m.Pattern
+	if nd.Order != nil {
+		pat = nd.Order
+	}
+	buf.GPUs = buf.GPUs[:0]
+	for _, g := range nd.Tbl.GPUs(best) {
+		buf.GPUs = append(buf.GPUs, g+nd.Offset)
+	}
+	buf.Match.Pattern = append(buf.Match.Pattern[:0], pat...)
+	buf.Match.Data = buf.Match.Data[:0]
+	for _, g := range m.Data {
+		buf.Match.Data = append(buf.Match.Data, g+nd.Offset)
+	}
+	buf.Scores = score.Scores{
+		AggBW:       nd.Tbl.AggBW(best),
+		EffBW:       mt.EffBW(best),
+		PreservedBW: nd.BW.PreservedBW(nd.Tbl.Internal(best), nd.Tbl.GPUs(best)) + nd.PreservedShift,
+		Mix:         nd.Tbl.Mix(best),
+	}
+	buf.key = u.Key(best)
+}

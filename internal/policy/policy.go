@@ -236,6 +236,7 @@ type mapaPolicy struct {
 	cache         *matchcache.Cache
 	store         *matchcache.Store
 	views         *matchcache.Views
+	fleet         *matchcache.FleetViews
 	rank          func(req Request) [2]metric
 }
 

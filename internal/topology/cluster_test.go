@@ -29,6 +29,27 @@ func TestClusterA100Structure(t *testing.T) {
 	if counts[LinkNVSwitch] != 9*28 {
 		t.Fatalf("NVSwitch links = %d, want %d", counts[LinkNVSwitch], 9*28)
 	}
+	// The builder contributes no PCIe links: every inter-node PCIe edge
+	// comes from build()'s complete-by-construction fill, so it exists
+	// in Graph (asserted above) but never in Physical.
+	if counts[LinkPCIe] != 0 {
+		t.Fatalf("physical PCIe links = %d, want 0 (inter-node PCIe comes from the completion fill, not the builder)", counts[LinkPCIe])
+	}
+	// All inter-node Graph edges are PCIe class: total edges minus
+	// intra-node NVSwitch pairs.
+	interNode := top.Graph.NumEdges() - 9*28
+	if want := 72 * 71 / 2; top.Graph.NumEdges() != want {
+		t.Fatalf("graph edges = %d, want complete %d", top.Graph.NumEdges(), want)
+	}
+	pcie := 0
+	for _, e := range top.Graph.Edges() {
+		if LinkType(e.Label) == LinkPCIe {
+			pcie++
+		}
+	}
+	if pcie != interNode {
+		t.Fatalf("PCIe-class graph edges = %d, want every inter-node pair = %d", pcie, interNode)
+	}
 	// Node membership is ID-major.
 	if s := top.SocketOf(17); s != 2 {
 		t.Fatalf("GPU 17 in socket %d, want 2", s)

@@ -1,0 +1,126 @@
+package topology
+
+import "fmt"
+
+// Fleet is a multi-node machine described symbolically: every node is
+// an instance of a node-class Topology (today one class per fleet),
+// and a node's GPUs are the class's GPU IDs shifted by the node's
+// vertex offset. Nothing per-node is materialized — a 1,000-node fleet
+// costs the same memory as a 2-node fleet plus one offset table — which
+// is what lets the match pipeline build universes and score tables per
+// (node class, shape) instead of per (node, shape).
+//
+// GPU IDs are node-major and offsets ascend with node index: node i
+// owns [Offset(i), Offset(i)+class.NumGPUs()). That ordering is load-
+// bearing for determinism — any GPU set inside node i is
+// lexicographically smaller than any GPU set inside node j > i, so
+// "lowest node index wins ties" at the inter-node level reproduces the
+// flat path's lexicographic GPU-set tie-break exactly (see the fleet
+// parity suites).
+//
+// Inter-node links are the PCIe-class host/network fallback edge, the
+// same complete-by-construction fill every flat Topology gets from
+// build(): Flatten materializes exactly that machine, and ClusterA100
+// is the Flatten of a DGX-A100 fleet by construction.
+type Fleet struct {
+	// Name identifies the fleet in reports.
+	Name string
+	// Classes holds the distinct node-class topologies. Every class
+	// topology has contiguous GPU IDs 0..n-1 (enforced by NewFleet).
+	Classes []*Topology
+	// NodeClass[i] indexes Classes for node i.
+	NodeClass []int
+	// Offsets[i] is node i's vertex offset: the fleet GPU ID of the
+	// class's GPU 0. Strictly ascending.
+	Offsets []int
+
+	total int
+}
+
+// NewFleet returns a fleet of `nodes` identical instances of the node
+// template — the symbolic generalization of ClusterA100. The template
+// must have contiguous GPU IDs starting at 0 (every built-in server
+// topology does) so that offset translation is pure integer addition.
+func NewFleet(nodeTemplate *Topology, nodes int) *Fleet {
+	if nodes < 2 {
+		panic("topology: fleet needs at least 2 nodes")
+	}
+	per := nodeTemplate.NumGPUs()
+	for i, g := range nodeTemplate.GPUs() {
+		if g != i {
+			panic(fmt.Sprintf("topology: fleet node template %s has non-contiguous GPU IDs", nodeTemplate.Name))
+		}
+	}
+	f := &Fleet{
+		Name:      fmt.Sprintf("Fleet-%s-%d", nodeTemplate.Name, nodes),
+		Classes:   []*Topology{nodeTemplate},
+		NodeClass: make([]int, nodes),
+		Offsets:   make([]int, nodes),
+		total:     nodes * per,
+	}
+	for i := 0; i < nodes; i++ {
+		f.Offsets[i] = i * per
+	}
+	return f
+}
+
+// NumNodes returns the node count.
+func (f *Fleet) NumNodes() int { return len(f.Offsets) }
+
+// NumGPUs returns the total accelerator count across all nodes.
+func (f *Fleet) NumGPUs() int { return f.total }
+
+// Class returns node i's class topology.
+func (f *Fleet) Class(i int) *Topology { return f.Classes[f.NodeClass[i]] }
+
+// Offset returns node i's vertex offset.
+func (f *Fleet) Offset(i int) int { return f.Offsets[i] }
+
+// NodeOf returns the node index owning fleet GPU g, or -1 when g is
+// out of range. Offsets ascend, so this is a linear scan kept simple —
+// it sits on no hot path (hot paths work in per-node local IDs).
+func (f *Fleet) NodeOf(g int) int {
+	if g < 0 || g >= f.total {
+		return -1
+	}
+	for i := len(f.Offsets) - 1; i >= 0; i-- {
+		if g >= f.Offsets[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// MaxNodeGPUs returns the largest node-class size — the largest
+// pattern the hierarchical (single-node) decision path can place.
+func (f *Fleet) MaxNodeGPUs() int {
+	max := 0
+	for _, c := range f.Classes {
+		if n := c.NumGPUs(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Flatten materializes the fleet as a flat Topology: each node's
+// physical links shifted by its offset, one socket per node, and the
+// inter-node PCIe fallback supplied — like every built-in topology —
+// by build()'s complete-by-construction fill. Flatten of a DGX-A100
+// fleet is structurally identical to ClusterA100 (pinned by test).
+//
+// This is the parity/fallback path for small fleets; it is O(total²)
+// in edges and deliberately not used by the template pipeline.
+func (f *Fleet) Flatten() *Topology {
+	b := newBuilder(f.Name, f.total)
+	b.sockets = make([][]int, f.NumNodes())
+	for i := range f.Offsets {
+		c := f.Class(i)
+		off := f.Offsets[i]
+		b.sockets[i] = intRange(off, off+c.NumGPUs())
+		for _, e := range c.Physical.Edges() {
+			b.link(e.U+off, e.V+off, LinkType(e.Label))
+		}
+	}
+	return b.build()
+}

@@ -1,0 +1,94 @@
+package topology
+
+import "testing"
+
+func TestFleetBasics(t *testing.T) {
+	f := NewFleet(DGXA100(), 9)
+	if got := f.NumNodes(); got != 9 {
+		t.Fatalf("NumNodes = %d, want 9", got)
+	}
+	if got := f.NumGPUs(); got != 72 {
+		t.Fatalf("NumGPUs = %d, want 72", got)
+	}
+	if got := f.MaxNodeGPUs(); got != 8 {
+		t.Fatalf("MaxNodeGPUs = %d, want 8", got)
+	}
+	for i := 0; i < 9; i++ {
+		if off := f.Offset(i); off != 8*i {
+			t.Fatalf("Offset(%d) = %d, want %d", i, off, 8*i)
+		}
+		if c := f.Class(i); c.Name != "DGX-A100" {
+			t.Fatalf("Class(%d) = %s, want DGX-A100", i, c.Name)
+		}
+	}
+	for _, tc := range []struct{ gpu, node int }{
+		{0, 0}, {7, 0}, {8, 1}, {17, 2}, {71, 8}, {-1, -1}, {72, -1},
+	} {
+		if got := f.NodeOf(tc.gpu); got != tc.node {
+			t.Fatalf("NodeOf(%d) = %d, want %d", tc.gpu, got, tc.node)
+		}
+	}
+}
+
+// TestFleetFlattenMatchesClusterA100 pins that the symbolic fleet
+// describes exactly the machine ClusterA100 materializes: same
+// complete hardware graph (structural fingerprint covers vertices,
+// edges, weights, and labels), same physical graph, same sockets. This
+// is the ground the template-vs-flat parity suites stand on.
+func TestFleetFlattenMatchesClusterA100(t *testing.T) {
+	for _, nodes := range []int{2, 9} {
+		flat := NewFleet(DGXA100(), nodes).Flatten()
+		ref := ClusterA100(nodes)
+		if err := flat.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := flat.Graph.Fingerprint(), ref.Graph.Fingerprint(); got != want {
+			t.Fatalf("nodes=%d: Flatten hardware graph differs from ClusterA100", nodes)
+		}
+		if got, want := flat.Physical.Fingerprint(), ref.Physical.Fingerprint(); got != want {
+			t.Fatalf("nodes=%d: Flatten physical graph differs from ClusterA100", nodes)
+		}
+		if len(flat.Sockets) != len(ref.Sockets) {
+			t.Fatalf("nodes=%d: sockets = %d, want %d", nodes, len(flat.Sockets), len(ref.Sockets))
+		}
+		for i := range flat.Sockets {
+			if len(flat.Sockets[i]) != len(ref.Sockets[i]) {
+				t.Fatalf("nodes=%d: socket %d size mismatch", nodes, i)
+			}
+			for j := range flat.Sockets[i] {
+				if flat.Sockets[i][j] != ref.Sockets[i][j] {
+					t.Fatalf("nodes=%d: socket %d member %d mismatch", nodes, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestFleetHeterogeneousTemplate(t *testing.T) {
+	// A fleet of a non-switch template still flattens to a valid
+	// complete machine with the template's physical links per node.
+	f := NewFleet(DGXV100(), 3)
+	flat := f.Flatten()
+	if err := flat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := flat.NumGPUs(); got != 24 {
+		t.Fatalf("NumGPUs = %d, want 24", got)
+	}
+	// Node 1's copy of the template link (0,3) NV1x2.
+	if l := flat.Link(8, 11); l != LinkNVLink2x2 {
+		t.Fatalf("offset template link = %s, want %s", l, LinkNVLink2x2)
+	}
+	if l := flat.Link(3, 8); l != LinkPCIe {
+		t.Fatalf("inter-node link = %s, want %s", l, LinkPCIe)
+	}
+}
+
+func TestFleetTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFleet(_, 1) should panic")
+		}
+	}()
+	NewFleet(DGXA100(), 1)
+}

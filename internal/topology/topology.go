@@ -283,14 +283,19 @@ func CubeMesh16() *Topology {
 
 // ClusterA100 returns a synthetic multi-node machine: `nodes` DGX-A100
 // servers of eight GPUs each, every intra-node pair at NVSwitch
-// bandwidth, and every inter-node pair joined by the PCIe-class
-// host/network fallback edge (the matcher's hardware graph is complete
-// by construction, Sec. 3.2). GPU IDs are node-major — node i owns
-// 8i..8i+7 — and each node is one socket, so the Topo-aware baseline
-// packs jobs per node. With nine or more nodes the machine crosses 64
-// GPUs, which exercises the multi-word graph.Bitset paths end to end:
-// availability masks, universe filtering, and cache keys all span
-// multiple uint64 words.
+// bandwidth. The builder adds only those intra-node NVSwitch links;
+// every inter-node pair gets its PCIe-class host/network fallback edge
+// from build()'s complete-by-construction fill (the matcher's hardware
+// graph is complete, Sec. 3.2), so inter-node links appear in Graph but
+// never in Physical — the invariant the golden cluster test pins. GPU
+// IDs are node-major — node i owns 8i..8i+7 — and each node is one
+// socket, so the Topo-aware baseline packs jobs per node. With nine or
+// more nodes the machine crosses 64 GPUs, which exercises the
+// multi-word graph.Bitset paths end to end: availability masks,
+// universe filtering, and cache keys all span multiple uint64 words.
+// ClusterA100 is structurally the Flatten of NewFleet(DGXA100(), nodes)
+// (pinned by test); the Fleet form is what the template match pipeline
+// consumes at scale.
 func ClusterA100(nodes int) *Topology {
 	if nodes < 2 {
 		panic("topology: cluster needs at least 2 nodes")
