@@ -5,14 +5,22 @@
 //
 // Usage:
 //
-//	mapad -topology cluster-a100 -policy preserve -warm 5 -addr :8080
+//	mapad -topology cluster-a100 -policy preserve -warm 5 -addr :8080 \
+//	      -journal /var/lib/mapad -fsync interval -snapshot-every 30s
 //
-// Endpoints: POST /v1/allocate, POST /v1/release, POST /v1/health
-// (mark/restore/degrade topology events), GET /healthz, GET /metrics
-// (Prometheus text format). Overload answers 429 once the bounded
-// admission queue fills; -coalesce merges identical (shape, size)
-// allocate bursts into single decision-lock round trips. See
-// cmd/mapaload for a load generator.
+// Endpoints: POST /v1/allocate, POST /v1/release, POST /v1/renew,
+// POST /v1/health (mark/restore/degrade topology events), GET
+// /v1/leases, GET /healthz, GET /metrics (Prometheus text format).
+// Overload answers 429 once the bounded admission queue fills;
+// -coalesce merges identical (shape, size) allocate bursts into single
+// decision-lock round trips. See cmd/mapaload for a load generator.
+//
+// With -journal, every committed mutation is written ahead to an
+// append-only checksummed journal and the daemon recovers its full
+// lease state — leases, owners, TTL deadlines, health marks, degraded
+// links, repartition map — after a crash or restart. SIGTERM drains:
+// new requests get 503 + Retry-After, in-flight requests finish, and a
+// final snapshot is cut so the next start replays nothing.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"time"
 
 	"mapa"
+	"mapa/internal/journal"
 	"mapa/internal/server"
 	"mapa/internal/topology"
 )
@@ -44,6 +53,13 @@ type options struct {
 	queueDepth   int
 	coalesce     time.Duration
 	maxTenants   int
+
+	journalDir    string
+	fsyncMode     string
+	fsyncInterval time.Duration
+	snapshotEvery time.Duration
+	reapEvery     time.Duration
+	requestMax    time.Duration
 }
 
 func main() {
@@ -58,6 +74,12 @@ func main() {
 	flag.IntVar(&o.queueDepth, "queue", server.DefaultQueueDepth, "bounded admission depth; allocates beyond it get 429")
 	flag.DurationVar(&o.coalesce, "coalesce", 0, "coalescing window for identical (shape,size) allocate bursts (0 disables)")
 	flag.IntVar(&o.maxTenants, "max-tenants", server.DefaultMaxTenants, "max distinct tenant streams; overflow serves via the default stream")
+	flag.StringVar(&o.journalDir, "journal", "", "directory for the write-ahead journal + snapshots (empty disables durability)")
+	flag.StringVar(&o.fsyncMode, "fsync", "always", "journal fsync policy: always (fsync per append) or interval (background fsync)")
+	flag.DurationVar(&o.fsyncInterval, "fsync-interval", 100*time.Millisecond, "background fsync cadence for -fsync=interval")
+	flag.DurationVar(&o.snapshotEvery, "snapshot-every", time.Minute, "snapshot + journal-truncation cadence (0 disables periodic snapshots)")
+	flag.DurationVar(&o.reapEvery, "reap-every", time.Second, "TTL-expiry reaper cadence (0 disables the reaper)")
+	flag.DurationVar(&o.requestMax, "request-timeout", 30*time.Second, "per-request handler deadline")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -85,6 +107,16 @@ func newServer(o options) (*server.Server, *mapa.System, error) {
 	if o.buildWorkers > 1 {
 		opts = append(opts, mapa.WithBuildWorkers(o.buildWorkers))
 	}
+	if o.journalDir != "" {
+		mode, err := journal.ParseFsyncMode(o.fsyncMode)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts = append(opts, mapa.WithJournal(o.journalDir, journal.Options{
+			Fsync:    mode,
+			Interval: o.fsyncInterval,
+		}))
+	}
 	sys, err := mapa.NewSystem(o.topoName, o.policyName, opts...)
 	if err != nil {
 		return nil, nil, err
@@ -102,23 +134,86 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	if rs := sys.Recovery(); rs.Enabled {
+		fmt.Printf("mapad: recovered %d leases (%d journal records, snapshot LSN %d) in %v\n",
+			rs.Leases, rs.Records, rs.SnapshotLSN, rs.ReplayTime)
+		// Benchmark-format line so CI can archive recovery time next to
+		// the other BENCH_*.json series.
+		fmt.Printf("BenchmarkMapadRecovery 1 %d ns/op %d records %d leases\n",
+			rs.ReplayTime.Nanoseconds(), rs.Records, rs.Leases)
+	}
+
+	// The handler chain enforces a per-request wall deadline on top of
+	// the socket-level timeouts: a stuck handler answers 503 instead of
+	// pinning its connection forever.
+	var handler http.Handler = srv
+	if o.requestMax > 0 {
+		handler = http.TimeoutHandler(srv, o.requestMax, `{"error":"request deadline exceeded"}`)
+	}
 	hs := &http.Server{
 		Addr:              o.addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      o.requestMax + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Printf("mapad: serving %s (%d GPUs) policy=%s on %s (warm=%v)\n",
-		sys.Topology(), sys.NumGPUs(), sys.Policy(), o.addr, sys.Warmed())
+	fmt.Printf("mapad: serving %s (%d GPUs) policy=%s on %s (warm=%v journal=%q)\n",
+		sys.Topology(), sys.NumGPUs(), sys.Policy(), o.addr, sys.Warmed(), o.journalDir)
+
+	stop := make(chan struct{})
+	var maintenance []chan struct{}
+	spawn := func(every time.Duration, tick func()) {
+		if every <= 0 {
+			return
+		}
+		done := make(chan struct{})
+		maintenance = append(maintenance, done)
+		go func() {
+			defer close(done)
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					tick()
+				}
+			}
+		}()
+	}
+	if o.reapEvery > 0 {
+		spawn(o.reapEvery, func() {
+			if n, err := srv.ReapExpired(time.Now()); err != nil {
+				fmt.Fprintln(os.Stderr, "mapad: reaper:", err)
+			} else if n > 0 {
+				fmt.Printf("mapad: reaped %d expired leases\n", n)
+			}
+		})
+	}
+	if o.journalDir != "" && o.snapshotEvery > 0 {
+		spawn(o.snapshotEvery, func() {
+			if err := sys.Snapshot(); err != nil {
+				fmt.Fprintln(os.Stderr, "mapad: snapshot:", err)
+			}
+		})
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		close(stop)
 		return err
 	case s := <-sig:
 		fmt.Printf("mapad: %v, draining\n", s)
+		// Refuse new work first (503 + Retry-After) so load balancers
+		// move on, then wait out in-flight requests, stop maintenance,
+		// and cut the final snapshot so the next start replays nothing.
+		srv.Drain()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
@@ -127,6 +222,14 @@ func run(o options) error {
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		close(stop)
+		for _, done := range maintenance {
+			<-done
+		}
+		if err := sys.Close(); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		fmt.Println("mapad: drained")
 		return nil
 	}
 }

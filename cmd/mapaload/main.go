@@ -39,6 +39,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mapa"
@@ -62,6 +63,9 @@ type options struct {
 	fleetNodes    int
 	fleetTemplate string
 	fleetPolicy   string
+	retries       int
+	retryBase     time.Duration
+	retryCap      time.Duration
 }
 
 func main() {
@@ -81,6 +85,9 @@ func main() {
 	flag.IntVar(&o.fleetNodes, "fleet", 0, "drive an in-process FleetSystem of this many nodes instead of a daemon (closed loop; -addr/-rate/-coldshape ignored)")
 	flag.StringVar(&o.fleetTemplate, "fleettemplate", "dgx-a100", "node-template topology for -fleet")
 	flag.StringVar(&o.fleetPolicy, "fleetpolicy", "preserve", "allocation policy for -fleet")
+	flag.IntVar(&o.retries, "retries", 3, "allocate retries on 429/503 before giving up (0 disables)")
+	flag.DurationVar(&o.retryBase, "retry-base", 5*time.Millisecond, "first retry backoff; doubles per attempt with jitter")
+	flag.DurationVar(&o.retryCap, "retry-cap", 250*time.Millisecond, "backoff ceiling; a server Retry-After overrides the computed delay")
 	flag.Parse()
 
 	run := run
@@ -111,10 +118,18 @@ func (c *counters) add(d counters) {
 	c.failed += d.failed
 }
 
-// client wraps the two mapad calls the generator makes.
+// client wraps the two mapad calls the generator makes. Allocates that
+// bounce off backpressure (429 admission overflow, 503 drain) retry
+// with capped exponential backoff + jitter, honoring a server
+// Retry-After; retried and exhausted tallies feed the run summary.
 type client struct {
-	base string
-	http *http.Client
+	base      string
+	http      *http.Client
+	retries   int
+	retryBase time.Duration
+	retryCap  time.Duration
+	retried   atomic.Uint64 // attempts re-fired after backpressure
+	exhausted atomic.Uint64 // allocates dropped with retries spent
 }
 
 type allocateResponse struct {
@@ -122,25 +137,65 @@ type allocateResponse struct {
 	GPUs    []int `json:"gpus"`
 }
 
+// retryable reports whether the status is a backpressure signal worth
+// backing off on, rather than a decision outcome.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// backoff computes the sleep before retry attempt (0-based): the
+// doubled-per-attempt base, capped, with full jitter on the upper
+// half; a server-provided Retry-After acts as a floor.
+func backoff(attempt int, base, cap, retryAfter time.Duration) time.Duration {
+	d := base << attempt
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
 // allocate returns the HTTP status code and, on 200, the lease.
 func (c *client) allocate(tenant, shape string, n int, sensitive bool) (int, allocateResponse, error) {
+	code, retryAfter, ar, err := c.allocateOnce(tenant, shape, n, sensitive)
+	for attempt := 0; attempt < c.retries && err == nil && retryable(code); attempt++ {
+		time.Sleep(backoff(attempt, c.retryBase, c.retryCap, retryAfter))
+		c.retried.Add(1)
+		code, retryAfter, ar, err = c.allocateOnce(tenant, shape, n, sensitive)
+	}
+	if c.retries > 0 && err == nil && retryable(code) {
+		c.exhausted.Add(1)
+	}
+	return code, ar, err
+}
+
+func (c *client) allocateOnce(tenant, shape string, n int, sensitive bool) (int, time.Duration, allocateResponse, error) {
 	body, _ := json.Marshal(map[string]interface{}{
 		"tenant": tenant, "num_gpus": n, "shape": shape, "sensitive": sensitive,
 	})
 	resp, err := c.http.Post(c.base+"/v1/allocate", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, allocateResponse{}, err
+		return 0, 0, allocateResponse{}, err
 	}
 	defer resp.Body.Close()
 	var ar allocateResponse
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
-			return resp.StatusCode, ar, err
+			return resp.StatusCode, 0, ar, err
 		}
 	} else {
 		io.Copy(io.Discard, resp.Body)
 	}
-	return resp.StatusCode, ar, nil
+	var retryAfter time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, retryAfter, ar, nil
 }
 
 func (c *client) release(tenant string, leaseID int) error {
@@ -165,6 +220,8 @@ type summary struct {
 	mean       time.Duration
 	rate       float64 // successful decisions/sec over the run
 	dropped    int     // open loop: fires skipped at the in-flight cap
+	retried    uint64  // allocate attempts re-fired after 429/503 backoff
+	exhausted  uint64  // allocates dropped with all retries spent
 	coldBuild  time.Duration
 	coldOK     int     // decisions completed inside the cold window
 	coldRate   float64 // decisions/sec inside the cold window
@@ -229,13 +286,25 @@ func run(o options, w io.Writer) error {
 	for i := range shapes {
 		shapes[i] = strings.TrimSpace(shapes[i])
 	}
-	cl := &client{base: strings.TrimRight(o.addr, "/"), http: &http.Client{
-		Timeout: 2 * time.Minute,
-		Transport: &http.Transport{
-			MaxIdleConns:        4 * o.tenants,
-			MaxIdleConnsPerHost: 4 * o.tenants,
+	if o.retryBase <= 0 {
+		o.retryBase = 5 * time.Millisecond
+	}
+	if o.retryCap < o.retryBase {
+		o.retryCap = o.retryBase
+	}
+	cl := &client{
+		base: strings.TrimRight(o.addr, "/"),
+		http: &http.Client{
+			Timeout: 2 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        4 * o.tenants,
+				MaxIdleConnsPerHost: 4 * o.tenants,
+			},
 		},
-	}}
+		retries:   o.retries,
+		retryBase: o.retryBase,
+		retryCap:  o.retryCap,
+	}
 
 	start := time.Now()
 	deadline := start.Add(o.duration)
@@ -310,7 +379,7 @@ func run(o options, w io.Writer) error {
 						cl.release(tenant, ar.LeaseID)
 					case code == http.StatusConflict:
 						c.noalloc++
-					case code == http.StatusTooManyRequests:
+					case retryable(code):
 						c.throttled++
 					default:
 						c.failed++
@@ -356,7 +425,7 @@ func run(o options, w io.Writer) error {
 								cl.release(tenant, leases[0])
 								leases = leases[1:]
 							}
-						case code == http.StatusTooManyRequests:
+						case retryable(code):
 							c.throttled++
 							time.Sleep(time.Millisecond)
 						default:
@@ -382,6 +451,8 @@ func run(o options, w io.Writer) error {
 	elapsed := time.Since(start)
 
 	sum := summarize(samples, total, elapsed, dropped)
+	sum.retried = cl.retried.Load()
+	sum.exhausted = cl.exhausted.Load()
 	if o.coldShape != "" && !coldEnd.IsZero() {
 		sum.coldServed = true
 		sum.coldBuild = coldEnd.Sub(coldStart)
@@ -527,8 +598,12 @@ func report(o options, w io.Writer, s summary) {
 		mode = fmt.Sprintf("in-process fleet (%d × %s, %s policy)", o.fleetNodes, o.fleetTemplate, o.fleetPolicy)
 	}
 	fmt.Fprintf(w, "mapaload: %s, %d tenants, %s\n", mode, o.tenants, s.elapsed.Round(time.Millisecond))
-	fmt.Fprintf(w, "  decisions: %d ok, %d no-allocation, %d throttled (429), %d failed, %d dropped\n",
+	fmt.Fprintf(w, "  decisions: %d ok, %d no-allocation, %d throttled (429/503), %d failed, %d dropped\n",
 		s.ok, s.noalloc, s.throttled, s.failed, s.dropped)
+	if s.retried > 0 || s.exhausted > 0 {
+		fmt.Fprintf(w, "  backpressure: %d attempts retried, %d allocates exhausted retries\n",
+			s.retried, s.exhausted)
+	}
 	fmt.Fprintf(w, "  throughput: %.1f decisions/sec\n", s.rate)
 	fmt.Fprintf(w, "  allocate latency: mean %s  p50 %s  p90 %s  p99 %s\n", s.mean, s.p50, s.p90, s.p99)
 	if s.coldServed {
@@ -544,8 +619,9 @@ func report(o options, w io.Writer, s summary) {
 	if o.fleetNodes > 0 {
 		name = fmt.Sprintf("BenchmarkFleetSustained/nodes-%d", o.fleetNodes)
 	}
-	fmt.Fprintf(w, "%s %d %d ns/op %.1f decisions/sec %d p50-ns %d p90-ns %d p99-ns\n",
-		name, s.ok, s.mean.Nanoseconds(), s.rate, s.p50.Nanoseconds(), s.p90.Nanoseconds(), s.p99.Nanoseconds())
+	fmt.Fprintf(w, "%s %d %d ns/op %.1f decisions/sec %d p50-ns %d p90-ns %d p99-ns %d retried %d retry-exhausted\n",
+		name, s.ok, s.mean.Nanoseconds(), s.rate, s.p50.Nanoseconds(), s.p90.Nanoseconds(), s.p99.Nanoseconds(),
+		s.retried, s.exhausted)
 	if s.coldServed {
 		fmt.Fprintf(w, "BenchmarkMapadColdOverlap %d %d ns/op %.1f decisions/sec %d cold-build-ns\n",
 			s.coldOK, s.coldMean.Nanoseconds(), s.coldRate, s.coldBuild.Nanoseconds())

@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"net/http"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -45,6 +48,66 @@ func TestParseMixAndCold(t *testing.T) {
 	}
 }
 
+func TestBackoffBounds(t *testing.T) {
+	base, cap := 5*time.Millisecond, 100*time.Millisecond
+	for attempt := 0; attempt < 12; attempt++ {
+		d := backoff(attempt, base, cap, 0)
+		if d <= 0 || d > cap {
+			t.Fatalf("backoff(%d) = %v, want in (0, %v]", attempt, d, cap)
+		}
+	}
+	if d := backoff(0, time.Millisecond, time.Millisecond, time.Second); d != time.Second {
+		t.Fatalf("Retry-After floor ignored: got %v, want 1s", d)
+	}
+}
+
+// TestAllocateRetriesBackpressure: 429s with Retry-After are retried
+// until the daemon admits the request, and the tallies record it.
+func TestAllocateRetriesBackpressure(t *testing.T) {
+	var hits atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"lease_id": 7, "gpus": [0, 1]}`)
+	}))
+	defer ts.Close()
+
+	cl := &client{base: ts.URL, http: ts.Client(), retries: 3,
+		retryBase: time.Millisecond, retryCap: 2 * time.Millisecond}
+	code, ar, err := cl.allocate("t", "Ring", 2, false)
+	if err != nil || code != 200 || ar.LeaseID != 7 {
+		t.Fatalf("allocate = %d %+v %v, want 200 lease 7", code, ar, err)
+	}
+	if got := cl.retried.Load(); got != 2 {
+		t.Fatalf("retried = %d, want 2", got)
+	}
+	if got := cl.exhausted.Load(); got != 0 {
+		t.Fatalf("exhausted = %d, want 0", got)
+	}
+
+	// Spend every retry: 503s all the way down.
+	drain := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer drain.Close()
+	cl2 := &client{base: drain.URL, http: drain.Client(), retries: 2,
+		retryBase: time.Millisecond, retryCap: 2 * time.Millisecond}
+	code, _, err = cl2.allocate("t", "Ring", 2, false)
+	if err != nil || code != http.StatusServiceUnavailable {
+		t.Fatalf("allocate = %d %v, want 503", code, err)
+	}
+	if got := cl2.retried.Load(); got != 2 {
+		t.Fatalf("retried = %d, want 2", got)
+	}
+	if got := cl2.exhausted.Load(); got != 1 {
+		t.Fatalf("exhausted = %d, want 1", got)
+	}
+}
+
 // TestRunClosedLoop drives a real in-process daemon with the closed-loop
 // generator, including a mid-run cold-shape probe, and checks the
 // benchmark output lines benchjson would parse.
@@ -82,8 +145,8 @@ func TestRunClosedLoop(t *testing.T) {
 	for _, line := range strings.Split(text, "\n") {
 		if strings.HasPrefix(line, "BenchmarkMapadSustained ") {
 			sustained = true
-			if f := strings.Fields(line); len(f) != 12 {
-				t.Fatalf("sustained line has %d fields, want 12: %q", len(f), line)
+			if f := strings.Fields(line); len(f) != 16 {
+				t.Fatalf("sustained line has %d fields, want 16: %q", len(f), line)
 			}
 		}
 		if strings.HasPrefix(line, "BenchmarkMapadColdOverlap ") {

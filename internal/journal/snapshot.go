@@ -1,0 +1,162 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// snapMagic versions the snapshot file format.
+var snapMagic = []byte("MAPASNP1")
+
+// LeaseState is one live lease in a Snapshot.
+type LeaseState struct {
+	ID       int    `json:"id"`
+	Owner    string `json:"owner,omitempty"`
+	GPUs     []int  `json:"gpus"`
+	Deadline int64  `json:"deadline,omitempty"` // Unix nanoseconds; 0 = no TTL
+}
+
+// Link is one edge whose weight differs from the pristine topology
+// (or, for virtual machines, from a fresh re-compose).
+type Link struct {
+	U  int     `json:"u"`
+	V  int     `json:"v"`
+	BW float64 `json:"bw"`
+}
+
+// InstanceSet records the virtual instances currently hosted by one
+// physical GPU — the repartition map.
+type InstanceSet struct {
+	GPU  int   `json:"gpu"`
+	VIDs []int `json:"vids"`
+}
+
+// Snapshot is a full, directly-installable System state at one log
+// position: replaying the journal records with Seq > LSN on top of it
+// reconstructs the live state exactly.
+type Snapshot struct {
+	// LSN is the sequence number of the last journal record the
+	// snapshot covers (0 = none).
+	LSN uint64 `json:"lsn"`
+	// Topology and Policy identify the System the state belongs to;
+	// recovery refuses a mismatch rather than install leases onto the
+	// wrong machine.
+	Topology string `json:"topology"`
+	Policy   string `json:"policy"`
+	NextID   int    `json:"next_id"`
+	// Leases (ascending ID) and Unhealthy (ascending) are the live
+	// allocation and health state.
+	Leases    []LeaseState `json:"leases,omitempty"`
+	Unhealthy []int        `json:"unhealthy,omitempty"`
+	// Links / PhysLinks are the serving machine's degraded edges:
+	// weights differing from the pristine catalog topology (or, when
+	// repartitioned, from a fresh compose of Instances over the
+	// recovered base machine). BaseLinks / BasePhysLinks are the
+	// physical machine's degraded edges, meaningful only when
+	// repartitioned.
+	Links         []Link `json:"links,omitempty"`
+	PhysLinks     []Link `json:"phys_links,omitempty"`
+	BaseLinks     []Link `json:"base_links,omitempty"`
+	BasePhysLinks []Link `json:"base_phys_links,omitempty"`
+	// Instances (ascending GPU) and NextVID capture the MIG
+	// repartition state; empty Instances means the machine is uncut.
+	Instances []InstanceSet `json:"instances,omitempty"`
+	NextVID   int           `json:"next_vid,omitempty"`
+}
+
+// writeSnapshotFile atomically writes snap to dir/snapshot: marshal,
+// frame (magic + length + CRC), write to snapshot.tmp, fsync, rename
+// over snapshot, fsync the directory. A crash at any point leaves
+// either the old snapshot or the new one, never a torn file that
+// parses.
+func writeSnapshotFile(dir string, snap *Snapshot) (int64, error) {
+	payload, err := json.MarshalIndent(snap, "", "\t")
+	if err != nil {
+		return 0, fmt.Errorf("journal: marshaling snapshot: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(snapMagic)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+
+	tmp := filepath.Join(dir, "snapshot.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "snapshot")); err != nil {
+		return 0, err
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	return int64(buf.Len()), nil
+}
+
+// readSnapshotFile loads and validates dir/snapshot. A missing file
+// returns (nil, 0, nil); any parse or checksum failure is a hard error
+// — the snapshot was fsynced before rename, so damage here is real.
+func readSnapshotFile(dir string) (*Snapshot, int64, error) {
+	path := filepath.Join(dir, "snapshot")
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < len(snapMagic)+8 || !bytes.Equal(data[:len(snapMagic)], snapMagic) {
+		return nil, 0, fmt.Errorf("journal: %s: not a snapshot file", path)
+	}
+	rest := data[len(snapMagic):]
+	ln := binary.LittleEndian.Uint32(rest[0:4])
+	crc := binary.LittleEndian.Uint32(rest[4:8])
+	payload := rest[8:]
+	if uint32(len(payload)) != ln {
+		return nil, 0, fmt.Errorf("journal: %s: payload is %d bytes, header says %d", path, len(payload), ln)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != crc {
+		return nil, 0, fmt.Errorf("journal: %s: checksum mismatch (%08x, want %08x)", path, got, crc)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, 0, fmt.Errorf("journal: %s: %w", path, err)
+	}
+	return &snap, int64(len(data)), nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a power
+// cut. Some filesystems reject directory fsync; that degrades
+// durability, not correctness, so those errors are ignored.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		// EINVAL from filesystems that don't support directory fsync is
+		// not actionable; real write errors surfaced on the file sync.
+		return nil
+	}
+	return nil
+}

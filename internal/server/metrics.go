@@ -170,6 +170,26 @@ func (m *metrics) render(w io.Writer, sys *mapa.System, tenants, queued, queueDe
 	fmt.Fprintf(w, "# TYPE mapad_universe_build_seconds_total counter\n")
 	fmt.Fprintf(w, "mapad_universe_build_seconds_total %g\n", cs.UniverseBuildTime.Seconds())
 	counter("mapad_topology_repairs_total", "Link-degradation events absorbed by incremental score-table repair.", cs.Repairs)
+
+	// Durability series: present only when the daemon runs journaled.
+	if js, ok := sys.JournalStats(); ok {
+		counter("mapad_journal_records_total", "Mutation records appended to the write-ahead journal since the last snapshot truncation epoch began, plus replayed history.", js.Records)
+		counter("mapad_journal_bytes_total", "Bytes appended to the write-ahead journal.", js.Bytes)
+		counter("mapad_journal_fsyncs_total", "fsync calls issued against the journal.", js.Fsyncs)
+		gauge("mapad_journal_last_seq", "Sequence number of the most recent journal record.", js.LastSeq)
+		gauge("mapad_journal_records_since_snapshot", "Journal records accumulated since the last snapshot (replay debt).", js.RecordsSinceSnapshot)
+		gauge("mapad_journal_snapshot_bytes", "Size of the last state snapshot in bytes (0 if none).", js.SnapshotBytes)
+		age := float64(-1)
+		if js.SnapshotUnixNano > 0 {
+			age = time.Since(time.Unix(0, js.SnapshotUnixNano)).Seconds()
+		}
+		gauge("mapad_journal_snapshot_age_seconds", "Seconds since the last snapshot was written (-1 if none).", age)
+		rs := sys.Recovery()
+		gauge("mapad_leases_recovered", "Leases reconstructed from snapshot + journal at daemon startup.", rs.Leases)
+		gauge("mapad_recovery_replay_seconds", "Wall time of the startup journal replay.", rs.ReplayTime.Seconds())
+		counter("mapad_recovery_records_replayed_total", "Journal records replayed at daemon startup.", rs.Records)
+		counter("mapad_leases_reaped_total", "Leases expired by the TTL reaper (journaled as releases).", sys.Reaped())
+	}
 }
 
 // formatFloat renders a bucket bound the way Prometheus clients do —

@@ -9,11 +9,18 @@
 //
 // Routes:
 //
-//	POST /v1/allocate  {tenant?, num_gpus, shape?, sensitive?} -> lease
+//	POST /v1/allocate  {tenant?, num_gpus, shape?, sensitive?, ttl_ms?} -> lease
 //	POST /v1/release   {tenant?, lease_id}
+//	POST /v1/renew     {tenant?, lease_id, ttl_ms} -> new deadline
 //	POST /v1/health    {action: mark|restore|degrade, gpus?, u?, v?, bw?}
+//	GET  /v1/leases    live leases with owners and TTL deadlines
 //	GET  /healthz      readiness: 200 once serving, reports warm state
 //	GET  /metrics      Prometheus text exposition
+//
+// During shutdown the daemon calls Drain: every serving route answers
+// 503 with Retry-After while /healthz reports "draining" and /metrics
+// stays scrapeable, so load balancers move on while in-flight requests
+// finish and the final snapshot is cut.
 //
 // Tenancy: each distinct tenant name is lazily bound to its own
 // mapa.Tenant — a per-tenant allocator and live-view stream over the
@@ -28,6 +35,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mapa"
@@ -65,11 +73,12 @@ type Options struct {
 // Server is the mapad HTTP handler. Create with New; it is safe for
 // concurrent use.
 type Server struct {
-	sys     *mapa.System
-	opts    Options
-	admit   chan struct{}
-	mux     *http.ServeMux
-	metrics *metrics
+	sys      *mapa.System
+	opts     Options
+	admit    chan struct{}
+	mux      *http.ServeMux
+	metrics  *metrics
+	draining atomic.Bool
 
 	mu      sync.Mutex
 	tenants map[string]*mapa.Tenant
@@ -97,17 +106,46 @@ func New(sys *mapa.System, opts Options) *Server {
 		owner:   make(map[int]string),
 		batches: make(map[coalKey]*batch),
 	}
+	// A journal-backed System hands back the leases it recovered;
+	// rebind them to their owning tenants so ownership checks survive a
+	// daemon restart (the owner label journaled at allocate time is the
+	// tenant name).
+	for id, owner := range sys.LeaseOwners() {
+		s.owner[id] = owner
+	}
 	s.mux.HandleFunc("POST /v1/allocate", s.handleAllocate)
 	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
+	s.mux.HandleFunc("POST /v1/renew", s.handleRenew)
 	s.mux.HandleFunc("POST /v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/leases", s.handleLeases)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		switch r.URL.Path {
+		case "/healthz", "/metrics", "/v1/leases":
+			// Probes and observability stay up through the drain.
+		default:
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, "drain", http.StatusServiceUnavailable,
+				errors.New("draining: daemon is shutting down"))
+			return
+		}
+	}
 	s.mux.ServeHTTP(w, r)
 }
+
+// Drain moves the server into shutdown mode: new work is refused with
+// 503 + Retry-After while requests already admitted run to completion.
+// The caller then stops the http.Server (which waits out in-flight
+// handlers) and closes the System for the final snapshot.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // AllocateRequest is the /v1/allocate body.
 type AllocateRequest struct {
@@ -121,6 +159,10 @@ type AllocateRequest struct {
 	Shape string `json:"shape,omitempty"`
 	// Sensitive is the bandwidth-sensitivity annotation.
 	Sensitive bool `json:"sensitive,omitempty"`
+	// TTLMillis, when positive, gives the lease a time-to-live: if it
+	// is neither released nor renewed within this window the daemon's
+	// reaper expires it, journaling the expiry. Zero means no TTL.
+	TTLMillis int64 `json:"ttl_ms,omitempty"`
 }
 
 // AllocateResponse is the /v1/allocate success body.
@@ -130,12 +172,42 @@ type AllocateResponse struct {
 	EffBW       float64 `json:"eff_bw"`
 	AggBW       float64 `json:"agg_bw"`
 	PreservedBW float64 `json:"preserved_bw"`
+	// Deadline is the TTL expiry in Unix nanoseconds, 0 if untimed.
+	Deadline int64 `json:"deadline_unix_nano,omitempty"`
 }
 
 // ReleaseRequest is the /v1/release body.
 type ReleaseRequest struct {
 	Tenant  string `json:"tenant,omitempty"`
 	LeaseID int    `json:"lease_id"`
+}
+
+// RenewRequest is the /v1/renew body. TTLMillis > 0 pushes the lease's
+// deadline out from now; <= 0 clears the TTL entirely.
+type RenewRequest struct {
+	Tenant    string `json:"tenant,omitempty"`
+	LeaseID   int    `json:"lease_id"`
+	TTLMillis int64  `json:"ttl_ms"`
+}
+
+// RenewResponse is the /v1/renew success body. Deadline is always
+// present: 0 states the TTL was cleared.
+type RenewResponse struct {
+	LeaseID  int   `json:"lease_id"`
+	Deadline int64 `json:"deadline_unix_nano"`
+}
+
+// LeaseEntry is one element of the /v1/leases response.
+type LeaseEntry struct {
+	LeaseID  int    `json:"lease_id"`
+	Tenant   string `json:"tenant,omitempty"`
+	GPUs     []int  `json:"gpus"`
+	Deadline int64  `json:"deadline_unix_nano,omitempty"`
+}
+
+// LeasesResponse is the /v1/leases body.
+type LeasesResponse struct {
+	Leases []LeaseEntry `json:"leases"`
 }
 
 // HealthRequest is the /v1/health body: a topology event. Action is
@@ -234,7 +306,13 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, route, http.StatusInternalServerError, err)
 		return
 	}
-	jr := mapa.JobRequest{NumGPUs: req.NumGPUs, Shape: req.Shape, Sensitive: req.Sensitive}
+	jr := mapa.JobRequest{
+		NumGPUs:   req.NumGPUs,
+		Shape:     req.Shape,
+		Sensitive: req.Sensitive,
+		Owner:     req.Tenant,
+		TTL:       time.Duration(req.TTLMillis) * time.Millisecond,
+	}
 	start := time.Now()
 	var lease *mapa.Lease
 	if s.opts.CoalesceWindow > 0 {
@@ -264,14 +342,20 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		EffBW:       lease.EffBW,
 		AggBW:       lease.AggBW,
 		PreservedBW: lease.PreservedBW,
+		Deadline:    lease.Deadline,
 	})
 }
 
-// coalKey identifies one coalescable request class.
+// coalKey identifies one coalescable request class. Owner and TTL are
+// part of the key because both are journaled per lease: members of one
+// AllocateBatch share a JobRequest, so requests that must journal
+// different owners or deadlines cannot share a batch.
 type coalKey struct {
 	shape     string
 	n         int
 	sensitive bool
+	owner     string
+	ttlMillis int64
 }
 
 // batch is one in-flight coalesced allocate: the leader gathers
@@ -295,7 +379,10 @@ func (s *Server) allocateCoalesced(req mapa.JobRequest) (*mapa.Lease, error) {
 	if shape == "" {
 		shape = "Ring"
 	}
-	key := coalKey{shape: shape, n: req.NumGPUs, sensitive: req.Sensitive}
+	key := coalKey{
+		shape: shape, n: req.NumGPUs, sensitive: req.Sensitive,
+		owner: req.Owner, ttlMillis: int64(req.TTL / time.Millisecond),
+	}
 	s.mu.Lock()
 	if b, ok := s.batches[key]; ok {
 		idx := b.members
@@ -349,6 +436,61 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, route, http.StatusOK, struct{}{})
 }
 
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	const route = "renew"
+	var req RenewRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, route, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	s.mu.Lock()
+	owner, known := s.owner[req.LeaseID]
+	s.mu.Unlock()
+	if !known {
+		s.writeError(w, route, http.StatusNotFound, fmt.Errorf("lease %d unknown", req.LeaseID))
+		return
+	}
+	if owner != req.Tenant {
+		s.writeError(w, route, http.StatusForbidden,
+			fmt.Errorf("lease %d belongs to another tenant", req.LeaseID))
+		return
+	}
+	deadline, err := s.sys.Renew(req.LeaseID, time.Duration(req.TTLMillis)*time.Millisecond)
+	if err != nil {
+		s.writeError(w, route, http.StatusNotFound, err)
+		return
+	}
+	s.writeJSON(w, route, http.StatusOK, RenewResponse{LeaseID: req.LeaseID, Deadline: deadline})
+}
+
+// handleLeases lists live leases from the System itself — after a
+// restart this is recovered state, which is what the crash harness
+// audits against its acked set.
+func (s *Server) handleLeases(w http.ResponseWriter, r *http.Request) {
+	resp := LeasesResponse{Leases: []LeaseEntry{}}
+	for _, l := range s.sys.Leases() {
+		resp.Leases = append(resp.Leases, LeaseEntry{
+			LeaseID: l.ID, Tenant: l.Owner, GPUs: l.GPUs, Deadline: l.Deadline,
+		})
+	}
+	s.writeJSON(w, "leases", http.StatusOK, resp)
+}
+
+// ReapExpired releases every lease whose TTL deadline has passed,
+// journaling each expiry, and prunes the ownership map. The daemon's
+// reaper goroutine calls this on a timer.
+func (s *Server) ReapExpired(now time.Time) (int, error) {
+	reaped, err := s.sys.ReapExpired(now)
+	if len(reaped) > 0 {
+		s.mu.Lock()
+		for _, id := range reaped {
+			delete(s.owner, id)
+		}
+		s.mu.Unlock()
+	}
+	return len(reaped), err
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	const route = "health"
 	var req HealthRequest
@@ -377,12 +519,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	s.writeJSON(w, "healthz", http.StatusOK, struct {
 		Status   string `json:"status"`
 		Topology string `json:"topology"`
 		Policy   string `json:"policy"`
 		Warm     bool   `json:"warm"`
-	}{"ok", s.sys.Topology(), s.sys.Policy(), s.sys.Warmed()})
+	}{status, s.sys.Topology(), s.sys.Policy(), s.sys.Warmed()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

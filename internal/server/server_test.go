@@ -298,3 +298,100 @@ func TestTenantStreamsServeIdenticalDecisions(t *testing.T) {
 	}
 	step(3, 3)
 }
+
+// TestRenewAndLeases exercises the TTL surface: allocate with ttl_ms,
+// list via /v1/leases, renew (owner-gated), clear the TTL, and reap.
+func TestRenewAndLeases(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	var ar AllocateResponse
+	code := post(t, ts.URL+"/v1/allocate",
+		AllocateRequest{Tenant: "a", NumGPUs: 2, TTLMillis: 60_000}, &ar)
+	if code != 200 || ar.Deadline == 0 {
+		t.Fatalf("ttl allocate: code %d deadline %d", code, ar.Deadline)
+	}
+
+	var lr LeasesResponse
+	if code := get(t, ts.URL+"/v1/leases", &lr); code != 200 {
+		t.Fatalf("leases: code %d", code)
+	}
+	if len(lr.Leases) != 1 || lr.Leases[0].LeaseID != ar.LeaseID ||
+		lr.Leases[0].Tenant != "a" || lr.Leases[0].Deadline != ar.Deadline {
+		t.Fatalf("leases = %+v, want lease %d tenant a deadline %d", lr.Leases, ar.LeaseID, ar.Deadline)
+	}
+
+	if code := post(t, ts.URL+"/v1/renew", RenewRequest{Tenant: "b", LeaseID: ar.LeaseID, TTLMillis: 1}, nil); code != 403 {
+		t.Fatalf("cross-tenant renew: code %d, want 403", code)
+	}
+	var rr RenewResponse
+	if code := post(t, ts.URL+"/v1/renew", RenewRequest{Tenant: "a", LeaseID: ar.LeaseID, TTLMillis: 120_000}, &rr); code != 200 {
+		t.Fatalf("renew: code %d", code)
+	}
+	if rr.Deadline <= ar.Deadline {
+		t.Fatalf("renew did not extend the deadline: %d -> %d", ar.Deadline, rr.Deadline)
+	}
+	if code := post(t, ts.URL+"/v1/renew", RenewRequest{Tenant: "a", LeaseID: ar.LeaseID, TTLMillis: 0}, &rr); code != 200 || rr.Deadline != 0 {
+		t.Fatalf("clearing renew: code %d deadline %d", code, rr.Deadline)
+	}
+	if code := post(t, ts.URL+"/v1/renew", RenewRequest{Tenant: "a", LeaseID: 99}, nil); code != 404 {
+		t.Fatalf("renew of unknown lease: code %d, want 404", code)
+	}
+
+	// Re-arm a short TTL and reap past it: the lease is released and
+	// its owner entry pruned, so a re-release 404s.
+	if code := post(t, ts.URL+"/v1/renew", RenewRequest{Tenant: "a", LeaseID: ar.LeaseID, TTLMillis: 1}, &rr); code != 200 {
+		t.Fatalf("re-arm renew: code %d", code)
+	}
+	n, err := srv.ReapExpired(time.Now().Add(time.Second))
+	if err != nil || n != 1 {
+		t.Fatalf("ReapExpired = %d, %v; want 1", n, err)
+	}
+	if code := post(t, ts.URL+"/v1/release", ReleaseRequest{Tenant: "a", LeaseID: ar.LeaseID}, nil); code != 404 {
+		t.Fatalf("release after reap: code %d, want 404", code)
+	}
+}
+
+// TestDrainRefusesMutations: after Drain, serving routes answer 503
+// with Retry-After while probes and lease listing stay available.
+func TestDrainRefusesMutations(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	var ar AllocateResponse
+	if code := post(t, ts.URL+"/v1/allocate", AllocateRequest{Tenant: "a", NumGPUs: 2}, &ar); code != 200 {
+		t.Fatalf("allocate: code %d", code)
+	}
+	srv.Drain()
+	resp, err := http.Post(ts.URL+"/v1/allocate", "application/json",
+		strings.NewReader(`{"num_gpus": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("allocate during drain: code %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("drain 503 missing Retry-After")
+	}
+	var lr LeasesResponse
+	if code := get(t, ts.URL+"/v1/leases", &lr); code != 200 || len(lr.Leases) != 1 {
+		t.Fatalf("leases during drain: code %d %+v", code, lr.Leases)
+	}
+	body := scrape(t, ts.URL+"/healthz")
+	if !strings.Contains(body, "draining") {
+		t.Fatalf("healthz during drain: %s", body)
+	}
+}
+
+func get(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == 200 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}

@@ -33,6 +33,7 @@ import (
 	"mapa/internal/effbw"
 	"mapa/internal/graph"
 	"mapa/internal/jobs"
+	"mapa/internal/journal"
 	"mapa/internal/matchcache"
 	"mapa/internal/mig"
 	"mapa/internal/policy"
@@ -75,6 +76,14 @@ type JobRequest struct {
 	Shape string
 	// Sensitive annotates bandwidth sensitivity (Algorithm 1 input).
 	Sensitive bool
+	// Owner is an opaque label recorded with the lease (and journaled,
+	// so it survives recovery); mapad stores the owning tenant name
+	// here. Empty means unowned.
+	Owner string
+	// TTL bounds the lease lifetime: a lease not renewed within TTL is
+	// released by ReapExpired, its GPUs returning to the free pool.
+	// Zero means no expiry.
+	TTL time.Duration
 }
 
 // Lease is a granted allocation. Release it back to the System when
@@ -89,6 +98,9 @@ type Lease struct {
 	// EffBW is the predicted effective bandwidth (GB/s) of the
 	// allocation; AggBW and PreservedBW are the other MAPA scores.
 	EffBW, AggBW, PreservedBW float64
+	// Deadline is the lease expiry in Unix nanoseconds (0 = no TTL),
+	// set when the request carried a TTL. Renew extends it.
+	Deadline int64
 }
 
 // System is a live MAPA allocator for one machine. It owns the
@@ -119,11 +131,25 @@ type System struct {
 	store     *matchcache.Store
 	views     *matchcache.Views
 	leases    map[int][]int
-	leasedBy  map[int]int  // GPU -> ID of the lease holding it
-	unhealthy map[int]bool // GPUs marked unhealthy: visible, unallocatable
+	leasedBy  map[int]int    // GPU -> ID of the lease holding it
+	owners    map[int]string // lease ID -> owner label (only labeled leases)
+	expiry    map[int]int64  // lease ID -> deadline, Unix nanos (only TTL'd leases)
+	unhealthy map[int]bool   // GPUs marked unhealthy: visible, unallocatable
 	nextID    int
 	cfg       systemConfig
 	warmDone  chan struct{} // closed when background warming finishes; nil otherwise
+
+	// Durability (see durability.go). jw is the write-ahead journal
+	// every committed mutation is appended to under mu, before the
+	// in-memory mutation, so an append failure aborts the operation
+	// cleanly; nil when journaling is off and during recovery replay.
+	// catalogName is the topology name the System was built from —
+	// the key snapshots use to rebuild pristine reference state.
+	jw          *journal.Journal
+	catalogName string
+	recovering  bool // replaying the journal inside NewSystem
+	recovery    RecoveryStats
+	reaped      uint64 // leases released by TTL expiry
 
 	// tenants are the live per-tenant serving handles (see NewTenant);
 	// every state delta fans out to each tenant's view stream. Guarded
@@ -160,6 +186,8 @@ type systemConfig struct {
 	disableUniverses   bool
 	disableLiveViews   bool
 	disableScoreTables bool
+	journalDir         string
+	journalOpts        journal.Options
 }
 
 // WithWorkers makes MAPA policies enumerate and score candidate
@@ -267,16 +295,29 @@ func NewSystem(topologyName, policyName string, opts ...SystemOption) (*System, 
 		policy.SetParallelism(alloc, cfg.workers)
 	}
 	s := &System{
-		top:       top,
-		alloc:     alloc,
-		scorer:    scorer,
-		avail:     top.Graph.Clone(),
-		leases:    make(map[int][]int),
-		leasedBy:  make(map[int]int),
-		unhealthy: make(map[int]bool),
-		cfg:       cfg,
+		top:         top,
+		alloc:       alloc,
+		scorer:      scorer,
+		avail:       top.Graph.Clone(),
+		leases:      make(map[int][]int),
+		leasedBy:    make(map[int]int),
+		owners:      make(map[int]string),
+		expiry:      make(map[int]int64),
+		unhealthy:   make(map[int]bool),
+		cfg:         cfg,
+		catalogName: topologyName,
+	}
+	// Recovery runs before the pipeline exists: replayed mutations are
+	// applied directly to the graphs and lease tables (view publishes
+	// no-op on nil), then the pipeline is built once for the final
+	// recovered topology and seeded with the live state.
+	if cfg.journalDir != "" {
+		if err := s.recoverFromJournal(cfg.journalDir, cfg.journalOpts); err != nil {
+			return nil, err
+		}
 	}
 	s.buildPipeline(true)
+	s.replayViewsLocked(s.views)
 	return s, nil
 }
 
@@ -468,17 +509,25 @@ func buildPattern(req JobRequest) (*graph.Graph, error) {
 // onCommit test hook under the state lock — the hook's call order is
 // the System's linearization.
 type commitOp struct {
-	kind string
-	req  JobRequest // allocate only
-	id   int        // allocate (assigned ID), release
-	gpus []int      // allocate result; mark/restore arguments
+	kind     string
+	req      JobRequest // allocate only
+	id       int        // allocate (assigned ID), release, renew
+	gpus     []int      // allocate result; mark/restore arguments
+	deadline int64      // allocate, renew: lease expiry (Unix nanos, 0 = none)
+	expired  bool       // release: produced by the TTL reaper
+	u, v     int        // degrade-link endpoints
+	bw       float64    // degrade-link new bandwidth
+	slices   []journal.Slice
 }
 
 const (
-	opAllocate = "allocate"
-	opRelease  = "release"
-	opMark     = "mark-unhealthy"
-	opRestore  = "restore"
+	opAllocate    = "allocate"
+	opRelease     = "release"
+	opMark        = "mark-unhealthy"
+	opRestore     = "restore"
+	opDegrade     = "degrade-link"
+	opRepartition = "repartition"
+	opRenew       = "renew"
 )
 
 // commit invokes the linearization test hook with a private copy of
@@ -488,7 +537,25 @@ func (s *System) commit(op commitOp) {
 		return
 	}
 	op.gpus = append([]int(nil), op.gpus...)
+	op.slices = append([]journal.Slice(nil), op.slices...)
 	s.onCommit(op)
+}
+
+// journalAppend writes one record to the write-ahead journal, called
+// under mu by every mutator after validation and before any in-memory
+// mutation: a failed append aborts the operation with the state
+// untouched, so nothing unjournaled can ever be observed. No-op when
+// journaling is off — and during recovery replay, where jw is attached
+// only after the replayed records are applied, so replay never
+// re-journals.
+func (s *System) journalAppend(rec *journal.Record) error {
+	if s.jw == nil {
+		return nil
+	}
+	if err := s.jw.Append(rec); err != nil {
+		return fmt.Errorf("mapa: %w", err)
+	}
+	return nil
 }
 
 // prewarm builds the shape's match universe and score table (if
@@ -564,15 +631,32 @@ func (s *System) allocateLocked(t *Tenant, pattern *graph.Graph, req JobRequest)
 	if err != nil {
 		return nil, fmt.Errorf("mapa: allocating %d GPUs: %w", req.NumGPUs, err)
 	}
+	id := s.nextID + 1
+	var deadline int64
+	if req.TTL > 0 {
+		deadline = time.Now().Add(req.TTL).UnixNano()
+	}
+	if err := s.journalAppend(&journal.Record{
+		Kind: journal.KindAllocate, ID: id, NumGPUs: req.NumGPUs,
+		Shape: req.Shape, Sensitive: req.Sensitive, Owner: req.Owner,
+		Deadline: deadline, GPUs: a.GPUs,
+	}); err != nil {
+		return nil, err
+	}
 	for _, g := range a.GPUs {
 		s.avail.RemoveVertex(g)
 	}
 	s.publishAllocate(a.GPUs)
-	s.nextID++
-	id := s.nextID
+	s.nextID = id
 	s.leases[id] = a.GPUs
 	for _, g := range a.GPUs {
 		s.leasedBy[g] = id
+	}
+	if req.Owner != "" {
+		s.owners[id] = req.Owner
+	}
+	if deadline != 0 {
+		s.expiry[id] = deadline
 	}
 	lease := &Lease{
 		ID: id,
@@ -584,8 +668,9 @@ func (s *System) allocateLocked(t *Tenant, pattern *graph.Graph, req JobRequest)
 		EffBW:       a.Scores.EffBW,
 		AggBW:       a.Scores.AggBW,
 		PreservedBW: a.Scores.PreservedBW,
+		Deadline:    deadline,
 	}
-	s.commit(commitOp{kind: opAllocate, req: req, id: id, gpus: a.GPUs})
+	s.commit(commitOp{kind: opAllocate, req: req, id: id, gpus: a.GPUs, deadline: deadline})
 	return lease, nil
 }
 
@@ -675,9 +760,16 @@ func (s *System) Release(l *Lease) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	gpus, ok := s.leases[l.ID]
+	return s.releaseLocked(l.ID, false)
+}
+
+// releaseLocked is the shared release body: client releases come in
+// with expired=false via Release, the TTL reaper journals expirations
+// as releases with expired=true via ReapExpired.
+func (s *System) releaseLocked(id int, expired bool) error {
+	gpus, ok := s.leases[id]
 	if !ok {
-		return fmt.Errorf("mapa: lease %d not active", l.ID)
+		return fmt.Errorf("mapa: lease %d not active", id)
 	}
 	// Phase 1: validate. The free set is snapshotted once — the
 	// released GPUs join it only in phase 2, so one sorted copy serves
@@ -701,11 +793,21 @@ func (s *System) Release(l *Lease) error {
 			}
 		}
 	}
+	if err := s.journalAppend(&journal.Record{
+		Kind: journal.KindRelease, ID: id, Expired: expired, GPUs: gpus,
+	}); err != nil {
+		return err
+	}
 	// Phase 2: mutate. Every edge was validated above, so nothing past
 	// this point can fail.
-	delete(s.leases, l.ID)
+	delete(s.leases, id)
 	for _, g := range gpus {
 		delete(s.leasedBy, g)
+	}
+	delete(s.owners, id)
+	delete(s.expiry, id)
+	if expired {
+		s.reaped++
 	}
 	for i, g := range rejoin {
 		s.avail.AddVertex(g)
@@ -722,7 +824,7 @@ func (s *System) Release(l *Lease) error {
 	// so the full lease is published: unhealthy members re-enter the
 	// free mask but stay blocked by the health mask.
 	s.publishRelease(gpus)
-	s.commit(commitOp{kind: opRelease, id: l.ID, gpus: gpus})
+	s.commit(commitOp{kind: opRelease, id: id, gpus: gpus, expired: expired})
 	return nil
 }
 
@@ -741,6 +843,10 @@ func (s *System) MarkUnhealthy(gpus ...int) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.markUnhealthyLocked(gpus)
+}
+
+func (s *System) markUnhealthyLocked(gpus []int) error {
 	seen := make(map[int]bool, len(gpus))
 	for _, g := range gpus {
 		if !s.top.Graph.HasVertex(g) {
@@ -753,6 +859,9 @@ func (s *System) MarkUnhealthy(gpus ...int) error {
 			return fmt.Errorf("mapa: GPU %d listed twice", g)
 		}
 		seen[g] = true
+	}
+	if err := s.journalAppend(&journal.Record{Kind: journal.KindMark, GPUs: gpus}); err != nil {
+		return err
 	}
 	for _, g := range gpus {
 		s.unhealthy[g] = true
@@ -777,6 +886,10 @@ func (s *System) Restore(gpus ...int) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.restoreLocked(gpus)
+}
+
+func (s *System) restoreLocked(gpus []int) error {
 	seen := make(map[int]bool, len(gpus))
 	for _, g := range gpus {
 		if !s.unhealthy[g] {
@@ -805,6 +918,9 @@ func (s *System) Restore(gpus ...int) error {
 				return fmt.Errorf("mapa: topology %s missing edge (%d,%d)", s.top.Name, g, h)
 			}
 		}
+	}
+	if err := s.journalAppend(&journal.Record{Kind: journal.KindRestore, GPUs: gpus}); err != nil {
+		return err
 	}
 	for _, g := range gpus {
 		delete(s.unhealthy, g)
@@ -859,6 +975,10 @@ func (s *System) UnhealthyGPUs() []int {
 func (s *System) DegradeLink(u, v int, bw float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.degradeLinkLocked(u, v, bw)
+}
+
+func (s *System) degradeLinkLocked(u, v int, bw float64) error {
 	if bw < 0 {
 		return fmt.Errorf("mapa: negative link bandwidth %v", bw)
 	}
@@ -868,6 +988,9 @@ func (s *System) DegradeLink(u, v int, bw float64) error {
 	}
 	if e.Weight == bw {
 		return nil
+	}
+	if err := s.journalAppend(&journal.Record{Kind: journal.KindDegrade, U: u, V: v, BW: bw}); err != nil {
+		return err
 	}
 	s.top.Graph.MustAddEdge(u, v, bw, e.Label)
 	if pe, ok := s.top.Physical.EdgeBetween(u, v); ok {
@@ -898,6 +1021,7 @@ func (s *System) DegradeLink(u, v int, bw float64) error {
 		s.store.RepairEdge(u, v)
 	}
 	s.publishUpdateEdge(u, v, bw)
+	s.commit(commitOp{kind: opDegrade, u: u, v: v, bw: bw})
 	return nil
 }
 
@@ -920,6 +1044,10 @@ func (s *System) DegradeLink(u, v int, bw float64) error {
 func (s *System) Repartition(slices map[int]int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.repartitionLocked(slices)
+}
+
+func (s *System) repartitionLocked(slices map[int]int) error {
 	if s.baseTop == nil {
 		s.baseTop = s.top
 		s.instances = make(map[int][]int)
@@ -975,6 +1103,16 @@ func (s *System) Repartition(slices map[int]int) error {
 	if err != nil {
 		return err
 	}
+	// The journal records only the changed (GPU, instance count) pairs:
+	// replay reaches this point with identical instances and nextVID, so
+	// the fresh-ID assignment above is reproduced exactly.
+	recSlices := make([]journal.Slice, len(changed))
+	for i, g := range changed {
+		recSlices[i] = journal.Slice{GPU: g, Instances: slices[g]}
+	}
+	if err := s.journalAppend(&journal.Record{Kind: journal.KindRepartition, Slices: recSlices}); err != nil {
+		return err
+	}
 	// Point of no return: everything below is infallible. Wait out any
 	// in-flight background warm of the old store before swapping it.
 	if s.warmDone != nil {
@@ -992,9 +1130,14 @@ func (s *System) Repartition(slices map[int]int) error {
 	for v, f := range vt.Fraction {
 		s.fractions[v] = f
 	}
-	s.scorer = score.NewScorer(effbw.TrainedFor(s.top))
-	policy.SetScorer(s.alloc, s.scorer)
-	s.buildPipeline(false)
+	// During recovery replay there is no pipeline yet and no tenants:
+	// NewSystem retrains the scorer and builds the pipeline once, for
+	// the final recovered topology, after the last record is applied.
+	if !s.recovering {
+		s.scorer = score.NewScorer(effbw.TrainedFor(s.top))
+		policy.SetScorer(s.alloc, s.scorer)
+		s.buildPipeline(false)
+	}
 	// Rebuild availability — every instance not leased and not
 	// unhealthy — and replay the surviving allocation and health state
 	// into the fresh views. Tenant streams are rebound to the new
@@ -1007,10 +1150,13 @@ func (s *System) Repartition(slices map[int]int) error {
 	for g := range s.unhealthy {
 		s.avail.RemoveVertex(g)
 	}
-	s.replayViewsLocked(s.views)
-	for _, t := range s.tenants {
-		s.bindTenantLocked(t)
+	if !s.recovering {
+		s.replayViewsLocked(s.views)
+		for _, t := range s.tenants {
+			s.bindTenantLocked(t)
+		}
 	}
+	s.commit(commitOp{kind: opRepartition, slices: recSlices})
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package mapa
 
 import (
+	"time"
+
 	"mapa/internal/matchcache"
 	"mapa/internal/policy"
 )
@@ -88,6 +90,11 @@ func (t *Tenant) Allocate(req JobRequest) (*Lease, error) {
 
 // Release returns a lease's GPUs to the free pool (System.Release).
 func (t *Tenant) Release(l *Lease) error { return t.s.Release(l) }
+
+// Renew extends or clears a lease's TTL deadline (System.Renew).
+// Ownership enforcement — only the tenant that allocated a lease may
+// renew it — is the daemon's job, like Release.
+func (t *Tenant) Renew(id int, ttl time.Duration) (int64, error) { return t.s.Renew(id, ttl) }
 
 // Close unregisters the tenant: its view stream stops receiving
 // deltas and becomes collectable. Releasing the tenant's leases is the
